@@ -1,0 +1,42 @@
+"""Shared helpers for the figure/table reproduction benchmarks.
+
+Every benchmark runs a scaled-down version of the paper's 400-interval
+experiments (set ``REPRO_FULL=1`` for full scale), prints the regenerated
+rows/series, and appends them to ``benchmarks/output/`` so
+EXPERIMENTS.md can reference concrete numbers.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+from typing import Dict
+
+from repro.harness import SessionResult
+
+OUTPUT_DIR = Path(__file__).resolve().parent / "output"
+
+
+def quick_iters(full: int, quick: int) -> int:
+    return full if os.environ.get("REPRO_FULL") == "1" else quick
+
+
+def emit(name: str, text: str) -> None:
+    """Print a benchmark's regenerated table/series and persist it."""
+    banner = f"\n===== {name} =====\n{text}\n"
+    print(banner)
+    OUTPUT_DIR.mkdir(exist_ok=True)
+    (OUTPUT_DIR / f"{name}.txt").write_text(text + "\n")
+
+
+def summary_line(name: str, result: SessionResult,
+                 interval_seconds: float = 180.0) -> str:
+    return (f"{name:<14} cumulative={result.cumulative_objective(interval_seconds):.4g} "
+            f"cum_improv={result.cumulative_improvement():.4g} "
+            f"#Unsafe={result.n_unsafe} #Failure={result.n_failures}")
+
+
+def summarize(results: Dict[str, SessionResult],
+              interval_seconds: float = 180.0) -> str:
+    return "\n".join(summary_line(k, v, interval_seconds)
+                     for k, v in results.items())

@@ -1,0 +1,60 @@
+"""Figure 5: cumulative performance + safety on dynamic workloads
+(TPC-C, Twitter, JOB with sine-varying query compositions)."""
+
+import pytest
+
+from repro.harness import format_cumulative_table, run_tuners
+from repro.workloads import JOBWorkload, TPCCWorkload, TwitterWorkload
+
+from _common import emit, quick_iters
+
+TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
+
+
+def _run(workload_factory, iters):
+    return run_tuners(workload_factory, tuner_names=TUNERS,
+                      n_iterations=iters, seed=0)
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05a_tpcc(benchmark):
+    iters = quick_iters(400, 40)
+    results = benchmark.pedantic(
+        _run, args=(lambda seed: TPCCWorkload(seed=seed, growth_iters=iters),
+                    iters),
+        rounds=1, iterations=1)
+    text = format_cumulative_table(list(results.values()),
+                                   title=f"fig5(a) dynamic TPC-C, {iters} iters")
+    emit("fig05a_tpcc", text)
+    online = results["OnlineTune"]
+    assert online.n_failures == 0
+    assert online.n_unsafe <= min(r.n_unsafe for n, r in results.items()
+                                  if n in ("BO", "DDPG", "QTune"))
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05b_twitter(benchmark):
+    iters = quick_iters(400, 40)
+    results = benchmark.pedantic(
+        _run, args=(lambda seed: TwitterWorkload(seed=seed), iters),
+        rounds=1, iterations=1)
+    text = format_cumulative_table(list(results.values()),
+                                   title=f"fig5(b) dynamic Twitter, {iters} iters")
+    emit("fig05b_twitter", text)
+    assert results["OnlineTune"].n_failures == 0
+
+
+@pytest.mark.benchmark(group="fig05")
+def test_fig05c_job(benchmark):
+    iters = quick_iters(400, 30)
+    results = benchmark.pedantic(
+        _run, args=(lambda seed: JOBWorkload(seed=seed), iters),
+        rounds=1, iterations=1)
+    text = format_cumulative_table(list(results.values()),
+                                   title=f"fig5(c) dynamic JOB (lower cumulative "
+                                         f"execution time is better), {iters} iters")
+    emit("fig05c_job", text)
+    online = results["OnlineTune"]
+    # OnlineTune must not run the analytical batch longer than the default would
+    assert online.cumulative_improvement() > -0.2 * abs(
+        sum(r.default_performance for r in online.records))

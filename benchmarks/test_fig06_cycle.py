@@ -1,0 +1,48 @@
+"""Figures 6(a)/7(a): the transactional-analytical daily cycle
+(TPC-C alternating with JOB)."""
+
+import numpy as np
+import pytest
+
+from repro.harness import format_cumulative_table, make_tuner, build_session
+from repro.workloads import AlternatingWorkload, JOBWorkload, TPCCWorkload
+
+from _common import emit, quick_iters
+
+TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
+
+
+def _run():
+    iters = quick_iters(400, 48)
+    period = max(iters // 4, 6)
+    results = {}
+    for name in TUNERS:
+        tuner = make_tuner(name, tuner_space(), seed=0)
+        workload = AlternatingWorkload(
+            TPCCWorkload(seed=0, growth_iters=iters),
+            JOBWorkload(seed=0), period=period)
+        results[name] = build_session(tuner, workload, space=tuner.space,
+                                      n_iterations=iters, seed=0).run()
+    return results, iters, period
+
+
+def tuner_space():
+    from repro.knobs import mysql57_space
+    return mysql57_space()
+
+
+@pytest.mark.benchmark(group="fig06")
+def test_fig06_cycle(benchmark):
+    results, iters, period = benchmark.pedantic(_run, rounds=1, iterations=1)
+    online = results["OnlineTune"]
+    # per-phase improvement series (the Figure 6(a) iterative view)
+    imp = online.improvement_series()
+    phases = [f"phase {i // period} ({'TPCC' if (i // period) % 2 == 0 else 'JOB'}):"
+              f" mean improv {100 * float(np.mean(imp[i:i + period])):+.1f}%"
+              for i in range(0, iters, period)]
+    text = (format_cumulative_table(list(results.values()),
+                                    title=f"fig6(a)/7(a) OLTP-OLAP cycle, "
+                                          f"{iters} iters, period {period}")
+            + "\nOnlineTune " + " | ".join(phases))
+    emit("fig06_cycle", text)
+    assert online.n_failures == 0

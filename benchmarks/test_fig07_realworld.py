@@ -1,0 +1,28 @@
+"""Figures 6(b)/7(b): tuning against the real-world diurnal trace."""
+
+import pytest
+
+from repro.harness import format_cumulative_table, run_tuners
+from repro.workloads import RealWorldTrace
+
+from _common import emit, quick_iters
+
+TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
+
+
+@pytest.mark.benchmark(group="fig07")
+def test_fig07_realworld(benchmark):
+    iters = quick_iters(120, 40)
+    results = benchmark.pedantic(
+        run_tuners,
+        args=(lambda seed: RealWorldTrace(seed=seed),),
+        kwargs={"tuner_names": TUNERS, "n_iterations": iters, "seed": 0},
+        rounds=1, iterations=1)
+    text = format_cumulative_table(
+        list(results.values()),
+        title=f"fig6(b)/7(b) real-world diurnal trace, {iters} iters")
+    emit("fig07_realworld", text)
+    online = results["OnlineTune"]
+    assert online.n_failures == 0
+    # OnlineTune's cumulative improvement beats the heavy offline explorers
+    assert online.cumulative_improvement() > results["DDPG"].cumulative_improvement()

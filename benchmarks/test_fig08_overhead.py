@@ -1,0 +1,47 @@
+"""Figure 8 + Table A1: per-iteration computation time of each tuner and
+OnlineTune's per-module time breakdown on the JOB workload."""
+
+import numpy as np
+import pytest
+
+from repro.harness import build_session, make_tuner
+from repro.workloads import JOBWorkload
+
+from _common import emit, quick_iters
+
+TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
+
+
+def _run():
+    iters = quick_iters(150, 30)
+    lines = [f"fig8 computation time on JOB, {iters} iters"]
+    breakdown_text = ""
+    for name in TUNERS:
+        tuner = make_tuner(name, tuner_space(), seed=0)
+        result = build_session(tuner, JOBWorkload(seed=0), space=tuner.space,
+                               n_iterations=iters, seed=0).run()
+        times = [r.suggest_seconds for r in result.records]
+        lines.append(f"{name:<12} mean {np.mean(times) * 1000:8.1f} ms  "
+                     f"p95 {np.percentile(times, 95) * 1000:8.1f} ms  "
+                     f"last {times[-1] * 1000:8.1f} ms")
+        if name == "OnlineTune":
+            keys = ("featurization", "model_selection", "subspace",
+                    "safety", "selection")
+            rows = ["tableA1 OnlineTune per-module mean seconds:"]
+            for key in keys:
+                vals = [t.overhead.get(key, 0.0) for t in tuner.traces]
+                rows.append(f"  {key:<16} {np.mean(vals):.4f}s")
+            breakdown_text = "\n".join(rows)
+    return "\n".join(lines) + "\n" + breakdown_text
+
+
+@pytest.mark.benchmark(group="fig08")
+def test_fig08_overhead(benchmark):
+    text = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig08_overhead_tableA1", text)
+    assert "tableA1" in text
+
+
+def tuner_space():
+    from repro.knobs import mysql57_space
+    return mysql57_space()

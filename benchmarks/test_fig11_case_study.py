@@ -1,0 +1,99 @@
+"""Figures 9-12: the YCSB 5-knob case study.
+
+* Figure 9 — the read-ratio trace of the constructed workload,
+* Figure 10 — throughput as a function of the two headline knobs for three
+  read/write mixes (grid over the simulator),
+* Figure 11 — cumulative + iterative tuning results incl. the grid-estimated
+  Best,
+* Figure 12 — the values the tuners assign to the top-2 important knobs.
+"""
+
+import numpy as np
+import pytest
+
+from repro.dbms import SimulatedMySQL
+from repro.harness import build_session, make_tuner, format_cumulative_table
+from repro.knobs import case_study_space, dba_default_config, mysql57_space
+from repro.workloads import YCSBWorkload, ycsb_read_ratio_trace
+
+from _common import emit, quick_iters
+
+TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune"]
+
+
+def _grid_best(space, db, iteration, resolution=4):
+    """Grid-search the 5-knob space for the best noiseless config."""
+    grids = [np.linspace(0, 1, resolution)] * space.dim
+    best, best_vec = -np.inf, None
+    mesh = np.meshgrid(*grids)
+    points = np.column_stack([m.ravel() for m in mesh])
+    for vec in points:
+        perf = db.evaluate_noiseless(space.from_unit(vec), iteration).throughput
+        if perf > best:
+            best, best_vec = perf, vec
+    return best, best_vec
+
+
+def _run():
+    space = case_study_space()
+    iters = quick_iters(400, 40)
+    lines = []
+
+    # Figure 9: the read-ratio trace
+    trace = [round(ycsb_read_ratio_trace(i, seed=0), 2)
+             for i in range(0, iters, max(iters // 10, 1))]
+    lines.append(f"fig9 read-ratio trace (sampled): {trace}")
+
+    # Figure 10: throughput vs (buffer pool, heap size) for three mixes
+    full = mysql57_space()
+    for ratio, label in ((0.25, "25/75"), (0.75, "75/25"), (1.0, "read-only")):
+        w = YCSBWorkload(seed=0, read_ratio_fn=lambda i, r=ratio: r)
+        db = SimulatedMySQL(space, w, seed=0)
+        tps = {}
+        for bp_u in (0.3, 0.9):
+            for heap_u in (0.1, 0.9):
+                vec = space.to_unit(dict(space.default_config()))
+                vec[0], vec[1] = bp_u, heap_u
+                tps[(bp_u, heap_u)] = db.evaluate_noiseless(
+                    space.from_unit(vec), 0).throughput
+        lines.append(f"fig10 {label}: " + " ".join(
+            f"bp={k[0]:.1f},heap={k[1]:.1f}->{v:.0f}" for k, v in tps.items()))
+
+    # Figure 11: tuning runs + the grid Best
+    results = {}
+    for name in TUNERS:
+        tuner = make_tuner(name, space, seed=0)
+        results[name] = build_session(tuner, YCSBWorkload(seed=0), space=space,
+                                      n_iterations=iters, seed=0).run()
+    ref_db = SimulatedMySQL(space, YCSBWorkload(seed=0),
+                            reference_config={k.name: dba_default_config(full).get(k.name, k.default)
+                                              for k in space}, seed=0)
+    best_perf, best_vec = _grid_best(space, ref_db, 0)
+    tau0 = ref_db.default_performance(0)
+    lines.append(f"fig11 Best (grid, iter 0): {best_perf:.0f} txn/s "
+                 f"({100 * (best_perf / tau0 - 1):+.1f}% vs default)")
+    lines.append(format_cumulative_table(list(results.values()),
+                                         title=f"fig11 YCSB case study, {iters} iters"))
+
+    # Figure 12: top-2 knob values applied by OnlineTune vs BO
+    spin_idx = space.names.index("innodb_spin_wait_delay")
+    heap_idx = space.names.index("max_heap_table_size")
+    online = make_tuner("OnlineTune", space, seed=1)
+    session = build_session(online, YCSBWorkload(seed=1), space=space,
+                            n_iterations=min(iters, 40), seed=1)
+    session.record_configs = True
+    res = session.run()
+    spins = [r.config.get("innodb_spin_wait_delay") for r in res.records[1:]]
+    lines.append(f"fig12 OnlineTune innodb_spin_wait_delay range: "
+                 f"[{min(spins)}, {max(spins)}] (unsafe region is >~800)")
+    heaps = [r.config.get("max_heap_table_size") for r in res.records[1:]]
+    lines.append(f"fig12 OnlineTune max_heap_table_size range (MiB): "
+                 f"[{min(heaps) / 2**20:.0f}, {max(heaps) / 2**20:.0f}]")
+    return "\n".join(lines), results
+
+
+@pytest.mark.benchmark(group="fig11")
+def test_fig11_case_study(benchmark):
+    text, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig09_12_case_study", text)
+    assert results["OnlineTune"].n_failures == 0

@@ -1,0 +1,48 @@
+"""Figure 13: visualization of OnlineTune's modules — model selection over
+iterations, subspace-centre distance from the default, and the safety-set
+size alongside improvement."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineTune
+from repro.harness import build_session
+from repro.knobs import mysql57_space
+from repro.workloads import AlternatingWorkload, JOBWorkload, TPCCWorkload
+
+from _common import emit, quick_iters
+
+
+def _run():
+    space = mysql57_space()
+    iters = quick_iters(400, 60)
+    tuner = OnlineTune(space, seed=0)
+    workload = AlternatingWorkload(TPCCWorkload(seed=0, growth_iters=iters),
+                                   JOBWorkload(seed=0),
+                                   period=max(iters // 4, 6))
+    result = build_session(tuner, workload, space=space,
+                           n_iterations=iters, seed=0).run()
+    step = max(iters // 12, 1)
+    lines = [f"fig13 OnlineTune internals over {iters} iters (every {step})"]
+    lines.append("iter  model  kind       center_dist  cand_dist  |S|  improv")
+    improvements = result.improvement_series()
+    for trace in tuner.traces[::step]:
+        improv = improvements[trace.iteration]
+        lines.append(f"{trace.iteration:4d}  P?M{trace.model_label:<3d} "
+                     f"{trace.subspace_kind:<9s}  {trace.center_distance:11.3f}"
+                     f"  {trace.candidate_distance:9.3f}  {trace.safety_set_size:3d}"
+                     f"  {100 * improv:+6.1f}%")
+    lines.append(f"reclusterings triggered: {tuner.models.recluster_count}")
+    lines.append(f"distinct models used: "
+                 f"{len(set(t.model_label for t in tuner.traces))}")
+    return "\n".join(lines), tuner, result
+
+
+@pytest.mark.benchmark(group="fig13")
+def test_fig13_visualization(benchmark):
+    text, tuner, result = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig13_visualization", text)
+    # the subspace centre must move away from the default as tuning proceeds
+    dists = [t.center_distance for t in tuner.traces]
+    assert max(dists) > 0.0
+    assert len(tuner.traces) == len(result.records) - 1

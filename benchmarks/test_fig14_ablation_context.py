@@ -1,0 +1,54 @@
+"""Figure 14: ablation of the context-space design — remove the workload
+feature, the data feature, or the clustering/model-selection strategy."""
+
+import pytest
+
+from repro.core import OnlineTune, OnlineTuneConfig
+from repro.harness import build_session, format_cumulative_table
+from repro.knobs import mysql57_space
+from repro.workloads import JOBWorkload, TPCCWorkload
+
+from _common import emit, quick_iters
+
+VARIANTS = {
+    "OnlineTune": OnlineTuneConfig(),
+    "-w/o-workload": OnlineTuneConfig(use_workload_context=False),
+    "-w/o-data": OnlineTuneConfig(use_data_context=False),
+    "-w/o-cluster": OnlineTuneConfig(use_clustering=False),
+}
+
+
+def _run(workload_factory, iters):
+    results = {}
+    space = mysql57_space()
+    for label, cfg in VARIANTS.items():
+        tuner = OnlineTune(space, config=cfg, seed=0)
+        tuner.name = label
+        results[label] = build_session(tuner, workload_factory(0), space=space,
+                                       n_iterations=iters, seed=0).run()
+    return results
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14a_tpcc(benchmark):
+    iters = quick_iters(400, 35)
+    results = benchmark.pedantic(
+        _run, args=(lambda seed: TPCCWorkload(seed=seed, growth_iters=iters),
+                    iters),
+        rounds=1, iterations=1)
+    emit("fig14a_ablation_context_tpcc",
+         format_cumulative_table(list(results.values()),
+                                 title=f"fig14(a) context ablation, TPC-C, {iters} iters"))
+    assert all(r.n_failures == 0 for r in results.values())
+
+
+@pytest.mark.benchmark(group="fig14")
+def test_fig14b_job(benchmark):
+    iters = quick_iters(400, 25)
+    results = benchmark.pedantic(
+        _run, args=(lambda seed: JOBWorkload(seed=seed), iters),
+        rounds=1, iterations=1)
+    emit("fig14b_ablation_context_job",
+         format_cumulative_table(list(results.values()),
+                                 title=f"fig14(b) context ablation, JOB, {iters} iters"))
+    assert set(results) == set(VARIANTS)

@@ -1,0 +1,55 @@
+"""Figure 15: ablation of the safe-exploration design — remove the white
+box, the black box, the subspace restriction, or all safety machinery."""
+
+import pytest
+
+from repro.core import OnlineTune, OnlineTuneConfig
+from repro.harness import build_session, format_cumulative_table
+from repro.knobs import mysql57_space
+from repro.workloads import JOBWorkload, TwitterWorkload
+
+from _common import emit, quick_iters
+
+VARIANTS = {
+    "OnlineTune": OnlineTuneConfig(),
+    "-w/o-white": OnlineTuneConfig(use_whitebox=False),
+    "-w/o-black": OnlineTuneConfig(use_blackbox=False),
+    "-w/o-subspace": OnlineTuneConfig(use_subspace=False),
+    "-w/o-safe": OnlineTuneConfig(use_safety=False),
+}
+
+
+def _run(workload_factory, iters):
+    results = {}
+    space = mysql57_space()
+    for label, cfg in VARIANTS.items():
+        tuner = OnlineTune(space, config=cfg, seed=0)
+        tuner.name = label
+        results[label] = build_session(tuner, workload_factory(0), space=space,
+                                       n_iterations=iters, seed=0).run()
+    return results
+
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15a_twitter(benchmark):
+    iters = quick_iters(400, 35)
+    results = benchmark.pedantic(
+        _run, args=(lambda seed: TwitterWorkload(seed=seed), iters),
+        rounds=1, iterations=1)
+    emit("fig15a_ablation_safety_twitter",
+         format_cumulative_table(list(results.values()),
+                                 title=f"fig15(a) safety ablation, Twitter, {iters} iters"))
+    full = results["OnlineTune"]
+    no_safe = results["-w/o-safe"]
+    assert full.n_unsafe <= no_safe.n_unsafe
+
+@pytest.mark.benchmark(group="fig15")
+def test_fig15b_job(benchmark):
+    iters = quick_iters(400, 25)
+    results = benchmark.pedantic(
+        _run, args=(lambda seed: JOBWorkload(seed=seed), iters),
+        rounds=1, iterations=1)
+    emit("fig15b_ablation_safety_job",
+         format_cumulative_table(list(results.values()),
+                                 title=f"fig15(b) safety ablation, JOB, {iters} iters"))
+    assert set(results) == set(VARIANTS)

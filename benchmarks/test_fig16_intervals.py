@@ -1,0 +1,43 @@
+"""Figure 16: sensitivity to the tuning-interval size (5 s ... 12 min) on
+Twitter.  Shorter intervals adapt faster but suffer measurement noise."""
+
+import pytest
+
+from repro.core import OnlineTune
+from repro.harness import build_session
+from repro.knobs import mysql57_space
+from repro.workloads import TwitterWorkload
+
+from _common import emit, quick_iters
+
+INTERVALS = {"I-5S": 5.0, "I-1M": 60.0, "I-3M": 180.0, "I-6M": 360.0,
+             "I-12M": 720.0}
+
+
+def _run(total_minutes):
+    space = mysql57_space()
+    lines = [f"fig16 Twitter, fixed wall-clock budget {total_minutes} min"]
+    stats = {}
+    for label, seconds in INTERVALS.items():
+        iters = max(int(total_minutes * 60 / seconds), 8)
+        tuner = OnlineTune(space, seed=0)
+        result = build_session(tuner, TwitterWorkload(seed=0), space=space,
+                               n_iterations=iters, seed=0,
+                               interval_seconds=seconds).run()
+        cum = result.cumulative_improvement() * seconds  # txns gained
+        lines.append(f"{label:<6} iters={iters:4d} cum_improv_txns={cum:.3e} "
+                     f"#Unsafe={result.n_unsafe} #Failure={result.n_failures}")
+        stats[label] = (cum, result.n_unsafe, iters)
+    return "\n".join(lines), stats
+
+
+@pytest.mark.benchmark(group="fig16")
+def test_fig16_interval_sizes(benchmark):
+    minutes = 400 * 3 if __import__("os").environ.get("REPRO_FULL") == "1" else 36
+    text, stats = benchmark.pedantic(_run, args=(minutes,), rounds=1,
+                                     iterations=1)
+    emit("fig16_interval_sizes", text)
+    # the 5-second interval is noisier: more unsafe recs per iteration
+    rate_5s = stats["I-5S"][1] / stats["I-5S"][2]
+    rate_3m = stats["I-3M"][1] / stats["I-3M"][2]
+    assert rate_5s >= rate_3m - 0.05

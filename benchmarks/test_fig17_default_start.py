@@ -1,0 +1,46 @@
+"""Figure 17: starting from the inferior MySQL vendor default instead of
+the DBA default (128 MB vs 12 GB buffer pool)."""
+
+import numpy as np
+import pytest
+
+from repro.core import OnlineTune
+from repro.harness import build_session
+from repro.knobs import mysql57_space
+from repro.workloads import YCSBWorkload
+
+from _common import emit, quick_iters
+
+
+def _run():
+    space = mysql57_space()
+    iters = quick_iters(400, 60)
+    results = {}
+    for label, reference in (("MySQL-default-start", "mysql"),
+                             ("DBA-default-start", "dba")):
+        tuner = OnlineTune(space, seed=0)
+        results[label] = build_session(tuner, YCSBWorkload(seed=0),
+                                       space=space, reference=reference,
+                                       n_iterations=iters, seed=0).run()
+    lines = [f"fig17 YCSB, {iters} iters (improvement is vs each run's own "
+             f"starting default)"]
+    quarter = max(iters // 4, 1)
+    for label, result in results.items():
+        imp = result.improvement_series()
+        lines.append(f"{label:<22} tau0={result.records[0].default_performance:9.0f}"
+                     f" first-quarter improv {100 * imp[:quarter].mean():+6.1f}%"
+                     f" last-quarter improv {100 * imp[-quarter:].mean():+6.1f}%"
+                     f" #Unsafe={result.n_unsafe} #Failure={result.n_failures}")
+    return "\n".join(lines), results
+
+
+@pytest.mark.benchmark(group="fig17")
+def test_fig17_mysql_default_start(benchmark):
+    text, results = benchmark.pedantic(_run, rounds=1, iterations=1)
+    emit("fig17_default_start", text)
+    vendor = results["MySQL-default-start"]
+    imp = vendor.improvement_series()
+    quarter = max(len(imp) // 4, 1)
+    # starting from the bad default, OnlineTune finds safe improvements
+    assert imp[-quarter:].mean() > imp[:quarter].mean()
+    assert vendor.n_failures == 0

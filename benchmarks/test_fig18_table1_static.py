@@ -1,0 +1,79 @@
+"""Figure 18 + Table 1: search efficiency on static workloads — Max
+Improvement and Search Step (first iteration within 10% of the estimated
+optimum) for every tuner on TPC-C, Twitter, and JOB."""
+
+import numpy as np
+import pytest
+
+from repro.dbms import SimulatedMySQL
+from repro.harness import (
+    build_session,
+    format_static_table,
+    make_tuner,
+    static_stats,
+)
+from repro.knobs import MIB, dba_default_config, mysql57_space
+from repro.workloads import JOBWorkload, TPCCWorkload, TwitterWorkload
+
+from _common import emit, quick_iters
+
+TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
+
+
+def _estimated_optimum(space, workload):
+    """Improvement of a hand-optimized config (the paper grid-searches)."""
+    db = SimulatedMySQL(space, workload,
+                        reference_config=dba_default_config(space), seed=0)
+    opt = dict(dba_default_config(space))
+    opt.update({
+        "innodb_flush_log_at_trx_commit": 0,
+        "innodb_io_capacity": 8000,
+        "innodb_max_dirty_pages_pct": 90,
+        "innodb_spin_wait_delay": 24,
+        "innodb_thread_concurrency": 16,
+        "sort_buffer_size": 4 * MIB,
+        "join_buffer_size": 8 * MIB,
+        "read_rnd_buffer_size": 8 * MIB,
+        "max_heap_table_size": 256 * MIB,
+        "tmp_table_size": 256 * MIB,
+        "innodb_old_blocks_pct": 60,
+        "innodb_read_ahead_threshold": 0,
+        "innodb_lru_scan_depth": 8192,
+        "innodb_old_blocks_time": 2000,
+        "innodb_change_buffer_max_size": 50,
+    })
+    prof = workload.profile(0)
+    best = db.evaluate_noiseless(opt, 0).objective(prof.is_olap)
+    tau = db.default_performance(0)
+    return (best - tau) / abs(tau)
+
+
+def _run(workload_factory, iters):
+    space = mysql57_space()
+    optimum = _estimated_optimum(space, workload_factory(0))
+    rows = []
+    for name in TUNERS:
+        tuner = make_tuner(name, space, seed=0)
+        result = build_session(tuner, workload_factory(0), space=space,
+                               n_iterations=iters, seed=0).run()
+        rows.append(static_stats(result, optimum))
+    return rows, optimum
+
+
+@pytest.mark.benchmark(group="table1")
+@pytest.mark.parametrize("label,factory,full_iters", [
+    ("tpcc", lambda seed: TPCCWorkload(seed=seed, dynamic=False,
+                                       grow_data=False), 200),
+    ("twitter", lambda seed: TwitterWorkload(seed=seed, dynamic=False), 200),
+    ("job", lambda seed: JOBWorkload(seed=seed, dynamic=False), 200),
+])
+def test_table1_static(benchmark, label, factory, full_iters):
+    iters = quick_iters(full_iters, 35)
+    rows, optimum = benchmark.pedantic(_run, args=(factory, iters),
+                                       rounds=1, iterations=1)
+    text = (f"estimated optimum improvement: {100 * optimum:+.1f}%\n"
+            + format_static_table(rows, workload=label))
+    emit(f"fig18_table1_{label}", text)
+    by_name = {r.tuner: r for r in rows}
+    # the white-box-only tuner must not beat the estimated optimum
+    assert by_name["MysqlTuner"].max_improvement <= optimum + 0.15

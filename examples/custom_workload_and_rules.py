@@ -1,0 +1,99 @@
+"""Extending the library: a custom workload and a custom white-box rule.
+
+Shows the two main extension points a downstream user needs:
+
+1. defining a new workload from :class:`~repro.workloads.QueryClass`
+   templates (here: a session-store service with bursty writes), and
+2. adding an application-specific white-box rule to OnlineTune's rule book
+   (here: the team's policy that the buffer pool stays under 10 GB because
+   the box is shared with a cache).
+
+Usage::
+
+    python examples/custom_workload_and_rules.py
+"""
+
+import numpy as np
+
+from repro import (
+    OnlineTune,
+    SimulatedMySQL,
+    TuningSession,
+    dba_default_config,
+    mysql57_space,
+)
+from repro.knobs import GIB
+from repro.rules import RangeRule, mysql_rulebook
+from repro.workloads import QueryClass, Workload
+
+
+class SessionStoreWorkload(Workload):
+    """A session-store service: point lookups plus bursty session writes."""
+
+    name = "session-store"
+    base_rate = 9000.0
+    initial_data_gb = 6.0
+    working_set_fraction = 0.4
+    skew = 0.8
+
+    classes = (
+        QueryClass(
+            name="GetSession",
+            sql_templates=("SELECT payload FROM sessions WHERE sid = {id}",),
+            read_fraction=1.0, point_read=1.0, rows_examined=1.0,
+        ),
+        QueryClass(
+            name="PutSession",
+            sql_templates=(
+                "UPDATE sessions SET payload = {str} WHERE sid = {id}",
+                "INSERT INTO sessions (sid, payload) VALUES ({id}, {str})",
+            ),
+            read_fraction=0.0, point_read=0.8, lock=0.35, log_write=0.9,
+            rows_examined=1.0,
+        ),
+        QueryClass(
+            name="ExpireScan",
+            sql_templates=(
+                "DELETE FROM sessions WHERE expires < {n} LIMIT {n}",
+            ),
+            read_fraction=0.2, range_scan=0.9, temp_table=0.3, lock=0.2,
+            log_write=0.6, rows_examined=800.0, filter_ratio=0.9,
+            uses_index=False,
+        ),
+    )
+
+    def mix_weights(self, iteration: int) -> np.ndarray:
+        # login bursts every ~30 intervals triple the write share
+        burst = 1.0 + 2.0 * (iteration % 30 < 5)
+        weights = np.array([0.7, 0.25 * burst, 0.05])
+        return weights / weights.sum()
+
+
+def main(n_iterations: int = 30) -> None:
+    space = mysql57_space()
+
+    rulebook = mysql_rulebook()
+    rulebook.rules.append(RangeRule(
+        "shared_box_buffer_pool_cap", "innodb_buffer_pool_size",
+        lambda cfg, ctx: (0.0, 10 * GIB), credibility=4, relax_factor=1.1))
+
+    # the reference config must itself satisfy the team's policy
+    reference = dict(dba_default_config(space))
+    reference["innodb_buffer_pool_size"] = 9 * GIB
+    db = SimulatedMySQL(space, SessionStoreWorkload(seed=0),
+                        reference_config=reference, seed=0)
+    tuner = OnlineTune(space, rulebook=rulebook, seed=0)
+    result = TuningSession(tuner, db, n_iterations=n_iterations,
+                           record_configs=True).run()
+
+    print(f"session-store workload, {n_iterations} intervals")
+    print(f"  unsafe={result.n_unsafe} failures={result.n_failures} "
+          f"best improv {100 * result.improvement_series().max():+.1f}%")
+    pools = [r.config.get("innodb_buffer_pool_size", 0)
+             for r in result.records if r.config]
+    print(f"  buffer pool stayed within the custom cap: "
+          f"max applied = {max(pools) / GIB:.1f} GiB (cap 10 GiB)")
+
+
+if __name__ == "__main__":
+    main()

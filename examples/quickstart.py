@@ -1,0 +1,54 @@
+"""Quickstart: safely tune a dynamic TPC-C workload online.
+
+Runs OnlineTune against the simulated MySQL instance for 40 three-minute
+intervals and prints the safety statistics and improvement trajectory.
+
+Usage::
+
+    python examples/quickstart.py [n_iterations]
+"""
+
+import sys
+
+import numpy as np
+
+from repro import (
+    OnlineTune,
+    SimulatedMySQL,
+    TPCCWorkload,
+    TuningSession,
+    dba_default_config,
+    mysql57_space,
+)
+
+
+def main(n_iterations: int = 40) -> None:
+    space = mysql57_space()
+
+    # The instance: 8 vCPU / 16 GB cloud MySQL running a drifting TPC-C.
+    # The DBA default is both the initial safety set and the threshold tau.
+    workload = TPCCWorkload(seed=0, dynamic=True, growth_iters=n_iterations)
+    db = SimulatedMySQL(space, workload,
+                        reference_config=dba_default_config(space), seed=0)
+
+    tuner = OnlineTune(space, seed=0)
+    result = TuningSession(tuner, db, n_iterations=n_iterations).run()
+
+    improvements = result.improvement_series()
+    print(f"tuned {n_iterations} intervals of dynamic TPC-C")
+    print(f"  unsafe recommendations : {result.n_unsafe}")
+    print(f"  system failures        : {result.n_failures}")
+    print(f"  best improvement       : {100 * improvements.max():+.1f}% vs DBA default")
+    print(f"  mean improvement (last quarter): "
+          f"{100 * improvements[-max(n_iterations // 4, 1):].mean():+.1f}%")
+    print(f"  cumulative transactions: {result.cumulative_transactions():.3e}")
+
+    print("\nimprovement trajectory (chunks of 10 iterations):")
+    for start in range(0, n_iterations, 10):
+        chunk = improvements[start:start + 10]
+        bar = "#" * max(int(50 * (chunk.mean() + 0.1)), 0)
+        print(f"  iters {start:3d}-{start + 9:3d}: {100 * chunk.mean():+6.1f}%  {bar}")
+
+
+if __name__ == "__main__":
+    main(int(sys.argv[1]) if len(sys.argv) > 1 else 40)

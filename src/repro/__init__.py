@@ -1,0 +1,92 @@
+"""OnlineTune reproduction: dynamic and safe configuration tuning for
+cloud databases (Zhang et al., SIGMOD 2022).
+
+Public API quick tour
+---------------------
+
+>>> from repro import (OnlineTune, mysql57_space, dba_default_config,
+...                    TPCCWorkload, SimulatedMySQL, TuningSession)
+>>> space = mysql57_space()
+>>> tuner = OnlineTune(space, seed=0)
+>>> db = SimulatedMySQL(space, TPCCWorkload(seed=0),
+...                     reference_config=dba_default_config(space))
+>>> result = TuningSession(tuner, db, n_iterations=10).run()
+>>> result.n_failures
+0
+
+Packages
+--------
+
+``repro.core``      OnlineTune (contextual modeling + safe recommendation)
+``repro.gp``        Gaussian-process substrate
+``repro.ml``        DBSCAN / SVM / LSTM / forest / fANOVA substrate
+``repro.knobs``     MySQL 5.7 knob space
+``repro.dbms``      simulated MySQL instance
+``repro.workloads`` TPC-C / Twitter / YCSB / JOB / dynamic traces
+``repro.rules``     white-box rules with relaxation
+``repro.baselines`` BO / DDPG / QTune / ResTune / MysqlTuner
+``repro.harness``   experiment runner + metrics + registry
+"""
+
+from .baselines import (
+    BOTuner,
+    DDPGTuner,
+    DefaultTuner,
+    MysqlTunerBaseline,
+    QTuneTuner,
+    ResTuneTuner,
+)
+from .core import ContextFeaturizer, OnlineTune, OnlineTuneConfig
+from .dbms import IntervalResult, PerformanceModel, SimulatedMySQL
+from .harness import SessionResult, TuningSession, run_tuners
+from .knobs import (
+    KnobSpace,
+    case_study_space,
+    dba_default_config,
+    mysql57_space,
+    mysql_default_config,
+)
+from .rules import RuleBook, RuleContext, mysql_rulebook
+from .workloads import (
+    AlternatingWorkload,
+    JOBWorkload,
+    RealWorldTrace,
+    TPCCWorkload,
+    TwitterWorkload,
+    YCSBWorkload,
+)
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "OnlineTune",
+    "OnlineTuneConfig",
+    "ContextFeaturizer",
+    "BOTuner",
+    "DDPGTuner",
+    "QTuneTuner",
+    "ResTuneTuner",
+    "MysqlTunerBaseline",
+    "DefaultTuner",
+    "SimulatedMySQL",
+    "PerformanceModel",
+    "IntervalResult",
+    "KnobSpace",
+    "mysql57_space",
+    "case_study_space",
+    "dba_default_config",
+    "mysql_default_config",
+    "TPCCWorkload",
+    "TwitterWorkload",
+    "YCSBWorkload",
+    "JOBWorkload",
+    "AlternatingWorkload",
+    "RealWorldTrace",
+    "RuleBook",
+    "RuleContext",
+    "mysql_rulebook",
+    "TuningSession",
+    "SessionResult",
+    "run_tuners",
+    "__version__",
+]

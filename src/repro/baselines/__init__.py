@@ -1,0 +1,24 @@
+"""Baseline tuners compared against OnlineTune in the paper."""
+
+from .base import BaseTuner, DefaultTuner, Feedback, SuggestInput
+from .bo import BOTuner
+from .ddpg import DDPGTuner, METRIC_KEYS, metrics_vector
+from .mysqltuner import MysqlTunerBaseline
+from .qtune import QTuneTuner, workload_feature
+from .restune import ResTuneTuner, rgpe_weights
+
+__all__ = [
+    "BaseTuner",
+    "DefaultTuner",
+    "SuggestInput",
+    "Feedback",
+    "BOTuner",
+    "DDPGTuner",
+    "METRIC_KEYS",
+    "metrics_vector",
+    "QTuneTuner",
+    "workload_feature",
+    "ResTuneTuner",
+    "rgpe_weights",
+    "MysqlTunerBaseline",
+]

@@ -1,0 +1,93 @@
+"""Common tuner interface shared by OnlineTune and all baselines.
+
+The harness drives every tuner through the same loop:
+
+1. :meth:`BaseTuner.suggest` receives a :class:`SuggestInput` (what a real
+   controller can observe *before* choosing a configuration: the workload
+   snapshot, last interval's internal metrics, and the default/safety
+   performance for the current context) and returns a configuration.
+2. The configuration runs for one interval.
+3. :meth:`BaseTuner.observe` receives the :class:`Feedback`.
+
+All performance values are *maximization* objectives (OLAP execution time
+is negated by the harness).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..knobs.knob import Configuration, KnobSpace
+from ..workloads.base import WorkloadSnapshot
+
+__all__ = ["SuggestInput", "Feedback", "BaseTuner", "DefaultTuner"]
+
+
+@dataclass
+class SuggestInput:
+    """Everything observable at the start of a tuning interval."""
+
+    iteration: int
+    snapshot: WorkloadSnapshot
+    metrics: Dict[str, float]           # internal metrics from last interval
+    default_performance: float          # safety threshold tau_t
+    is_olap: bool = False
+
+
+@dataclass
+class Feedback:
+    """Everything observable at the end of a tuning interval."""
+
+    iteration: int
+    config: Configuration
+    performance: float                  # measured objective (maximize)
+    metrics: Dict[str, float]
+    failed: bool
+    default_performance: float
+
+    @property
+    def improvement(self) -> float:
+        """Relative improvement over the default: (f - tau) / |tau|."""
+        tau = self.default_performance
+        return (self.performance - tau) / max(abs(tau), 1e-9)
+
+
+class BaseTuner:
+    """Abstract tuner."""
+
+    name = "base"
+
+    def __init__(self, space: KnobSpace, seed: int = 0) -> None:
+        self.space = space
+        self.seed = int(seed)
+        self.rng = np.random.default_rng(seed)
+
+    def start(self, initial_config: Configuration,
+              initial_performance: float) -> None:
+        """Called once with the initial (default) observation."""
+
+    def suggest(self, inp: SuggestInput) -> Configuration:
+        raise NotImplementedError
+
+    def observe(self, feedback: Feedback) -> None:
+        raise NotImplementedError
+
+
+class DefaultTuner(BaseTuner):
+    """Applies a fixed configuration forever (the Default baselines)."""
+
+    name = "default"
+
+    def __init__(self, space: KnobSpace, config: Optional[Configuration] = None,
+                 seed: int = 0) -> None:
+        super().__init__(space, seed)
+        self.config = dict(config or space.default_config())
+
+    def suggest(self, inp: SuggestInput) -> Configuration:
+        return dict(self.config)
+
+    def observe(self, feedback: Feedback) -> None:
+        pass

@@ -1,0 +1,163 @@
+"""CDBTune-style DDPG baseline (Zhang et al., SIGMOD 2019).
+
+Deep deterministic policy gradient over (internal metrics -> knob vector):
+actor and critic MLPs with target networks, replay buffer, and Gaussian
+exploration noise.  The reward follows CDBTune's spirit — improvement over
+both the initial (default) performance and the previous interval.
+
+Networks are the from-scratch numpy MLPs in :mod:`repro.ml.mlp`.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Deque, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..knobs.knob import Configuration, KnobSpace
+from ..ml.mlp import MLP
+from .base import BaseTuner, Feedback, SuggestInput
+
+__all__ = ["DDPGTuner", "METRIC_KEYS"]
+
+#: canonical ordering of the internal-metric state vector
+METRIC_KEYS = (
+    "buffer_pool_hit_rate", "dirty_pages_pct", "log_waits", "pending_writes",
+    "qps_select", "qps_insert", "qps_update", "qps_delete",
+    "rows_read_rate", "rows_written_rate", "lock_waits", "tmp_disk_tables",
+    "threads_running", "spin_rounds_per_wait", "cpu_util", "io_util",
+    "connections_active", "data_size_gb", "mem_pressure", "failed",
+)
+
+
+def metrics_vector(metrics: Dict[str, float]) -> np.ndarray:
+    """Project a metrics dict onto the canonical state vector (log-scaled)."""
+    vec = np.array([float(metrics.get(k, 0.0)) for k in METRIC_KEYS])
+    return np.sign(vec) * np.log1p(np.abs(vec))
+
+
+class ReplayBuffer:
+    """Fixed-size FIFO experience store."""
+
+    def __init__(self, capacity: int = 10000, seed: int = 0) -> None:
+        self.buffer: Deque[Tuple] = deque(maxlen=capacity)
+        self.rng = np.random.default_rng(seed)
+
+    def __len__(self) -> int:
+        return len(self.buffer)
+
+    def add(self, state, action, reward, next_state) -> None:
+        self.buffer.append((state, action, reward, next_state))
+
+    def sample(self, batch_size: int):
+        idx = self.rng.integers(0, len(self.buffer), size=batch_size)
+        states, actions, rewards, next_states = zip(*(self.buffer[i] for i in idx))
+        return (np.array(states), np.array(actions),
+                np.array(rewards), np.array(next_states))
+
+
+class DDPGTuner(BaseTuner):
+    """DDPG agent: internal metrics in, unit-space configuration out."""
+
+    name = "DDPG"
+
+    def __init__(self, space: KnobSpace, hidden: int = 64, gamma: float = 0.9,
+                 actor_lr: float = 3e-4, critic_lr: float = 1e-3,
+                 tau: float = 0.01, batch_size: int = 32,
+                 noise_sigma: float = 0.15, noise_decay: float = 0.992,
+                 warmup: int = 5, seed: int = 0) -> None:
+        super().__init__(space, seed)
+        self.state_dim = len(METRIC_KEYS)
+        self.action_dim = space.dim
+        self.gamma = float(gamma)
+        self.tau = float(tau)
+        self.batch_size = int(batch_size)
+        self.noise_sigma = float(noise_sigma)
+        self.noise_decay = float(noise_decay)
+        self.warmup = int(warmup)
+
+        # linear actor head centred at 0.5 (clipped to [0,1] at execution):
+        # a sigmoid head saturates at knob extremes where its gradient
+        # vanishes, permanently trapping the policy in a crashing corner
+        self.actor = MLP([self.state_dim, hidden, hidden, self.action_dim],
+                         ["relu", "relu", "linear"], lr=actor_lr, seed=seed)
+        self.actor.layers[-1].W *= 0.01
+        self.actor_target = MLP([self.state_dim, hidden, hidden, self.action_dim],
+                                ["relu", "relu", "linear"], lr=actor_lr, seed=seed)
+        self.actor_target.copy_from(self.actor)
+        critic_in = self.state_dim + self.action_dim
+        self.critic = MLP([critic_in, hidden, hidden, 1],
+                          ["relu", "relu", "linear"], lr=critic_lr, seed=seed + 1)
+        self.critic_target = MLP([critic_in, hidden, hidden, 1],
+                                 ["relu", "relu", "linear"], lr=critic_lr, seed=seed + 1)
+        self.critic_target.copy_from(self.critic)
+
+        self.replay = ReplayBuffer(seed=seed)
+        self._state: Optional[np.ndarray] = None
+        self._action: Optional[np.ndarray] = None
+        self._initial_perf: Optional[float] = None
+        self._prev_perf: Optional[float] = None
+        self._steps = 0
+
+    # -- reward (CDBTune-inspired) --------------------------------------
+    def _reward(self, perf: float, tau0: float) -> float:
+        base = max(abs(self._initial_perf or tau0), 1e-9)
+        delta0 = (perf - (self._initial_perf or tau0)) / base
+        prev = self._prev_perf if self._prev_perf is not None else tau0
+        delta_t = (perf - prev) / max(abs(prev), 1e-9)
+        reward = delta0 + 0.5 * delta_t
+        return float(np.clip(reward, -5.0, 5.0))
+
+    # -- interaction ------------------------------------------------------
+    def suggest(self, inp: SuggestInput) -> Configuration:
+        state = metrics_vector(inp.metrics)
+        if self._initial_perf is None:
+            self._initial_perf = inp.default_performance
+        if self._steps < self.warmup or self.rng.random() < 0.05:
+            # occasional uniform actions keep the replay buffer diverse and
+            # let the critic learn the unsafe cliffs instead of saturating
+            action = self.rng.random(self.action_dim)
+        else:
+            action = 0.5 + self.actor(state[None, :])[0]
+            # the noise floor prevents a deterministic policy from looping
+            # on one (possibly crashing) configuration forever
+            sigma = max(0.03, self.noise_sigma * (self.noise_decay ** self._steps))
+            action = np.clip(action + self.rng.normal(0.0, sigma, self.action_dim),
+                             0.0, 1.0)
+        self._state = state
+        self._action = action
+        return self.space.from_unit(action)
+
+    def observe(self, feedback: Feedback) -> None:
+        next_state = metrics_vector(feedback.metrics)
+        if feedback.failed:
+            reward = -5.0  # a crash is the worst outcome the agent can cause
+        else:
+            reward = self._reward(feedback.performance, feedback.default_performance)
+        if self._state is not None and self._action is not None:
+            self.replay.add(self._state, self._action, reward, next_state)
+        self._prev_perf = feedback.performance
+        self._steps += 1
+        if len(self.replay) >= self.batch_size:
+            self._train_step()
+
+    # -- learning -------------------------------------------------------------
+    def _train_step(self) -> None:
+        states, actions, rewards, next_states = self.replay.sample(self.batch_size)
+        # critic update: y = r + gamma * Q'(s', mu'(s'))
+        next_actions = np.clip(0.5 + self.actor_target(next_states), 0.0, 1.0)
+        q_next = self.critic_target(np.hstack([next_states, next_actions]))[:, 0]
+        targets = rewards + self.gamma * q_next
+        self.critic.train_step_mse(np.hstack([states, actions]), targets[:, None])
+        # actor update: ascend dQ/da through the critic
+        policy_actions = 0.5 + self.actor(states)
+        grad_q = np.zeros((self.batch_size, 1))
+        grad_q[:, 0] = -1.0 / self.batch_size  # maximize Q => minimize -Q
+        grad_input = self.critic.input_gradient(
+            np.hstack([states, policy_actions]), grad_q)
+        grad_actions = grad_input[:, self.state_dim:]
+        self.actor.apply_output_gradient(states, grad_actions)
+        # polyak averaging
+        self.actor_target.copy_from(self.actor, tau=self.tau)
+        self.critic_target.copy_from(self.critic, tau=self.tau)

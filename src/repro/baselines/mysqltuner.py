@@ -1,0 +1,47 @@
+"""MysqlTuner baseline: pure white-box heuristic tuning.
+
+Examines the last interval's DBMS metrics and applies the static
+suggestion rules from :func:`repro.rules.suggest_config`.  No learning —
+the paper shows it is safe but plateaus in a local optimum.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+from ..knobs.knob import Configuration, KnobSpace
+from ..knobs.mysql_knobs import INSTANCE_MEMORY_BYTES, INSTANCE_VCPUS
+from ..rules.mysql_rules import suggest_config
+from ..rules.rule import RuleContext
+from .base import BaseTuner, Feedback, SuggestInput
+
+__all__ = ["MysqlTunerBaseline"]
+
+
+class MysqlTunerBaseline(BaseTuner):
+    """Iteratively applies MysqlTuner-style static heuristics."""
+
+    name = "MysqlTuner"
+
+    def __init__(self, space: KnobSpace,
+                 memory_bytes: int = INSTANCE_MEMORY_BYTES,
+                 vcpus: int = INSTANCE_VCPUS, seed: int = 0) -> None:
+        super().__init__(space, seed)
+        self.memory_bytes = memory_bytes
+        self.vcpus = vcpus
+        self._current: Optional[Configuration] = None
+
+    def start(self, initial_config: Configuration,
+              initial_performance: float) -> None:
+        self._current = dict(initial_config)
+
+    def suggest(self, inp: SuggestInput) -> Configuration:
+        if self._current is None:
+            self._current = self.space.default_config()
+        ctx = RuleContext(memory_bytes=self.memory_bytes, vcpus=self.vcpus,
+                          metrics=dict(inp.metrics), is_olap=inp.is_olap)
+        self._current = suggest_config(self.space, self._current, ctx)
+        return dict(self._current)
+
+    def observe(self, feedback: Feedback) -> None:
+        pass

@@ -1,0 +1,95 @@
+"""QTune-like query-aware tuner (Li et al., VLDB 2019), workload level.
+
+QTune featurizes queries and *predicts* internal metrics from workload
+features through a pre-trained model, feeding the prediction (rather than
+the measured metrics) into a DDPG agent.  We reproduce that structure: a
+lightweight workload featurizer (query-type histogram + arrival rate), an
+online-trained MLP predictor (workload feature -> internal metrics), and
+the same DDPG machinery as the CDBTune baseline with the predicted metrics
+as state.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..knobs.knob import Configuration, KnobSpace
+from ..ml.mlp import MLP
+from ..workloads.base import WorkloadSnapshot
+from .base import Feedback, SuggestInput
+from .ddpg import DDPGTuner, METRIC_KEYS, metrics_vector
+
+__all__ = ["QTuneTuner", "workload_feature", "WORKLOAD_FEATURE_DIM"]
+
+_KEYWORDS = ("select", "insert", "update", "delete")
+WORKLOAD_FEATURE_DIM = len(_KEYWORDS) + 3   # histogram + rate + rows + filter
+
+
+def workload_feature(snapshot: WorkloadSnapshot) -> np.ndarray:
+    """QTune's workload-level query feature (vectorized query info)."""
+    counts = np.zeros(len(_KEYWORDS))
+    for sql in snapshot.queries:
+        head = sql.lstrip()[:12].lower()
+        for i, kw in enumerate(_KEYWORDS):
+            if head.startswith(kw):
+                counts[i] += 1
+                break
+    total = counts.sum()
+    hist = counts / total if total > 0 else counts
+    rate = np.log1p(max(snapshot.arrival_rate, 0.0)) / 12.0
+    rows = (np.log1p(float(np.mean(snapshot.rows_examined))) / 20.0
+            if snapshot.rows_examined else 0.0)
+    filt = float(np.mean(snapshot.filter_ratios)) if snapshot.filter_ratios else 0.0
+    return np.concatenate([hist, [rate, rows, filt]])
+
+
+class QTuneTuner(DDPGTuner):
+    """DDPG with predicted (not measured) internal metrics as state."""
+
+    name = "QTune"
+
+    def __init__(self, space: KnobSpace, predictor_hidden: int = 32,
+                 predictor_lr: float = 3e-3, predictor_epochs: int = 2,
+                 seed: int = 0, **ddpg_kwargs) -> None:
+        super().__init__(space, seed=seed, **ddpg_kwargs)
+        self.predictor = MLP(
+            [WORKLOAD_FEATURE_DIM, predictor_hidden, len(METRIC_KEYS)],
+            ["relu", "linear"], lr=predictor_lr, seed=seed + 7)
+        self.predictor_epochs = int(predictor_epochs)
+        self._train_X: List[np.ndarray] = []
+        self._train_y: List[np.ndarray] = []
+        self._pending_feature: Optional[np.ndarray] = None
+
+    def suggest(self, inp: SuggestInput) -> Configuration:
+        feature = workload_feature(inp.snapshot)
+        self._pending_feature = feature
+        predicted = self.predictor(feature[None, :])[0]
+        state = predicted
+        if self._initial_perf is None:
+            self._initial_perf = inp.default_performance
+        if self._steps < self.warmup:
+            action = self.rng.random(self.action_dim)
+        else:
+            action = self.actor(state[None, :])[0]
+            sigma = self.noise_sigma * (self.noise_decay ** self._steps)
+            action = np.clip(action + self.rng.normal(0.0, sigma, self.action_dim),
+                             0.0, 1.0)
+        self._state = state
+        self._action = action
+        return self.space.from_unit(action)
+
+    def observe(self, feedback: Feedback) -> None:
+        # train the metric predictor on (workload feature -> measured metrics)
+        if self._pending_feature is not None:
+            target = metrics_vector(feedback.metrics)
+            self._train_X.append(self._pending_feature)
+            self._train_y.append(target)
+            recent = slice(max(0, len(self._train_X) - 64), None)
+            X = np.array(self._train_X[recent])
+            y = np.array(self._train_y[recent])
+            for _ in range(self.predictor_epochs):
+                self.predictor.train_step_mse(X, y)
+            self._pending_feature = None
+        super().observe(feedback)

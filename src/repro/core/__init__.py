@@ -1,0 +1,24 @@
+"""OnlineTune core: contextual modeling + safe configuration recommendation."""
+
+from .candidates import select_candidate
+from .clustering import ClusteredModels
+from .config import OnlineTuneConfig
+from .context import ContextFeaturizer
+from .repository import DataRepository, Observation
+from .safety import SafetyAssessment, SafetyAssessor
+from .subspace import Subspace
+from .tuner import IterationTrace, OnlineTune
+
+__all__ = [
+    "OnlineTune",
+    "OnlineTuneConfig",
+    "IterationTrace",
+    "ContextFeaturizer",
+    "DataRepository",
+    "Observation",
+    "ClusteredModels",
+    "Subspace",
+    "SafetyAssessor",
+    "SafetyAssessment",
+    "select_candidate",
+]

@@ -1,0 +1,40 @@
+"""Candidate selection within the safety set (Section 6.3).
+
+UCB (Equation 4) constrained to the safety set, unified with explicit
+safe-boundary exploration through an epsilon-greedy policy: with
+probability ``1 - epsilon`` pick the max-UCB safe candidate, otherwise the
+safe candidate with the largest predictive uncertainty (the most promising
+point for *expanding* the safety set).
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .safety import SafetyAssessment
+
+__all__ = ["select_candidate"]
+
+
+def select_candidate(assessment: SafetyAssessment, epsilon: float,
+                     rng: np.random.Generator,
+                     selection_beta: float = 0.8,
+                     safety_beta: float = 2.0) -> Optional[int]:
+    """Pick a candidate index from the safety set; None if the set is empty.
+
+    ``selection_beta`` rescales the UCB used for exploitation so it can be
+    less optimistic than the safety bounds (otherwise sigma-dominated UCB
+    turns every step into frontier exploration).
+    """
+    safe = assessment.safe_indices
+    if safe.size == 0:
+        return None
+    if safe.size > 1 and rng.random() < epsilon:
+        # boundary exploration: maximal uncertainty among safe candidates
+        widths = assessment.upper[safe] - assessment.lower[safe]
+        return int(safe[int(np.argmax(widths))])
+    sigma = (assessment.upper[safe] - assessment.lower[safe]) / (2.0 * safety_beta)
+    ucb = assessment.mean[safe] + selection_beta * sigma
+    return int(safe[int(np.argmax(ucb))])

@@ -1,0 +1,154 @@
+"""Clustering + model selection (Section 5.3, Algorithm 1).
+
+Observations are clustered by context with DBSCAN; each cluster gets its
+own contextual GP (capped at ``max_cluster_size`` observations so the
+per-iteration cost stays O(P^3)); an SVM learns the decision boundary used
+to route unseen contexts to a model.  Re-clustering is triggered when the
+normalized mutual information between the maintained clustering and a
+freshly simulated one drops below ``nmi_threshold`` (context shift).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional
+
+import numpy as np
+
+from ..gp.contextual import ContextualGP
+from ..gp.kernels import Kernel
+from ..ml.dbscan import DBSCAN, assign_noise_to_nearest
+from ..ml.mutual_info import normalized_mutual_information
+from ..ml.scaler import StandardScaler
+from ..ml.svm import SVMClassifier
+from .repository import DataRepository
+
+__all__ = ["ClusteredModels"]
+
+
+class ClusteredModels:
+    """Maintains per-cluster contextual GPs and an SVM model selector."""
+
+    def __init__(self, config_dim: int, context_dim: int,
+                 kernel_factory: Optional[Callable[[], Kernel]] = None,
+                 eps: float = 0.6, min_samples: int = 4,
+                 max_cluster_size: int = 200, nmi_threshold: float = 0.5,
+                 recluster_every: int = 20, beta: float = 2.0,
+                 enabled: bool = True, seed: int = 0) -> None:
+        self.config_dim = int(config_dim)
+        self.context_dim = int(context_dim)
+        self.kernel_factory = kernel_factory
+        self.eps = float(eps)
+        self.min_samples = int(min_samples)
+        self.max_cluster_size = int(max_cluster_size)
+        self.nmi_threshold = float(nmi_threshold)
+        self.recluster_every = int(recluster_every)
+        self.beta = float(beta)
+        self.enabled = enabled    # False => single monolithic model (ablation)
+        self.seed = int(seed)
+
+        self.labels: List[int] = []          # cluster label per observation
+        self.models: Dict[int, ContextualGP] = {}
+        self._dirty: Dict[int, bool] = {}
+        self._next_optimize: Dict[int, int] = {}
+        self._svm: Optional[SVMClassifier] = None
+        self._scaler = StandardScaler()
+        self.recluster_count = 0
+        self._since_check = 0
+
+    # -- bookkeeping -------------------------------------------------------
+    @property
+    def n_clusters(self) -> int:
+        return len(set(self.labels)) if self.labels else 0
+
+    def _new_model(self) -> ContextualGP:
+        kernel = self.kernel_factory() if self.kernel_factory else None
+        return ContextualGP(self.config_dim, self.context_dim,
+                            kernel=kernel, beta=self.beta)
+
+    def cluster_indices(self, label: int) -> List[int]:
+        return [i for i, l in enumerate(self.labels) if l == label]
+
+    # -- model selection (step 2 of the workflow) ----------------------------
+    def select(self, context: np.ndarray) -> int:
+        """Route a context to a cluster label."""
+        if not self.labels:
+            return 0
+        if not self.enabled or self._svm is None or self.n_clusters <= 1:
+            return int(self.labels[-1]) if self.n_clusters <= 1 else 0
+        scaled = self._scaler.transform(np.atleast_2d(context))
+        return int(self._svm.predict(scaled)[0])
+
+    def model_for(self, label: int, repo: DataRepository) -> ContextualGP:
+        """Return the (lazily refitted) contextual GP for a cluster."""
+        if label not in self.models:
+            self.models[label] = self._new_model()
+            self._dirty[label] = True
+        if self._dirty.get(label, False):
+            self._fit_cluster(label, repo)
+        return self.models[label]
+
+    def _fit_cluster(self, label: int, repo: DataRepository) -> None:
+        indices = self.cluster_indices(label)
+        if not indices:
+            self._dirty[label] = False
+            return
+        if len(indices) > self.max_cluster_size:
+            indices = indices[-self.max_cluster_size:]
+        configs = repo.configs(indices)
+        contexts = repo.contexts(indices)
+        y = repo.performances(indices)
+        # hyperparameter optimization is the expensive part; re-run it on a
+        # doubling schedule of cluster sizes rather than every iteration
+        threshold = self._next_optimize.get(label, 5)
+        optimize = len(indices) >= threshold
+        if optimize:
+            self._next_optimize[label] = max(2 * len(indices), threshold * 2)
+        self.models[label].fit(configs, contexts, y, optimize=optimize)
+        self._dirty[label] = False
+
+    # -- observation ingestion -----------------------------------------------
+    def add_observation(self, context: np.ndarray, repo: DataRepository) -> int:
+        """Assign the newest observation to a cluster; mark model dirty.
+
+        Call *after* appending the observation to the repository.
+        """
+        label = self.select(context) if self.labels else 0
+        self.labels.append(label)
+        self._dirty[label] = True
+        self._since_check += 1
+        if self.enabled and self._since_check >= self.recluster_every:
+            self._since_check = 0
+            if self.need_relearn(repo):
+                self.relearn(repo)
+        return label
+
+    # -- offline clustering (Algorithm 1) ---------------------------------
+    def _fresh_labels(self, repo: DataRepository) -> np.ndarray:
+        contexts = repo.contexts()
+        scaled = StandardScaler().fit_transform(contexts)
+        labels = DBSCAN(self.eps, self.min_samples).fit_predict(scaled)
+        return assign_noise_to_nearest(scaled, labels)
+
+    def need_relearn(self, repo: DataRepository) -> bool:
+        """Simulate a fresh clustering; NMI below threshold => relearn."""
+        if len(repo) < 2 * self.min_samples:
+            return False
+        fresh = self._fresh_labels(repo)
+        nmi = normalized_mutual_information(self.labels, fresh.tolist())
+        return nmi < self.nmi_threshold
+
+    def relearn(self, repo: DataRepository) -> None:
+        """Re-cluster all observations, refit models, retrain the SVM."""
+        fresh = self._fresh_labels(repo)
+        self.labels = [int(l) for l in fresh]
+        self.models = {}
+        self._dirty = {label: True for label in set(self.labels)}
+        self._next_optimize = {}
+        contexts = repo.contexts()
+        self._scaler.fit(contexts)
+        if len(set(self.labels)) > 1:
+            self._svm = SVMClassifier(seed=self.seed)
+            self._svm.fit(self._scaler.transform(contexts), np.array(self.labels))
+        else:
+            self._svm = None
+        self.recluster_count += 1

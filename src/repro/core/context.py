@@ -1,0 +1,120 @@
+"""Context featurization (Section 5.1).
+
+The context captures the uncontrollable dynamic factors:
+
+* **workload feature** — query arrival rate (one dimension) plus the
+  averaged LSTM query embedding (query composition), compacted by PCA so
+  the context stays GP- and DBSCAN-friendly;
+* **underlying-data feature** — optimizer estimates aggregated by
+  :func:`repro.dbms.optimizer.data_features` (rows examined, filter
+  percentage, index usage).
+
+Both parts can be disabled individually for the Figure 14 ablations.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from ..dbms.optimizer import DATA_FEATURE_DIM, data_features
+from ..ml.lstm import QueryEmbedder
+from ..ml.pca import PCA
+from ..workloads.base import WorkloadSnapshot
+
+__all__ = ["ContextFeaturizer"]
+
+
+class ContextFeaturizer:
+    """Turns a :class:`WorkloadSnapshot` into a fixed-size context vector.
+
+    Parameters
+    ----------
+    use_workload / use_data:
+        Ablation switches for the two context halves (Figure 14).
+    embedding_components:
+        PCA output dimension for the averaged query embedding.
+    warmup_snapshots:
+        Number of snapshots buffered before the embedder + PCA are trained;
+        until then (and with ``use_workload=False``) the composition block
+        is a cheap keyword histogram, so featurization works from
+        iteration 0.
+    """
+
+    def __init__(self, use_workload: bool = True, use_data: bool = True,
+                 embedding_components: int = 4, warmup_snapshots: int = 5,
+                 embedder: Optional[QueryEmbedder] = None, seed: int = 0) -> None:
+        self.use_workload = use_workload
+        self.use_data = use_data
+        self.embedding_components = int(embedding_components)
+        self.warmup_snapshots = int(warmup_snapshots)
+        self.embedder = embedder or QueryEmbedder(seed=seed)
+        self._pca: Optional[PCA] = None
+        self._corpus: List[str] = []
+        self._buffered: int = 0
+        self._trained = embedder is not None and embedder.model is not None
+
+    # -- dimensions ------------------------------------------------------
+    @property
+    def dim(self) -> int:
+        d = 0
+        if self.use_workload:
+            d += 1 + self.embedding_components
+        if self.use_data:
+            d += DATA_FEATURE_DIM
+        return max(d, 1)
+
+    # -- training -----------------------------------------------------------
+    def _keyword_histogram(self, queries: Sequence[str]) -> np.ndarray:
+        """Fallback composition feature before the LSTM is trained."""
+        keywords = ("select", "insert", "update", "delete")
+        counts = np.zeros(len(keywords))
+        for sql in queries:
+            head = sql.lstrip()[:12].lower()
+            for i, kw in enumerate(keywords):
+                if head.startswith(kw):
+                    counts[i] += 1
+                    break
+        total = counts.sum()
+        hist = counts / total if total > 0 else counts
+        return hist[: self.embedding_components] if len(hist) >= self.embedding_components \
+            else np.pad(hist, (0, self.embedding_components - len(hist)))
+
+    def _maybe_train(self, snapshot: WorkloadSnapshot) -> None:
+        if self._trained:
+            return
+        self._corpus.extend(snapshot.queries)
+        self._buffered += 1
+        if self._buffered >= self.warmup_snapshots:
+            self.embedder.fit(self._corpus)
+            embeddings = np.array([self.embedder.embed(q) for q in self._corpus])
+            self._pca = PCA(self.embedding_components).fit(embeddings)
+            self._trained = True
+            self._corpus = []
+
+    def _composition(self, queries: Sequence[str]) -> np.ndarray:
+        if not self._trained or self._pca is None:
+            return self._keyword_histogram(queries)
+        if not queries:
+            return np.zeros(self.embedding_components)
+        avg = self.embedder.embed_workload(list(queries))
+        return self._pca.transform(avg[None, :])[0]
+
+    # -- featurization -----------------------------------------------------
+    def featurize(self, snapshot: WorkloadSnapshot) -> np.ndarray:
+        """Compute the context vector for one interval's snapshot."""
+        if self.use_workload:
+            self._maybe_train(snapshot)
+        parts: List[np.ndarray] = []
+        if self.use_workload:
+            rate = np.log1p(max(snapshot.arrival_rate, 0.0)) / 12.0
+            parts.append(np.array([rate]))
+            parts.append(self._composition(snapshot.queries))
+        if self.use_data:
+            parts.append(data_features(snapshot))
+        if not parts:
+            return np.zeros(1)
+        return np.concatenate(parts)
+
+    __call__ = featurize

@@ -1,0 +1,93 @@
+"""Observation store: the OnlineTune server's data repository.
+
+Holds the full tuning history ``{<c_i, theta_i, y_i>}`` plus bookkeeping
+(safety outcome, improvement score) that the clustering, subspace, and
+visualization components consume.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = ["Observation", "DataRepository"]
+
+
+@dataclass
+class Observation:
+    """One completed tuning interval."""
+
+    iteration: int
+    context: np.ndarray            # context feature c_i
+    config_vec: np.ndarray         # unit-space configuration theta_i
+    performance: float             # measured objective y_i (maximize)
+    default_performance: float     # tau at that iteration
+    failed: bool = False
+
+    @property
+    def safe(self) -> bool:
+        return (not self.failed) and self.performance >= self.default_performance
+
+    @property
+    def improvement(self) -> float:
+        tau = self.default_performance
+        return (self.performance - tau) / max(abs(tau), 1e-9)
+
+
+class DataRepository:
+    """Append-only history with array views for model fitting."""
+
+    def __init__(self) -> None:
+        self._observations: List[Observation] = []
+
+    def __len__(self) -> int:
+        return len(self._observations)
+
+    def __iter__(self):
+        return iter(self._observations)
+
+    def __getitem__(self, idx):
+        return self._observations[idx]
+
+    def add(self, obs: Observation) -> None:
+        self._observations.append(obs)
+
+    @property
+    def observations(self) -> List[Observation]:
+        return list(self._observations)
+
+    # -- array views -------------------------------------------------------
+    def contexts(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        obs = self._select(indices)
+        return np.array([o.context for o in obs]) if obs else np.empty((0, 0))
+
+    def configs(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        obs = self._select(indices)
+        return np.array([o.config_vec for o in obs]) if obs else np.empty((0, 0))
+
+    def performances(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        obs = self._select(indices)
+        return np.array([o.performance for o in obs])
+
+    def improvements(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        obs = self._select(indices)
+        return np.array([o.improvement for o in obs])
+
+    def _select(self, indices: Optional[Sequence[int]]) -> List[Observation]:
+        if indices is None:
+            return self._observations
+        return [self._observations[i] for i in indices]
+
+    def best_index(self, indices: Optional[Sequence[int]] = None) -> Optional[int]:
+        """Index (into the full history) of the best *safe-leaning* point.
+
+        Performance is compared by improvement over the context's own
+        default, which keeps scores comparable across shifting contexts.
+        """
+        pool = range(len(self._observations)) if indices is None else indices
+        pool = [i for i in pool if not self._observations[i].failed]
+        if not pool:
+            return None
+        return max(pool, key=lambda i: self._observations[i].improvement)

@@ -1,0 +1,131 @@
+"""Safety assessment (Section 6.2): black-box + white-box filtering.
+
+Black box: a candidate is safe when the contextual GP's lower confidence
+bound exceeds the safety threshold (Equation 3) — worst-case performance
+still above tau.  White box: candidates violating heuristic rules are
+dismissed, subject to the conflict/relaxation protocol of
+:class:`repro.rules.RuleBook`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import List, Optional
+
+import numpy as np
+
+from ..gp.contextual import ContextualGP
+from ..knobs.knob import KnobSpace
+from ..rules.rule import Rule, RuleBook, RuleContext
+
+__all__ = ["SafetyAssessment", "SafetyAssessor"]
+
+
+@dataclass
+class SafetyAssessment:
+    """Result of assessing a candidate set."""
+
+    candidates: np.ndarray                 # all candidates (unit space)
+    safe_mask: np.ndarray                  # black-box AND white-box safe
+    blackbox_mask: np.ndarray
+    whitebox_mask: np.ndarray
+    mean: np.ndarray
+    lower: np.ndarray
+    upper: np.ndarray
+    overridden_rule: Optional[Rule] = None   # rule ignored this round
+
+    @property
+    def safe_indices(self) -> np.ndarray:
+        return np.flatnonzero(self.safe_mask)
+
+    @property
+    def safety_set_size(self) -> int:
+        return int(self.safe_mask.sum())
+
+
+class SafetyAssessor:
+    """Combines GP confidence bounds with white-box rules.
+
+    Parameters
+    ----------
+    margin:
+        Fractional slack below tau tolerated by the black box; the
+        threshold used is ``tau - margin * |tau|``.  A small margin keeps
+        the safety set non-empty under observation noise.
+    use_blackbox / use_whitebox:
+        Ablation switches (Figure 15).
+    """
+
+    def __init__(self, space: KnobSpace, rulebook: Optional[RuleBook] = None,
+                 margin: float = 0.02, use_blackbox: bool = True,
+                 use_whitebox: bool = True) -> None:
+        self.space = space
+        self.rulebook = rulebook
+        self.margin = float(margin)
+        self.use_blackbox = use_blackbox
+        self.use_whitebox = use_whitebox and rulebook is not None
+
+    def threshold(self, tau: float) -> float:
+        return tau - self.margin * abs(tau)
+
+    def assess(self, model: Optional[ContextualGP], candidates: np.ndarray,
+               context: np.ndarray, tau: float,
+               rule_ctx: Optional[RuleContext] = None) -> SafetyAssessment:
+        """Assess candidates; returns masks plus the GP bounds."""
+        candidates = np.atleast_2d(candidates)
+        n = candidates.shape[0]
+
+        if model is not None and model.n_observations > 0:
+            mean, lower, upper = model.confidence_bounds(candidates, context)
+        else:
+            mean = np.zeros(n)
+            lower = np.full(n, -np.inf)
+            upper = np.full(n, np.inf)
+
+        if self.use_blackbox and model is not None and model.n_observations > 0:
+            blackbox = lower >= self.threshold(tau)
+        else:
+            blackbox = np.ones(n, dtype=bool)
+
+        whitebox = np.ones(n, dtype=bool)
+        if self.use_whitebox and rule_ctx is not None:
+            for i in range(n):
+                config = self.space.from_unit(candidates[i])
+                whitebox[i] = self.rulebook.satisfies(config, rule_ctx)
+
+        return SafetyAssessment(
+            candidates=candidates,
+            safe_mask=blackbox & whitebox,
+            blackbox_mask=blackbox,
+            whitebox_mask=whitebox,
+            mean=mean, lower=lower, upper=upper,
+        )
+
+    # -- conflict protocol (Section 6.2.2) -------------------------------
+    def resolve_conflict(self, assessment: SafetyAssessment,
+                         rule_ctx: Optional[RuleContext]) -> SafetyAssessment:
+        """If the black box's best candidate is white-rejected, apply the
+        conflict counters and possibly override one rule for this round."""
+        if not self.use_whitebox or rule_ctx is None or self.rulebook is None:
+            return assessment
+        conflict = assessment.blackbox_mask & ~assessment.whitebox_mask
+        if not conflict.any():
+            return assessment
+        # the controversial candidate: best upper bound among conflicted
+        idx = int(np.flatnonzero(conflict)[np.argmax(assessment.upper[conflict])])
+        # is it actually better than everything currently safe?
+        if assessment.safe_mask.any():
+            best_safe = float(np.max(assessment.upper[assessment.safe_mask]))
+            if assessment.upper[idx] <= best_safe:
+                return assessment
+        config = self.space.from_unit(assessment.candidates[idx])
+        violations = self.rulebook.violations(config, rule_ctx)
+        if len(violations) != 1:
+            return assessment  # multiple rules object: do not override
+        rule = violations[0]
+        self.rulebook.register_conflict(rule)
+        if self.rulebook.may_override(rule):
+            assessment.safe_mask = assessment.safe_mask.copy()
+            assessment.safe_mask[idx] = assessment.blackbox_mask[idx]
+            assessment.overridden_rule = rule
+        return assessment

@@ -1,0 +1,207 @@
+"""Configuration-subspace adaptation (Section 6.1, Algorithm 2).
+
+The optimization is restricted to a subspace centred on the best
+configuration found so far, alternating between:
+
+* a **hypercube region** ``{theta : ||theta - theta_best||_inf <= R_n}``
+  whose radius doubles after ``eta_succ`` consecutive successes and halves
+  after ``eta_fail`` consecutive failures (TuRBO-style trust region), and
+* a **line region** ``{theta_best + alpha d}`` (LineBO) whose direction is
+  either random (exploration) or aligned with an important knob
+  (exploitation, fANOVA-ranked — Appendix A3.2).
+
+All geometry lives in the unit hypercube.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..ml.fanova import fanova_importance
+
+__all__ = ["Subspace"]
+
+
+class Subspace:
+    """Adaptive hypercube/line subspace around the incumbent."""
+
+    HYPERCUBE = "hypercube"
+    LINE = "line"
+
+    def __init__(self, dim: int, r_init: float = 0.05, r_max: float = 0.5,
+                 r_min: float = 0.01, eta_succ: int = 3, eta_fail: int = 3,
+                 line_switch_fails: int = 5, improvement_threshold: float = 0.01,
+                 seed: int = 0) -> None:
+        self.dim = int(dim)
+        self.r_init = float(r_init)
+        self.r_max = float(r_max)
+        self.r_min = float(r_min)
+        self.eta_succ = int(eta_succ)
+        self.eta_fail = int(eta_fail)
+        self.line_switch_fails = int(line_switch_fails)
+        self.improvement_threshold = float(improvement_threshold)
+        self.rng = np.random.default_rng(seed)
+
+        self.kind = self.HYPERCUBE
+        self.radius = self.r_init
+        self.center: Optional[np.ndarray] = None
+        self.direction: Optional[np.ndarray] = None
+        self.succ_count = 0
+        self.fail_count = 0
+        self._line_steps = 0
+        self._recent_improvement = 0.0
+        self._importances: Optional[np.ndarray] = None
+        self._prior_importances: Optional[np.ndarray] = None
+
+    # -- initialization -------------------------------------------------
+    def initialize(self, center: np.ndarray) -> None:
+        """Start a hypercube region around a known-safe configuration."""
+        self.center = np.asarray(center, dtype=float).copy()
+        self.kind = self.HYPERCUBE
+        self.radius = self.r_init
+        self.succ_count = 0
+        self.fail_count = 0
+        self.direction = None
+
+    @property
+    def initialized(self) -> bool:
+        return self.center is not None
+
+    # -- feedback (drives Algorithm 2's counters) --------------------------
+    def update(self, success: bool, improvement: float,
+               new_center: Optional[np.ndarray] = None) -> None:
+        """Report whether the last recommendation beat the previous one."""
+        if new_center is not None:
+            self.center = np.asarray(new_center, dtype=float).copy()
+        if success:
+            self.succ_count += 1
+            self.fail_count = 0
+            self._recent_improvement = max(self._recent_improvement, improvement)
+        else:
+            self.fail_count += 1
+            self.succ_count = 0
+        self._adapt()
+
+    def _adapt(self) -> None:
+        if self.kind == self.HYPERCUBE:
+            if self.succ_count > self.eta_succ:
+                self.radius = min(self.r_max, 2.0 * self.radius)
+                self.succ_count = 0
+                self.fail_count = 0
+            if self.fail_count > self.eta_fail:
+                # the paper's switching rule: consecutive failures to improve
+                # trigger the alternation to a line region (Algorithm 2)
+                self.radius = max(self.r_min, self.radius / 2.0)
+                self._switch_to_line()
+        else:
+            self._line_steps += 1
+            if self.fail_count > self.line_switch_fails or self._line_steps > 12:
+                self._switch_to_hypercube()
+
+    def exhausted(self) -> None:
+        """Signal that no unevaluated safe candidate remains (switch rule)."""
+        if self.kind == self.HYPERCUBE:
+            self._switch_to_line()
+        else:
+            self._switch_to_hypercube()
+
+    def _switch_to_line(self) -> None:
+        self.kind = self.LINE
+        self.direction = self._generate_direction()
+        self._line_steps = 0
+        self.succ_count = 0
+        self.fail_count = 0
+
+    def _switch_to_hypercube(self) -> None:
+        self.kind = self.HYPERCUBE
+        self.radius = max(self.radius, self.r_init)
+        self.direction = None
+        self.succ_count = 0
+        self.fail_count = 0
+        self._recent_improvement = 0.0
+
+    # -- direction oracles (Appendix A3.2) -------------------------------
+    def set_importances(self, X: np.ndarray, y: np.ndarray) -> None:
+        """Update fANOVA importances from observed (config, perf) pairs."""
+        if len(y) >= 8:
+            self._importances = fanova_importance(
+                np.asarray(X), np.asarray(y), seed=int(self.rng.integers(1 << 30)))
+
+    def set_prior_importances(self, prior: np.ndarray) -> None:
+        """Seed the important-direction oracle with domain knowledge."""
+        prior = np.asarray(prior, dtype=float)
+        if prior.shape != (self.dim,):
+            raise ValueError("prior importance vector has wrong dimension")
+        self._prior_importances = prior
+
+    def _effective_importances(self) -> Optional[np.ndarray]:
+        if self._importances is not None and self._importances.max() > 1e-6:
+            combined = self._importances.copy()
+            if self._prior_importances is not None:
+                combined = 0.5 * combined / combined.max() + 0.5 * (
+                    self._prior_importances / self._prior_importances.max())
+            return combined
+        return self._prior_importances
+
+    def _generate_direction(self) -> np.ndarray:
+        explore = self._recent_improvement < self.improvement_threshold
+        importances = self._effective_importances()
+        if importances is not None and (not explore or self.rng.random() < 0.6):
+            # exploitation (or guided exploration): a line along one of the
+            # top important knobs walks the safe frontier across that knob's
+            # whole range (Appendix A3.2's important-direction oracle)
+            top = np.argsort(importances)[::-1][: min(5, self.dim)]
+            weights = importances[top]
+            weights = weights / weights.sum()
+            knob = int(self.rng.choice(top, p=weights))
+            direction = np.zeros(self.dim)
+            direction[knob] = 1.0
+            return direction
+        if self.rng.random() < 0.5:
+            # coordinate backoff: a uniformly random axis (cf. CobBO)
+            direction = np.zeros(self.dim)
+            direction[int(self.rng.integers(self.dim))] = 1.0
+            return direction
+        direction = self.rng.normal(size=self.dim)
+        norm = np.linalg.norm(direction)
+        return direction / (norm if norm > 0 else 1.0)
+
+    # -- candidate generation -----------------------------------------------
+    def contains(self, point: np.ndarray, tol: float = 1e-9) -> bool:
+        if self.center is None:
+            return False
+        point = np.asarray(point, dtype=float)
+        if self.kind == self.HYPERCUBE:
+            return bool(np.all(np.abs(point - self.center) <= self.radius + tol))
+        # line region: distance from the line through center
+        diff = point - self.center
+        along = diff @ self.direction
+        residual = diff - along * self.direction
+        return bool(np.linalg.norm(residual) <= 1e-6 + tol)
+
+    def discretize(self, n: int) -> np.ndarray:
+        """Candidate unit-space configurations inside the subspace."""
+        if self.center is None:
+            raise RuntimeError("Subspace used before initialize()")
+        if self.kind == self.HYPERCUBE:
+            lo = np.clip(self.center - self.radius, 0.0, 1.0)
+            hi = np.clip(self.center + self.radius, 0.0, 1.0)
+            points = lo + self.rng.random((n, self.dim)) * (hi - lo)
+            points[0] = self.center
+            return points
+        # the line extent is trust-region-limited: far extrapolations along
+        # a line are exactly where the GP's safety estimate is least reliable
+        extent = max(0.35, 2.0 * self.radius)
+        alphas = np.linspace(-extent, extent, n)
+        points = self.center[None, :] + alphas[:, None] * self.direction[None, :]
+        points = np.clip(points, 0.0, 1.0)
+        # dedupe points clipped onto the same corner
+        return np.unique(points, axis=0)
+
+    def distance_from(self, point: np.ndarray) -> float:
+        """Euclidean distance of the subspace centre from a reference."""
+        if self.center is None:
+            return 0.0
+        return float(np.linalg.norm(self.center - np.asarray(point, dtype=float)))

@@ -1,0 +1,279 @@
+"""OnlineTune: the paper's primary contribution (Algorithm 3).
+
+Per iteration the tuner (1) featurizes the context, (2) selects the
+cluster model via the SVM boundary, (3) adapts that model's configuration
+subspace, (4) assesses candidate safety with black-box confidence bounds
+and white-box rules, (5) selects a configuration by safety-constrained
+UCB with epsilon-greedy boundary exploration, and after evaluation
+(6, 7) updates the repository, the cluster models, and the counters.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..baselines.base import BaseTuner, Feedback, SuggestInput
+from ..gp.kernels import additive_contextual_kernel
+from ..knobs.knob import Configuration, KnobSpace
+from ..knobs.mysql_knobs import INSTANCE_MEMORY_BYTES, INSTANCE_VCPUS
+from ..rules.rule import RuleBook, RuleContext
+from .candidates import select_candidate
+from .clustering import ClusteredModels
+from .config import OnlineTuneConfig
+from .context import ContextFeaturizer
+from .repository import DataRepository, Observation
+from .safety import SafetyAssessor
+from .subspace import Subspace
+
+__all__ = ["OnlineTune", "IterationTrace"]
+
+
+@dataclass
+class IterationTrace:
+    """Diagnostics recorded each iteration (drives Figure 13)."""
+
+    iteration: int
+    model_label: int
+    subspace_kind: str
+    subspace_radius: float
+    safety_set_size: int
+    candidate_distance: float        # |theta_t - theta_default|
+    center_distance: float           # |subspace center - theta_default|
+    overhead: Dict[str, float] = field(default_factory=dict)
+
+
+class OnlineTune(BaseTuner):
+    """Safe, contextual online configuration tuner."""
+
+    name = "OnlineTune"
+
+    def __init__(self, space: KnobSpace, config: Optional[OnlineTuneConfig] = None,
+                 rulebook: Optional[RuleBook] = None,
+                 featurizer: Optional[ContextFeaturizer] = None,
+                 memory_bytes: int = INSTANCE_MEMORY_BYTES,
+                 vcpus: int = INSTANCE_VCPUS, seed: int = 0) -> None:
+        super().__init__(space, seed)
+        self.config = (config or OnlineTuneConfig()).resolved()
+        cfg = self.config
+        self.featurizer = featurizer or ContextFeaturizer(
+            use_workload=cfg.use_workload_context,
+            use_data=cfg.use_data_context,
+            embedding_components=cfg.embedding_components,
+            warmup_snapshots=cfg.warmup_snapshots,
+            seed=seed)
+        if rulebook is None and cfg.use_whitebox:
+            from ..rules.mysql_rules import mysql_rulebook
+            rulebook = mysql_rulebook()
+        self.rulebook = rulebook
+        self.memory_bytes = memory_bytes
+        self.vcpus = vcpus
+
+        self.repo = DataRepository()
+        self.models = ClusteredModels(
+            config_dim=space.dim, context_dim=self.featurizer.dim,
+            kernel_factory=lambda: additive_contextual_kernel(
+                space.dim, self.featurizer.dim),
+            eps=cfg.dbscan_eps, min_samples=cfg.dbscan_min_samples,
+            max_cluster_size=cfg.max_cluster_size,
+            nmi_threshold=cfg.nmi_threshold,
+            recluster_every=cfg.recluster_every,
+            beta=cfg.beta, enabled=cfg.use_clustering, seed=seed)
+        self.assessor = SafetyAssessor(
+            space, rulebook, margin=cfg.safety_margin,
+            use_blackbox=cfg.use_blackbox, use_whitebox=cfg.use_whitebox)
+        self.subspaces: Dict[int, Subspace] = {}
+
+        self._initial_vec: Optional[np.ndarray] = None
+        self._pending_context: Optional[np.ndarray] = None
+        self._pending_label: int = 0
+        self._pending_vec: Optional[np.ndarray] = None
+        self._pending_override = False
+        self._last_improvement: Optional[float] = None
+        self.traces: list[IterationTrace] = []
+
+    # -- lifecycle ---------------------------------------------------------
+    def start(self, initial_config: Configuration,
+              initial_performance: float) -> None:
+        self._initial_vec = self.space.to_unit(initial_config)
+
+    def _default_vec(self) -> np.ndarray:
+        if self._initial_vec is None:
+            self._initial_vec = self.space.default_vector()
+        return self._initial_vec
+
+    def _subspace_for(self, label: int) -> Subspace:
+        cfg = self.config
+        if label not in self.subspaces:
+            sub = Subspace(self.space.dim, r_init=cfg.r_init, r_max=cfg.r_max,
+                           r_min=cfg.r_min, eta_succ=cfg.eta_succ,
+                           eta_fail=cfg.eta_fail,
+                           seed=self.seed + 31 * (label + 1))
+            try:
+                from ..knobs.mysql_knobs import importance_prior_vector
+                sub.set_prior_importances(importance_prior_vector(self.space))
+            except (ValueError, KeyError):
+                pass  # non-MySQL spaces simply have no prior
+            # centre on the cluster's best known configuration, falling back
+            # to the global best, then the initial safe configuration
+            best_idx = self.repo.best_index(self.models.cluster_indices(label))
+            if best_idx is None:
+                best_idx = self.repo.best_index()
+            center = (self.repo[best_idx].config_vec if best_idx is not None
+                      else self._default_vec())
+            sub.initialize(center)
+            self.subspaces[label] = sub
+        return self.subspaces[label]
+
+    def _rule_context(self, inp: SuggestInput) -> RuleContext:
+        return RuleContext(memory_bytes=self.memory_bytes, vcpus=self.vcpus,
+                           metrics=dict(inp.metrics), is_olap=inp.is_olap)
+
+    # -- Algorithm 3 main loop ------------------------------------------------
+    def suggest(self, inp: SuggestInput) -> Configuration:
+        cfg = self.config
+        overhead: Dict[str, float] = {}
+
+        t0 = time.perf_counter()
+        context = self.featurizer.featurize(inp.snapshot)
+        overhead["featurization"] = time.perf_counter() - t0
+        self._pending_context = context
+
+        # cold start: apply the initial safe configuration first
+        if len(self.repo) == 0:
+            self._pending_vec = self._default_vec()
+            self._pending_label = 0
+            self._pending_override = False
+            return self.space.from_unit(self._pending_vec)
+
+        # the paper's regression guard: after evaluating an unsafe
+        # configuration, recommend a conservative one near the evaluated
+        # best (Section 7.2), avoiding successive regressions
+        last = self.repo[-1]
+        if not last.safe and cfg.use_safety:
+            label = self.models.select(context)
+            self._pending_label = label
+            best_idx = self.repo.best_index(self.models.cluster_indices(label))
+            if best_idx is None:
+                best_idx = self.repo.best_index()
+            vec = (self.repo[best_idx].config_vec if best_idx is not None
+                   else self._default_vec())
+            self._pending_vec = vec
+            self._pending_override = False
+            subspace = self._subspace_for(label)
+            self.traces.append(IterationTrace(
+                iteration=inp.iteration, model_label=label,
+                subspace_kind=subspace.kind, subspace_radius=subspace.radius,
+                safety_set_size=0,
+                candidate_distance=float(np.linalg.norm(vec - self._default_vec())),
+                center_distance=subspace.distance_from(self._default_vec()),
+                overhead=overhead))
+            return self.space.from_unit(vec)
+
+        t0 = time.perf_counter()
+        label = self.models.select(context)
+        model = self.models.model_for(label, self.repo)
+        overhead["model_selection"] = time.perf_counter() - t0
+        self._pending_label = label
+
+        t0 = time.perf_counter()
+        subspace = self._subspace_for(label)
+        if cfg.use_subspace:
+            candidates = subspace.discretize(cfg.n_candidates)
+        else:
+            candidates = self.rng.random((cfg.n_candidates, self.space.dim))
+            candidates[0] = self._default_vec()
+        overhead["subspace"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        rule_ctx = self._rule_context(inp)
+        assessment = self.assessor.assess(model, candidates, context,
+                                          inp.default_performance, rule_ctx)
+        assessment = self.assessor.resolve_conflict(assessment, rule_ctx)
+        overhead["safety"] = time.perf_counter() - t0
+
+        t0 = time.perf_counter()
+        # a degenerate safety set (only the incumbent) means the current
+        # region is exhausted: alternate the subspace type (switching rule)
+        if cfg.use_subspace and assessment.safety_set_size <= 1:
+            subspace.exhausted()
+        # line regions exist for safe *exploration* (Section 6.1): walk the
+        # safe boundary along the line aggressively; hypercube regions exploit
+        epsilon = cfg.epsilon if subspace.kind == Subspace.HYPERCUBE else 0.5
+        if not cfg.use_subspace:
+            epsilon = cfg.epsilon
+        choice = select_candidate(assessment, epsilon, self.rng,
+                                  selection_beta=cfg.selection_beta,
+                                  safety_beta=cfg.beta)
+        if choice is None:
+            # empty safety set: fall back to the best evaluated configuration
+            # and switch the subspace type (the paper's switching rule)
+            if cfg.use_subspace:
+                subspace.exhausted()
+            best_idx = self.repo.best_index(self.models.cluster_indices(label))
+            if best_idx is None:
+                best_idx = self.repo.best_index()
+            vec = (self.repo[best_idx].config_vec if best_idx is not None
+                   else self._default_vec())
+            self._pending_override = False
+        else:
+            vec = assessment.candidates[choice]
+            self._pending_override = assessment.overridden_rule is not None
+        overhead["selection"] = time.perf_counter() - t0
+
+        self._pending_vec = vec
+        self.traces.append(IterationTrace(
+            iteration=inp.iteration,
+            model_label=label,
+            subspace_kind=subspace.kind,
+            subspace_radius=subspace.radius,
+            safety_set_size=assessment.safety_set_size,
+            candidate_distance=float(np.linalg.norm(vec - self._default_vec())),
+            center_distance=subspace.distance_from(self._default_vec()),
+            overhead=overhead,
+        ))
+        return self.space.from_unit(vec)
+
+    # -- feedback ----------------------------------------------------------
+    def observe(self, feedback: Feedback) -> None:
+        cfg = self.config
+        context = (self._pending_context if self._pending_context is not None
+                   else np.zeros(self.featurizer.dim))
+        vec = (self._pending_vec if self._pending_vec is not None
+               else self.space.to_unit(feedback.config))
+        obs = Observation(
+            iteration=feedback.iteration,
+            context=context,
+            config_vec=vec,
+            performance=feedback.performance,
+            default_performance=feedback.default_performance,
+            failed=feedback.failed,
+        )
+        self.repo.add(obs)
+        label = self.models.add_observation(context, self.repo)
+
+        # white-box feedback on an overridden rule
+        if self._pending_override and self.rulebook is not None:
+            self.rulebook.feedback(was_safe=obs.safe)
+            self._pending_override = False
+
+        # subspace success/failure counters + re-centering
+        if cfg.use_subspace:
+            subspace = self._subspace_for(label)
+            improvement = obs.improvement
+            prev = self._last_improvement
+            success = prev is not None and improvement > prev and not feedback.failed
+            best_idx = self.repo.best_index(self.models.cluster_indices(label))
+            if best_idx is None:
+                best_idx = self.repo.best_index()
+            new_center = (self.repo[best_idx].config_vec
+                          if best_idx is not None else None)
+            subspace.update(success, improvement, new_center=new_center)
+            if (len(self.repo) % cfg.importance_every == 0
+                    and len(self.repo) >= 8):
+                subspace.set_importances(self.repo.configs(),
+                                         self.repo.improvements())
+        self._last_improvement = obs.improvement

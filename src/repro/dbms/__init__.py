@@ -1,0 +1,13 @@
+"""Simulated MySQL substrate (engine, performance model, optimizer stats)."""
+
+from .engine import SimulatedMySQL
+from .optimizer import DATA_FEATURE_DIM, data_features
+from .perf_model import IntervalResult, PerformanceModel
+
+__all__ = [
+    "SimulatedMySQL",
+    "PerformanceModel",
+    "IntervalResult",
+    "data_features",
+    "DATA_FEATURE_DIM",
+]

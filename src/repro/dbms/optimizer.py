@@ -1,0 +1,36 @@
+"""Optimizer-statistics surrogate.
+
+OnlineTune featurizes *underlying data* from three DBMS-optimizer outputs
+(Section 5.1.2): (1) the estimated rows examined by queries, (2) the
+percentage of rows filtered by table conditions, and (3) whether an index
+is used.  Real systems expose these via ``EXPLAIN``; our workload
+snapshots carry per-query estimates generated consistently with the data
+size, and this module aggregates them into the data-feature vector.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+import numpy as np
+
+from ..workloads.base import WorkloadSnapshot
+
+__all__ = ["data_features", "DATA_FEATURE_DIM"]
+
+DATA_FEATURE_DIM = 3
+
+
+def data_features(snapshot: WorkloadSnapshot) -> np.ndarray:
+    """Aggregate per-query optimizer estimates into the data feature.
+
+    Returns ``[log1p(mean rows examined) / 20, mean filter ratio,
+    fraction of queries using an index]`` — the log/scale keeps the
+    feature in a GP-friendly range.
+    """
+    if not snapshot.rows_examined:
+        return np.zeros(DATA_FEATURE_DIM)
+    rows = float(np.mean(snapshot.rows_examined))
+    filt = float(np.mean(snapshot.filter_ratios)) if snapshot.filter_ratios else 0.0
+    indexed = float(np.mean(snapshot.index_used)) if snapshot.index_used else 0.0
+    return np.array([np.log1p(rows) / 20.0, filt, indexed])

@@ -1,0 +1,324 @@
+"""Analytic performance model of a MySQL 5.7 instance.
+
+This is the substitution for the paper's RDS MySQL testbed (see DESIGN.md).
+It maps a concrete configuration plus a :class:`WorkloadProfile` to
+throughput / latency via a product of interpretable factors, each modelling
+a well-known MySQL behaviour:
+
+* buffer-pool hit rate vs. working set (with access skew),
+* redo-log flush policy (``innodb_flush_log_at_trx_commit``) and log buffer,
+* checkpoint/dirty-page flushing vs. ``innodb_io_capacity``,
+* InnoDB admission control (``innodb_thread_concurrency``) — including the
+  catastrophic ``tc=1`` cliff the paper's white box guards against,
+* spin-wait tuning under lock contention,
+* sort/join/temp-table buffers for scan- and join-heavy work,
+* adaptive hash index, change buffering, connection limits,
+* and a memory model whose overcommit region causes swapping and crashes —
+  the unsafe area offline tuners wander into (Figure 1(c)).
+
+The *shape* of the response surface (diminishing returns, interactions,
+unsafe cliffs) is what the reproduction needs; absolute numbers are
+calibrated to the paper's reported magnitudes but not meaningful per se.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Optional
+
+import numpy as np
+
+from ..knobs import INSTANCE_MEMORY_BYTES, INSTANCE_VCPUS, MIB, GIB
+from ..knobs.knob import Configuration
+from ..workloads.base import WorkloadProfile
+
+__all__ = ["IntervalResult", "PerformanceModel"]
+
+_OS_RESERVE_BYTES = int(1.0 * GIB)
+
+
+def _contention(profile: "WorkloadProfile") -> float:
+    """Effective lock contention: raw contention amplified by access skew."""
+    return profile.lock_contention * (0.35 + 0.65 * profile.skew)
+
+
+def _sat(x: float, k: float) -> float:
+    """Saturating response in [0, 1): x / (x + k)."""
+    if x <= 0:
+        return 0.0
+    return x / (x + k)
+
+
+@dataclass
+class IntervalResult:
+    """Outcome of running one tuning interval under a configuration."""
+
+    throughput: float               # transactions/sec (0 on failure)
+    latency_p99: float              # seconds
+    exec_seconds: float             # total execution seconds (OLAP batch)
+    failed: bool                    # crash / hang during the interval
+    mem_pressure: float             # total demanded memory / physical
+    metrics: Dict[str, float] = field(default_factory=dict)
+
+    def objective(self, is_olap: bool) -> float:
+        """Maximization objective: throughput, or negative OLAP time."""
+        return -self.exec_seconds if is_olap else self.throughput
+
+
+class PerformanceModel:
+    """Deterministic-core + noise performance model.
+
+    Parameters
+    ----------
+    memory_bytes, vcpus:
+        Instance size (defaults: the paper's 8 vCPU / 16 GB).
+    noise_std:
+        Multiplicative log-normal noise at the reference 180 s interval;
+        shorter intervals get proportionally more variance (Section 7.3.3).
+    """
+
+    def __init__(self, memory_bytes: int = INSTANCE_MEMORY_BYTES,
+                 vcpus: int = INSTANCE_VCPUS, noise_std: float = 0.02,
+                 crash_probability: float = 0.85) -> None:
+        self.memory_bytes = int(memory_bytes)
+        self.vcpus = int(vcpus)
+        self.noise_std = float(noise_std)
+        self.crash_probability = float(crash_probability)
+
+    # -- memory ---------------------------------------------------------
+    def memory_demand(self, config: Configuration, profile: WorkloadProfile) -> float:
+        """Total bytes the configuration may demand under this workload."""
+        demand_conn = 16 if profile.is_olap else 64
+        active = min(int(config["max_connections"]), demand_conn)
+        session = (int(config["sort_buffer_size"]) + int(config["join_buffer_size"])
+                   + int(config["read_buffer_size"]) + int(config["read_rnd_buffer_size"]))
+        heap_each = max(int(config["max_heap_table_size"]), int(config["tmp_table_size"]))
+        heap_users = max(1.0, 0.5 * active * profile.temp_table)
+        return (float(config["innodb_buffer_pool_size"])
+                + float(config["innodb_log_buffer_size"])
+                + active * session
+                + heap_users * heap_each
+                + _OS_RESERVE_BYTES)
+
+    # -- factors -----------------------------------------------------------
+    def _factor_buffer_pool(self, config: Configuration, profile: WorkloadProfile,
+                            out: Dict[str, float]) -> float:
+        bp = float(config["innodb_buffer_pool_size"])
+        working = max(profile.working_set_gb * GIB, 64 * MIB)
+        coverage = min(1.0, bp / working)
+        # skewed access: a small fraction of pages serves most requests
+        hit = coverage ** max(0.15, 1.0 - 0.75 * profile.skew)
+        hit = float(np.clip(hit, 0.02, 0.999))
+        miss = 1.0 - hit
+        io_relief = (0.45 + 0.45 * _sat(float(config["innodb_io_capacity"]), 3000.0)
+                     + 0.10 * _sat(float(config["innodb_read_io_threads"]), 8.0))
+        read_need = profile.read_ratio * (0.45 + 0.75 * profile.range_scan)
+        out["buffer_pool_hit_rate"] = hit
+        return 1.0 / (1.0 + 3.2 * miss * read_need / io_relief)
+
+    def _factor_log(self, config: Configuration, profile: WorkloadProfile,
+                    out: Dict[str, float]) -> float:
+        policy = int(config["innodb_flush_log_at_trx_commit"])
+        gain = {1: 0.0, 2: 0.22, 0: 0.30}[policy]
+        lb = float(config["innodb_log_buffer_size"])
+        lb_gain = 0.08 * _sat(lb, 32.0 * MIB)
+        out["log_waits"] = max(0.0, profile.log_write * (1.0 - _sat(lb, 16 * MIB)) * 50.0)
+        return 1.0 + profile.log_write * (gain + lb_gain)
+
+    def _factor_checkpoint(self, config: Configuration, profile: WorkloadProfile,
+                           out: Dict[str, float]) -> float:
+        write_need = (1.0 - profile.read_ratio) * (0.4 + 0.6 * profile.log_write)
+        io_cap = float(config["innodb_io_capacity"])
+        starvation = max(0.0, 1.0 - _sat(io_cap, 800.0) * 1.35)
+        dirty_pct = float(config["innodb_max_dirty_pages_pct"])
+        # higher dirty threshold batches writes; beyond ~90% adds stall risk
+        dirty_gain = 0.10 * write_need * math.tanh((dirty_pct - 40.0) / 40.0)
+        dirty_pain = 0.08 * write_need * max(0.0, (dirty_pct - 90.0) / 10.0)
+        cleaners = 0.04 * write_need * _sat(float(config["innodb_page_cleaners"]), 4.0)
+        out["dirty_pages_pct"] = min(dirty_pct, 30.0 + 60.0 * write_need)
+        out["pending_writes"] = 80.0 * write_need * starvation
+        return (1.0 - 0.45 * write_need * starvation) * (1.0 + dirty_gain - dirty_pain + cleaners)
+
+    def _factor_concurrency(self, config: Configuration, profile: WorkloadProfile,
+                            out: Dict[str, float]) -> float:
+        tc = int(config["innodb_thread_concurrency"])
+        demand = 2.0 * self.vcpus
+        contention = _contention(profile)
+        if tc == 0:
+            factor = 1.0 - 0.06 * contention  # unlimited: slight mutex thrash
+            out["threads_running"] = demand
+        else:
+            # admission is fine once tc covers ~half the thread demand;
+            # tc=1 is the catastrophic cliff the paper's white box guards
+            admit = min(1.0, 0.1 + 0.9 * float(tc) / (demand / 2.0))
+            bonus = 0.08 * contention if 8 <= tc <= 64 else 0.0
+            factor = min(1.08, admit + bonus)
+            out["threads_running"] = min(float(tc), demand)
+        sleep = float(config["innodb_thread_sleep_delay"])
+        factor *= 1.0 - 0.05 * contention * _sat(sleep, 500000.0)
+        return factor
+
+    def _factor_spin(self, config: Configuration, profile: WorkloadProfile,
+                     out: Dict[str, float]) -> float:
+        spin = float(config["innodb_spin_wait_delay"])
+        contention = _contention(profile)
+        # unimodal: moderate spin (~tens) helps contended workloads;
+        # large values burn CPU that transactions need.
+        sweet = math.exp(-((math.log1p(spin) - math.log1p(24.0)) ** 2) / 1.8)
+        waste = _sat(spin, 500.0)
+        out["spin_rounds_per_wait"] = spin * (0.2 + contention)
+        loops = float(config["innodb_sync_spin_loops"])
+        loop_term = 0.02 * contention * math.tanh((loops - 30.0) / 60.0)
+        return 1.0 + 0.15 * contention * sweet - 0.45 * contention * waste + loop_term
+
+    def _factor_scratch(self, config: Configuration, profile: WorkloadProfile,
+                        out: Dict[str, float]) -> float:
+        sort_gain = 0.28 * profile.sort * _sat(float(config["sort_buffer_size"]), 8 * MIB)
+        join_gain = 0.34 * profile.join * _sat(float(config["join_buffer_size"]), 16 * MIB)
+        scratch = min(float(config["tmp_table_size"]), float(config["max_heap_table_size"]))
+        disk_tmp = profile.temp_table * (1.0 - _sat(scratch, 48 * MIB))
+        out["tmp_disk_tables"] = 40.0 * disk_tmp
+        read_rnd = 0.12 * profile.range_scan * _sat(float(config["read_rnd_buffer_size"]), 2 * MIB)
+        isb_gain = 0.06 * profile.sort * profile.is_olap * _sat(
+            float(config["innodb_sort_buffer_size"]), 8 * MIB)
+        return (1.0 + sort_gain + join_gain + read_rnd + isb_gain) * (1.0 - 0.45 * disk_tmp)
+
+    def _factor_lru(self, config: Configuration, profile: WorkloadProfile,
+                    out: Dict[str, float]) -> float:
+        """Buffer-pool LRU / read-ahead tuning for scan-heavy read work."""
+        scan_mix = profile.range_scan * profile.read_ratio
+        ob_pct = float(config["innodb_old_blocks_pct"])
+        # scan resistance: keeping a larger "old" sublist (~60%) protects the
+        # hot set from one-off scans in mixed point+scan workloads
+        shaped = math.exp(-((ob_pct - 60.0) ** 2) / 400.0)
+        lru_gain = 0.10 * scan_mix * shaped
+        depth_gain = 0.05 * scan_mix * _sat(float(config["innodb_lru_scan_depth"]), 4096.0)
+        thr = float(config["innodb_read_ahead_threshold"])
+        ra_gain = 0.08 * scan_mix * (1.0 - thr / 64.0)
+        obt = float(config["innodb_old_blocks_time"])
+        obt_gain = 0.03 * scan_mix * _sat(obt, 1000.0)
+        out["young_makes_per_read"] = 0.1 + 0.9 * (1.0 - shaped)
+        return 1.0 + lru_gain + depth_gain + ra_gain + obt_gain
+
+    def _factor_misc(self, config: Configuration, profile: WorkloadProfile,
+                     out: Dict[str, float]) -> float:
+        factor = 1.0
+        contention = _contention(profile)
+        if str(config["innodb_adaptive_hash_index"]) == "ON":
+            factor *= 1.0 + 0.05 * profile.point_read - 0.04 * contention
+        cb = float(config["innodb_change_buffer_max_size"])
+        factor *= 1.0 + 0.05 * (1.0 - profile.read_ratio) * _sat(cb, 20.0)
+        toc = float(config["table_open_cache"])
+        factor *= 0.96 + 0.04 * _sat(toc, 800.0)
+        tcs = float(config["thread_cache_size"])
+        factor *= 0.985 + 0.015 * _sat(tcs, 16.0)
+        demand_conn = 16 if profile.is_olap else 64
+        mc = float(config["max_connections"])
+        factor *= min(1.0, 0.3 + 0.7 * mc / demand_conn)
+        if str(config["innodb_random_read_ahead"]) == "ON":
+            factor *= 1.0 + 0.04 * profile.range_scan - 0.03 * profile.point_read
+        flush_nb = int(config["innodb_flush_neighbors"])
+        factor *= 1.0 - 0.015 * (1.0 - profile.read_ratio) * (flush_nb == 2)
+        return factor
+
+    # -- main entry -----------------------------------------------------------
+    def total_factor(self, config: Configuration, profile: WorkloadProfile,
+                     out: Optional[Dict[str, float]] = None) -> float:
+        """Deterministic performance multiplier (reference config ~ 1.0)."""
+        out = out if out is not None else {}
+        factor = 1.0
+        factor *= self._factor_buffer_pool(config, profile, out)
+        factor *= self._factor_log(config, profile, out)
+        factor *= self._factor_checkpoint(config, profile, out)
+        factor *= self._factor_concurrency(config, profile, out)
+        factor *= self._factor_spin(config, profile, out)
+        factor *= self._factor_scratch(config, profile, out)
+        factor *= self._factor_lru(config, profile, out)
+        factor *= self._factor_misc(config, profile, out)
+        # memory pressure: swapping begins once demand exceeds physical RAM
+        pressure = self.memory_demand(config, profile) / self.memory_bytes
+        out["mem_pressure"] = pressure
+        if pressure > 1.0:
+            factor *= math.exp(-10.0 * (pressure - 1.0))
+        return max(factor, 1e-3)
+
+    def evaluate(self, config: Configuration, profile: WorkloadProfile,
+                 rng: Optional[np.random.Generator] = None,
+                 interval_seconds: float = 180.0,
+                 noiseless: bool = False) -> IntervalResult:
+        """Run one interval; returns throughput/latency/metrics."""
+        rng = rng or np.random.default_rng(0)
+        metrics: Dict[str, float] = {}
+        factor = self.total_factor(config, profile, metrics)
+        pressure = metrics["mem_pressure"]
+
+        failed = False
+        if pressure > 1.08 and not noiseless:
+            failed = rng.random() < self.crash_probability
+        if pressure > 1.20:
+            failed = True  # far overcommit always brings the instance down
+
+        noise = 1.0
+        if not noiseless:
+            std = self.noise_std * math.sqrt(180.0 / max(interval_seconds, 1.0))
+            noise = float(rng.lognormal(0.0, std))
+
+        capacity = profile.base_rate * factor * noise
+        if profile.arrival_rate is not None:
+            rho = min(profile.arrival_rate / max(capacity, 1e-9), 0.999)
+            throughput = min(profile.arrival_rate, capacity)
+            queue_amp = 1.0 / (1.0 - rho)
+        else:
+            throughput = capacity
+            queue_amp = 2.0
+        base_latency = 0.03 if not profile.is_olap else profile.base_query_seconds
+        latency = base_latency / max(factor * noise, 1e-3) * (0.5 + 0.5 * queue_amp)
+
+        if profile.is_olap:
+            per_query = profile.base_query_seconds / max(factor * noise, 1e-3)
+            batch = 10.0 * per_query
+            exec_seconds = min(batch, interval_seconds)  # long queries are killed
+            throughput = 10.0 / max(exec_seconds, 1e-9)
+        else:
+            exec_seconds = 0.0
+
+        if failed:
+            throughput = 0.0
+            latency = interval_seconds
+            exec_seconds = interval_seconds if profile.is_olap else 0.0
+
+        self._fill_metrics(metrics, config, profile, throughput, failed)
+        return IntervalResult(throughput=float(throughput),
+                              latency_p99=float(latency),
+                              exec_seconds=float(exec_seconds),
+                              failed=failed,
+                              mem_pressure=float(pressure),
+                              metrics=metrics)
+
+    def _fill_metrics(self, metrics: Dict[str, float], config: Configuration,
+                      profile: WorkloadProfile, throughput: float,
+                      failed: bool) -> None:
+        """Populate the internal-metrics vector (DDPG/QTune state)."""
+        reads = throughput * profile.read_ratio
+        writes = throughput * (1.0 - profile.read_ratio)
+        metrics.setdefault("buffer_pool_hit_rate", 0.5)
+        metrics.update({
+            "qps_select": reads,
+            "qps_insert": writes * 0.4,
+            "qps_update": writes * 0.45,
+            "qps_delete": writes * 0.15,
+            "rows_read_rate": reads * (1.0 + 40.0 * profile.range_scan),
+            "rows_written_rate": writes * 1.5,
+            "lock_waits": 30.0 * profile.lock_contention * (0.0 if failed else 1.0),
+            "buffer_pool_pages_total": float(config["innodb_buffer_pool_size"]) / 16384.0,
+            "log_buffer_bytes": float(config["innodb_log_buffer_size"]),
+            "io_capacity": float(config["innodb_io_capacity"]),
+            "cpu_util": 0.0 if failed else min(0.99, 0.5 + 0.4 * profile.lock_contention),
+            "io_util": 0.0 if failed else min(0.99, 0.3 + 0.6 * (1.0 - metrics["buffer_pool_hit_rate"])),
+            "open_tables": min(float(config["table_open_cache"]), 1500.0),
+            "threads_cached": float(config["thread_cache_size"]),
+            "connections_active": 16.0 if profile.is_olap else 64.0,
+            "data_size_gb": profile.data_size_gb,
+            "failed": 1.0 if failed else 0.0,
+        })

@@ -1,0 +1,39 @@
+"""Gaussian-process substrate (kernels, regression, contextual GP)."""
+
+from .acquisition import (
+    expected_improvement,
+    lower_confidence_bound,
+    probability_of_feasibility,
+    upper_confidence_bound,
+)
+from .contextual import ContextualGP
+from .gpr import GaussianProcess
+from .kernels import (
+    ColumnSliceKernel,
+    Kernel,
+    LinearKernel,
+    Matern52Kernel,
+    ProductKernel,
+    RBFKernel,
+    SumKernel,
+    additive_contextual_kernel,
+    product_contextual_kernel,
+)
+
+__all__ = [
+    "GaussianProcess",
+    "ContextualGP",
+    "Kernel",
+    "RBFKernel",
+    "Matern52Kernel",
+    "LinearKernel",
+    "SumKernel",
+    "ProductKernel",
+    "ColumnSliceKernel",
+    "additive_contextual_kernel",
+    "product_contextual_kernel",
+    "expected_improvement",
+    "upper_confidence_bound",
+    "lower_confidence_bound",
+    "probability_of_feasibility",
+]

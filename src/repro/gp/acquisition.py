@@ -1,0 +1,42 @@
+"""Acquisition functions for Bayesian optimization.
+
+Expected Improvement drives the OtterTune-style BO baseline and ResTune's
+constrained variant; UCB (Srinivas et al.) drives OnlineTune's in-safety-set
+selection (Equation 4).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+from scipy.stats import norm
+
+__all__ = ["expected_improvement", "upper_confidence_bound",
+           "lower_confidence_bound", "probability_of_feasibility"]
+
+
+def expected_improvement(mean: np.ndarray, std: np.ndarray, best: float,
+                         xi: float = 0.0) -> np.ndarray:
+    """EI for maximization given posterior mean/std and incumbent ``best``."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    z = (mean - best - xi) / std
+    return (mean - best - xi) * norm.cdf(z) + std * norm.pdf(z)
+
+
+def upper_confidence_bound(mean: np.ndarray, std: np.ndarray,
+                           beta: float = 2.0) -> np.ndarray:
+    return np.asarray(mean) + beta * np.asarray(std)
+
+
+def lower_confidence_bound(mean: np.ndarray, std: np.ndarray,
+                           beta: float = 2.0) -> np.ndarray:
+    return np.asarray(mean) - beta * np.asarray(std)
+
+
+def probability_of_feasibility(mean: np.ndarray, std: np.ndarray,
+                               threshold: float) -> np.ndarray:
+    """P(f >= threshold) under a Gaussian posterior — used by ResTune-like
+    constrained EI (EI x PoF)."""
+    mean = np.asarray(mean, dtype=float)
+    std = np.maximum(np.asarray(std, dtype=float), 1e-12)
+    return 1.0 - norm.cdf((threshold - mean) / std)

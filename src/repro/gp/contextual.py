@@ -1,0 +1,87 @@
+"""Contextual Gaussian process over the joint (configuration, context) space.
+
+Wraps :class:`~repro.gp.gpr.GaussianProcess` with the paper's additive
+kernel and a convenience API that accepts configurations and contexts
+separately.  Given a fixed observed context ``c_t`` the model exposes
+mean / lower / upper confidence bounds over candidate configurations
+(Equation 3), which the safety assessment and candidate selection use.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+from .gpr import GaussianProcess
+from .kernels import Kernel, additive_contextual_kernel
+
+__all__ = ["ContextualGP"]
+
+
+class ContextualGP:
+    """GP over joint inputs ``[theta | c]``.
+
+    Parameters
+    ----------
+    config_dim, context_dim:
+        Dimensions of the configuration and context blocks.
+    kernel:
+        Joint kernel; defaults to the paper's additive Matérn+linear kernel.
+    beta:
+        Confidence multiplier for the bounds (Srinivas et al. style).
+    """
+
+    def __init__(self, config_dim: int, context_dim: int,
+                 kernel: Optional[Kernel] = None, noise: float = 1e-2,
+                 beta: float = 2.0) -> None:
+        self.config_dim = int(config_dim)
+        self.context_dim = int(context_dim)
+        kernel = kernel or additive_contextual_kernel(config_dim, context_dim)
+        self.gp = GaussianProcess(kernel=kernel, noise=noise)
+        self.beta = float(beta)
+
+    # -- data handling --------------------------------------------------
+    def _join(self, configs: np.ndarray, contexts: np.ndarray) -> np.ndarray:
+        configs = np.atleast_2d(np.asarray(configs, dtype=float))
+        contexts = np.atleast_2d(np.asarray(contexts, dtype=float))
+        if contexts.shape[0] == 1 and configs.shape[0] > 1:
+            contexts = np.repeat(contexts, configs.shape[0], axis=0)
+        if configs.shape[1] != self.config_dim:
+            raise ValueError(f"config dim {configs.shape[1]} != {self.config_dim}")
+        if contexts.shape[1] != self.context_dim:
+            raise ValueError(f"context dim {contexts.shape[1]} != {self.context_dim}")
+        return np.hstack([configs, contexts])
+
+    @property
+    def n_observations(self) -> int:
+        return self.gp.n_observations
+
+    def fit(self, configs: np.ndarray, contexts: np.ndarray, y: np.ndarray,
+            optimize: bool = True) -> "ContextualGP":
+        X = self._join(configs, contexts)
+        self.gp.fit(X, y, optimize=optimize)
+        return self
+
+    # -- prediction ------------------------------------------------------
+    def predict(self, configs: np.ndarray, context: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and std for candidate configs at one context."""
+        X = self._join(configs, context)
+        return self.gp.predict(X)
+
+    def confidence_bounds(self, configs: np.ndarray, context: np.ndarray,
+                          beta: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """(mean, lower, upper) bounds — Equation 3 of the paper."""
+        beta = self.beta if beta is None else beta
+        mean, std = self.predict(configs, context)
+        return mean, mean - beta * std, mean + beta * std
+
+    def lcb(self, configs: np.ndarray, context: np.ndarray,
+            beta: Optional[float] = None) -> np.ndarray:
+        _, lower, _ = self.confidence_bounds(configs, context, beta)
+        return lower
+
+    def ucb(self, configs: np.ndarray, context: np.ndarray,
+            beta: Optional[float] = None) -> np.ndarray:
+        _, _, upper = self.confidence_bounds(configs, context, beta)
+        return upper

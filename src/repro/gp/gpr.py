@@ -1,0 +1,191 @@
+"""Gaussian-process regression with Cholesky solves and ML-II fitting.
+
+Implements Equation 2 of the paper: posterior mean/variance given
+observations, plus marginal-likelihood hyperparameter optimization via
+scipy L-BFGS-B with analytic kernel gradients.  Targets are standardized
+internally so kernel variance priors stay well-scaled.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Optional, Tuple
+
+import numpy as np
+from scipy import linalg
+from scipy.optimize import minimize
+
+from .kernels import Kernel, Matern52Kernel
+
+__all__ = ["GaussianProcess"]
+
+_JITTER = 1e-8
+
+
+class GaussianProcess:
+    """GP regression model.
+
+    Parameters
+    ----------
+    kernel:
+        Covariance kernel; defaults to Matérn-5/2.
+    noise:
+        Initial observation-noise variance (on standardized targets).
+    normalize_y:
+        Standardize targets before fitting (recommended).
+    optimize_noise:
+        Learn the noise level jointly with kernel hyperparameters.
+    """
+
+    def __init__(self, kernel: Optional[Kernel] = None, noise: float = 1e-2,
+                 normalize_y: bool = True, optimize_noise: bool = True) -> None:
+        self.kernel = kernel or Matern52Kernel()
+        self.noise = float(noise)
+        self.normalize_y = normalize_y
+        self.optimize_noise = optimize_noise
+        self._X: Optional[np.ndarray] = None
+        self._y_raw: Optional[np.ndarray] = None
+        self._y: Optional[np.ndarray] = None
+        self._y_mean = 0.0
+        self._y_std = 1.0
+        self._L: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None
+
+    # -- fitting -----------------------------------------------------------
+    @property
+    def n_observations(self) -> int:
+        return 0 if self._X is None else self._X.shape[0]
+
+    def fit(self, X: np.ndarray, y: np.ndarray, optimize: bool = True,
+            restarts: int = 1, seed: int = 0) -> "GaussianProcess":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        if X.shape[0] == 0:
+            raise ValueError("cannot fit a GP on zero observations")
+        self._X = X
+        self._y_raw = y
+        if self.normalize_y:
+            self._y_mean = float(y.mean())
+            self._y_std = float(y.std()) or 1.0
+        else:
+            self._y_mean, self._y_std = 0.0, 1.0
+        self._y = (y - self._y_mean) / self._y_std
+        if optimize and X.shape[0] >= 3:
+            self._optimize_hyperparameters(restarts, seed)
+        self._factorize()
+        return self
+
+    def _pack(self) -> np.ndarray:
+        theta = self.kernel.theta
+        if self.optimize_noise:
+            theta = np.append(theta, math.log(self.noise))
+        return theta
+
+    def _unpack(self, packed: np.ndarray) -> None:
+        if self.optimize_noise:
+            self.kernel.theta = packed[:-1]
+            self.noise = float(np.exp(packed[-1]))
+        else:
+            self.kernel.theta = packed
+
+    def _bounds(self):
+        bounds = list(self.kernel.bounds)
+        if self.optimize_noise:
+            # targets are standardized; the cap keeps the noise from
+            # swallowing all structure while still absorbing measurement
+            # noise when observations cluster tightly around an incumbent
+            bounds.append((math.log(1e-6), math.log(0.5)))
+        return bounds
+
+    def _neg_log_marginal(self, packed: np.ndarray) -> Tuple[float, np.ndarray]:
+        self._unpack(packed)
+        X, y = self._X, self._y
+        n = X.shape[0]
+        K = self.kernel(X, X) + (self.noise + _JITTER) * np.eye(n)
+        try:
+            L = linalg.cholesky(K, lower=True)
+        except linalg.LinAlgError:
+            return 1e10, np.zeros_like(packed)
+        alpha = linalg.cho_solve((L, True), y)
+        nll = (0.5 * y @ alpha + np.log(np.diag(L)).sum()
+               + 0.5 * n * math.log(2.0 * math.pi))
+        # gradient: 0.5 tr((K^-1 - alpha alpha^T) dK/dtheta)
+        K_inv = linalg.cho_solve((L, True), np.eye(n))
+        inner = np.outer(alpha, alpha) - K_inv
+        grads = []
+        for dK in self.kernel.gradients(X):
+            grads.append(-0.5 * float(np.sum(inner * dK)))
+        if self.optimize_noise:
+            grads.append(-0.5 * float(np.trace(inner)) * self.noise)
+        return float(nll), np.asarray(grads)
+
+    def _optimize_hyperparameters(self, restarts: int, seed: int) -> None:
+        rng = np.random.default_rng(seed)
+        bounds = self._bounds()
+        starts = [self._pack()]
+        for _ in range(max(0, restarts - 1)):
+            starts.append(np.array([rng.uniform(lo, hi) for lo, hi in bounds]))
+        best_val, best_packed = np.inf, self._pack()
+        for start in starts:
+            result = minimize(self._neg_log_marginal, start, jac=True,
+                              bounds=bounds, method="L-BFGS-B",
+                              options={"maxiter": 60})
+            if result.fun < best_val:
+                best_val, best_packed = float(result.fun), result.x
+        self._unpack(best_packed)
+
+    def _factorize(self) -> None:
+        X, y = self._X, self._y
+        n = X.shape[0]
+        K = self.kernel(X, X) + (self.noise + _JITTER) * np.eye(n)
+        jitter = _JITTER
+        while True:
+            try:
+                self._L = linalg.cholesky(K + jitter * np.eye(n), lower=True)
+                break
+            except linalg.LinAlgError:
+                jitter *= 10.0
+                if jitter > 1.0:
+                    raise
+        self._alpha = linalg.cho_solve((self._L, True), y)
+
+    # -- prediction -----------------------------------------------------------
+    def predict(self, X: np.ndarray, return_std: bool = True):
+        """Posterior mean (and stddev) in the original target units."""
+        if self._X is None:
+            raise RuntimeError("GaussianProcess used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Ks = self.kernel(self._X, X)
+        mean = Ks.T @ self._alpha
+        mean = mean * self._y_std + self._y_mean
+        if not return_std:
+            return mean
+        v = linalg.solve_triangular(self._L, Ks, lower=True)
+        var = self.kernel.diag(X) - np.sum(v ** 2, axis=0)
+        np.maximum(var, 1e-12, out=var)
+        std = np.sqrt(var) * self._y_std
+        return mean, std
+
+    def log_marginal_likelihood(self) -> float:
+        if self._L is None:
+            raise RuntimeError("GaussianProcess used before fit()")
+        n = self._X.shape[0]
+        return float(-(0.5 * self._y @ self._alpha
+                       + np.log(np.diag(self._L)).sum()
+                       + 0.5 * n * math.log(2.0 * math.pi)))
+
+    def sample_posterior(self, X: np.ndarray, n_samples: int = 1,
+                         seed: int = 0) -> np.ndarray:
+        """Draw joint posterior samples at X (shape: n_samples x len(X))."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        mean, _ = self.predict(X)
+        Ks = self.kernel(self._X, X)
+        v = linalg.solve_triangular(self._L, Ks, lower=True)
+        cov = self.kernel(X, X) - v.T @ v
+        cov = cov * self._y_std ** 2
+        cov += 1e-10 * np.eye(cov.shape[0])
+        rng = np.random.default_rng(seed)
+        return rng.multivariate_normal(mean, cov, size=n_samples,
+                                       method="cholesky" if cov.shape[0] < 400 else "eigh")

@@ -1,0 +1,311 @@
+"""Covariance kernels for Gaussian-process regression.
+
+OnlineTune's contextual surrogate uses an *additive* kernel
+``k((theta,c),(theta',c')) = k_Theta(theta,theta') + k_C(c,c')`` with a
+Matérn-5/2 kernel on configurations and a linear kernel on contexts
+(Section 5.2) — the linear part models an overall context-driven trend and
+the Matérn part the configuration-specific deviation.
+
+All kernels expose ``theta`` (log-parameter vector) getters/setters plus
+analytic gradients of K w.r.t. those log-parameters, which the GP uses for
+marginal-likelihood optimization.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+__all__ = [
+    "Kernel",
+    "RBFKernel",
+    "Matern52Kernel",
+    "LinearKernel",
+    "SumKernel",
+    "ColumnSliceKernel",
+    "additive_contextual_kernel",
+    "product_contextual_kernel",
+    "ProductKernel",
+]
+
+
+def _sqdist(X: np.ndarray, Y: np.ndarray, lengthscale: float) -> np.ndarray:
+    Xs = X / lengthscale
+    Ys = Y / lengthscale
+    sq = (np.sum(Xs ** 2, axis=1)[:, None]
+          + np.sum(Ys ** 2, axis=1)[None, :] - 2.0 * (Xs @ Ys.T))
+    np.maximum(sq, 0.0, out=sq)
+    return sq
+
+
+class Kernel:
+    """Base kernel interface."""
+
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        raise NotImplementedError
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.diag(self(X, X))
+
+    # -- hyperparameters (log-space) ------------------------------------
+    @property
+    def theta(self) -> np.ndarray:
+        raise NotImplementedError
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        raise NotImplementedError
+
+    @property
+    def bounds(self) -> List[tuple]:
+        """Log-space bounds, one pair per theta entry."""
+        raise NotImplementedError
+
+    def gradients(self, X: np.ndarray) -> List[np.ndarray]:
+        """dK/dtheta_i at K(X, X), one matrix per log-parameter."""
+        raise NotImplementedError
+
+
+class RBFKernel(Kernel):
+    """Squared-exponential kernel ``s^2 exp(-r^2 / 2 l^2)``."""
+
+    def __init__(self, lengthscale: float = 0.5, variance: float = 1.0) -> None:
+        self.lengthscale = float(lengthscale)
+        self.variance = float(variance)
+
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.atleast_2d(X)
+        Y = X if Y is None else np.atleast_2d(Y)
+        return self.variance * np.exp(-0.5 * _sqdist(X, Y, self.lengthscale))
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(X).shape[0], self.variance)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log([self.lengthscale, self.variance])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.lengthscale, self.variance = np.exp(value)
+
+    @property
+    def bounds(self) -> List[tuple]:
+        # unit-hypercube inputs: lengthscales below ~0.2 mean "no
+        # generalization" and are almost always a degenerate likelihood
+        # optimum when observations cluster around one incumbent (noise
+        # masquerading as short-scale structure)
+        return [(math.log(0.2), math.log(20.0)), (math.log(1e-3), math.log(1e3))]
+
+    def gradients(self, X: np.ndarray) -> List[np.ndarray]:
+        X = np.atleast_2d(X)
+        sq = _sqdist(X, X, self.lengthscale)
+        K = self.variance * np.exp(-0.5 * sq)
+        return [K * sq, K.copy()]  # d/dlog(l), d/dlog(s^2)
+
+
+class Matern52Kernel(Kernel):
+    """Matérn-5/2 kernel — the paper's configuration kernel."""
+
+    SQRT5 = math.sqrt(5.0)
+
+    def __init__(self, lengthscale: float = 0.5, variance: float = 1.0) -> None:
+        self.lengthscale = float(lengthscale)
+        self.variance = float(variance)
+
+    def _r(self, X: np.ndarray, Y: np.ndarray) -> np.ndarray:
+        return np.sqrt(_sqdist(X, Y, self.lengthscale))
+
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.atleast_2d(X)
+        Y = X if Y is None else np.atleast_2d(Y)
+        r = self._r(X, Y)
+        sr = self.SQRT5 * r
+        return self.variance * (1.0 + sr + sr ** 2 / 3.0) * np.exp(-sr)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.full(np.atleast_2d(X).shape[0], self.variance)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log([self.lengthscale, self.variance])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.lengthscale, self.variance = np.exp(value)
+
+    @property
+    def bounds(self) -> List[tuple]:
+        # see RBFKernel.bounds for the lengthscale floor rationale
+        return [(math.log(0.3), math.log(20.0)), (math.log(1e-3), math.log(1e3))]
+
+    def gradients(self, X: np.ndarray) -> List[np.ndarray]:
+        X = np.atleast_2d(X)
+        r = self._r(X, X)
+        sr = self.SQRT5 * r
+        K = self.variance * (1.0 + sr + sr ** 2 / 3.0) * np.exp(-sr)
+        # dK/dr = -variance * (sqrt5/3) * sr * (1 + sr) * exp(-sr) * sqrt5... derive:
+        # K = v (1 + a + a^2/3) e^-a, a = sqrt5 r / l.  dK/da = v e^-a (1 + 2a/3 - 1 - a - a^2/3)
+        #   = -v e^-a (a/3)(1 + a).  d a/d log l = -a, so dK/dlog l = v e^-a (a^2/3)(1+a).
+        a = sr
+        dK_dlogl = self.variance * np.exp(-a) * (a ** 2 / 3.0) * (1.0 + a)
+        return [dK_dlogl, K.copy()]
+
+
+class LinearKernel(Kernel):
+    """Linear (dot-product) kernel ``s^2 (x . y + c)``."""
+
+    def __init__(self, variance: float = 1.0, bias: float = 1.0) -> None:
+        self.variance = float(variance)
+        self.bias = float(bias)
+
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.atleast_2d(X)
+        Y = X if Y is None else np.atleast_2d(Y)
+        return self.variance * (X @ Y.T + self.bias)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(X)
+        return self.variance * (np.sum(X ** 2, axis=1) + self.bias)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.log([self.variance])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.variance = float(np.exp(value[0]))
+
+    @property
+    def bounds(self) -> List[tuple]:
+        return [(math.log(1e-4), math.log(1e3))]
+
+    def gradients(self, X: np.ndarray) -> List[np.ndarray]:
+        return [self(X, X)]
+
+
+class ColumnSliceKernel(Kernel):
+    """Apply an inner kernel to a column slice of the input.
+
+    This is how the joint (theta, c) input is split: the configuration
+    kernel sees columns ``[0, split)`` and the context kernel the rest.
+    """
+
+    def __init__(self, inner: Kernel, columns: slice) -> None:
+        self.inner = inner
+        self.columns = columns
+
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        X = np.atleast_2d(X)[:, self.columns]
+        Y = None if Y is None else np.atleast_2d(Y)[:, self.columns]
+        return self.inner(X, Y)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.inner.diag(np.atleast_2d(X)[:, self.columns])
+
+    @property
+    def theta(self) -> np.ndarray:
+        return self.inner.theta
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        self.inner.theta = value
+
+    @property
+    def bounds(self) -> List[tuple]:
+        return self.inner.bounds
+
+    def gradients(self, X: np.ndarray) -> List[np.ndarray]:
+        return self.inner.gradients(np.atleast_2d(X)[:, self.columns])
+
+
+class SumKernel(Kernel):
+    """Sum of kernels with concatenated hyperparameters."""
+
+    def __init__(self, parts: Sequence[Kernel]) -> None:
+        self.parts = list(parts)
+
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        result = self.parts[0](X, Y)
+        for part in self.parts[1:]:
+            result = result + part(X, Y)
+        return result
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return np.sum([part.diag(X) for part in self.parts], axis=0)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([part.theta for part in self.parts])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        offset = 0
+        for part in self.parts:
+            size = len(part.theta)
+            part.theta = value[offset: offset + size]
+            offset += size
+
+    @property
+    def bounds(self) -> List[tuple]:
+        out: List[tuple] = []
+        for part in self.parts:
+            out.extend(part.bounds)
+        return out
+
+    def gradients(self, X: np.ndarray) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        for part in self.parts:
+            out.extend(part.gradients(X))
+        return out
+
+
+class ProductKernel(Kernel):
+    """Elementwise product of two kernels (ablation alternative)."""
+
+    def __init__(self, left: Kernel, right: Kernel) -> None:
+        self.left = left
+        self.right = right
+
+    def __call__(self, X: np.ndarray, Y: Optional[np.ndarray] = None) -> np.ndarray:
+        return self.left(X, Y) * self.right(X, Y)
+
+    def diag(self, X: np.ndarray) -> np.ndarray:
+        return self.left.diag(X) * self.right.diag(X)
+
+    @property
+    def theta(self) -> np.ndarray:
+        return np.concatenate([self.left.theta, self.right.theta])
+
+    @theta.setter
+    def theta(self, value: np.ndarray) -> None:
+        nl = len(self.left.theta)
+        self.left.theta = value[:nl]
+        self.right.theta = value[nl:]
+
+    @property
+    def bounds(self) -> List[tuple]:
+        return list(self.left.bounds) + list(self.right.bounds)
+
+    def gradients(self, X: np.ndarray) -> List[np.ndarray]:
+        KL, KR = self.left(X, X), self.right(X, X)
+        return ([g * KR for g in self.left.gradients(X)]
+                + [KL * g for g in self.right.gradients(X)])
+
+
+def additive_contextual_kernel(config_dim: int, context_dim: int) -> Kernel:
+    """The paper's kernel: Matérn-5/2 on config + linear on context."""
+    config_part = ColumnSliceKernel(Matern52Kernel(), slice(0, config_dim))
+    context_part = ColumnSliceKernel(LinearKernel(),
+                                     slice(config_dim, config_dim + context_dim))
+    return SumKernel([config_part, context_part])
+
+
+def product_contextual_kernel(config_dim: int, context_dim: int) -> Kernel:
+    """Ablation alternative: Matérn on config x RBF on context."""
+    config_part = ColumnSliceKernel(Matern52Kernel(), slice(0, config_dim))
+    context_part = ColumnSliceKernel(RBFKernel(),
+                                     slice(config_dim, config_dim + context_dim))
+    return ProductKernel(config_part, context_part)

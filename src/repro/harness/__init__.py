@@ -1,0 +1,49 @@
+"""Experiment harness: runner, metrics, registry, reporting."""
+
+from .evaluation import (
+    SafetyStats,
+    StaticStats,
+    cumulative_series,
+    max_improvement,
+    safety_stats,
+    search_step,
+    static_stats,
+)
+from .experiments import (
+    WORKLOAD_FACTORIES,
+    all_tuner_names,
+    build_session,
+    default_iterations,
+    make_tuner,
+    run_tuners,
+)
+from .reporting import (
+    format_cumulative_table,
+    format_safety_table,
+    format_series,
+    format_static_table,
+)
+from .runner import IterationRecord, SessionResult, TuningSession
+
+__all__ = [
+    "TuningSession",
+    "SessionResult",
+    "IterationRecord",
+    "SafetyStats",
+    "StaticStats",
+    "safety_stats",
+    "static_stats",
+    "max_improvement",
+    "search_step",
+    "cumulative_series",
+    "make_tuner",
+    "all_tuner_names",
+    "build_session",
+    "run_tuners",
+    "default_iterations",
+    "WORKLOAD_FACTORIES",
+    "format_safety_table",
+    "format_static_table",
+    "format_series",
+    "format_cumulative_table",
+]

@@ -1,0 +1,87 @@
+"""Evaluation metrics matching the paper's reporting.
+
+* safety: #Unsafe recommendations and #Failure within the tuning period,
+* cumulative performance / cumulative improvement,
+* static-workload statistics (Table 1): Max Improvement and Search Step
+  (first iteration within 10% of the estimated optimum).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .runner import SessionResult
+
+__all__ = ["SafetyStats", "safety_stats", "max_improvement", "search_step",
+           "StaticStats", "static_stats", "cumulative_series"]
+
+
+@dataclass
+class SafetyStats:
+    """The paper's per-run safety counters."""
+
+    n_unsafe: int
+    n_failures: int
+    unsafe_fraction: float
+
+    @staticmethod
+    def of(result: SessionResult) -> "SafetyStats":
+        n = max(len(result.records), 1)
+        return SafetyStats(result.n_unsafe, result.n_failures,
+                           result.n_unsafe / n)
+
+
+def safety_stats(result: SessionResult) -> SafetyStats:
+    return SafetyStats.of(result)
+
+
+def max_improvement(result: SessionResult) -> float:
+    """Best relative improvement over the default across the run."""
+    if not result.records:
+        return 0.0
+    return float(np.max(result.improvement_series()))
+
+
+def search_step(result: SessionResult, optimum_improvement: float,
+                within: float = 0.10) -> Optional[int]:
+    """First iteration whose performance is within ``within`` of the optimum.
+
+    ``optimum_improvement`` is the estimated-optimum improvement over the
+    default; a record qualifies when its improvement reaches
+    ``optimum_improvement - within`` (mirroring Table 1's "within 10% of
+    the estimated optimum"; None = never found, printed as ``\\``).
+    """
+    target = optimum_improvement - within
+    for record in result.records:
+        if record.improvement >= target:
+            return record.iteration
+    return None
+
+
+@dataclass
+class StaticStats:
+    """Row of the paper's Table 1."""
+
+    tuner: str
+    max_improvement: float
+    search_step: Optional[int]
+
+
+def static_stats(result: SessionResult,
+                 optimum_improvement: float) -> StaticStats:
+    return StaticStats(result.tuner_name, max_improvement(result),
+                       search_step(result, optimum_improvement))
+
+
+def cumulative_series(result: SessionResult,
+                      interval_seconds: float = 180.0) -> np.ndarray:
+    """Cumulative objective over iterations (the Figure 5 curves)."""
+    if result.is_olap:
+        per_iter = np.array([r.exec_seconds for r in result.records])
+    else:
+        per_iter = np.array([r.throughput * interval_seconds
+                             for r in result.records])
+    return np.cumsum(per_iter)

@@ -1,0 +1,146 @@
+"""Experiment registry: the paper's evaluation setups as callables.
+
+Each ``build_*`` function returns freshly seeded tuners/instances so a
+benchmark or test can run the exact configuration behind a figure/table.
+The iteration counts default to *scaled-down* versions of the paper's 400
+intervals so the whole suite runs on a laptop; pass ``n_iterations``
+explicitly (or set ``REPRO_FULL=1``) for full-scale runs.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Callable, Dict, List, Optional
+
+from ..baselines import (
+    BOTuner,
+    DDPGTuner,
+    DefaultTuner,
+    MysqlTunerBaseline,
+    QTuneTuner,
+    ResTuneTuner,
+)
+from ..baselines.base import BaseTuner
+from ..core import OnlineTune, OnlineTuneConfig
+from ..dbms import PerformanceModel, SimulatedMySQL
+from ..knobs import (
+    KnobSpace,
+    case_study_space,
+    dba_default_config,
+    mysql57_space,
+    mysql_default_config,
+)
+from ..workloads import (
+    AlternatingWorkload,
+    JOBWorkload,
+    RealWorldTrace,
+    TPCCWorkload,
+    TwitterWorkload,
+    Workload,
+    YCSBWorkload,
+)
+from .runner import SessionResult, TuningSession
+
+__all__ = [
+    "default_iterations",
+    "make_tuner",
+    "all_tuner_names",
+    "build_session",
+    "run_tuners",
+    "WORKLOAD_FACTORIES",
+]
+
+TUNER_NAMES = ("OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner")
+
+WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
+    "tpcc": TPCCWorkload,
+    "twitter": TwitterWorkload,
+    "ycsb": YCSBWorkload,
+    "job": JOBWorkload,
+    "realworld": RealWorldTrace,
+}
+
+
+def default_iterations(full_scale: int = 400, quick: int = 60) -> int:
+    """Paper-scale iterations when REPRO_FULL=1, else a quick run."""
+    return full_scale if os.environ.get("REPRO_FULL") == "1" else quick
+
+
+def all_tuner_names() -> List[str]:
+    return list(TUNER_NAMES)
+
+
+def make_tuner(name: str, space: KnobSpace, seed: int = 0,
+               onlinetune_config: Optional[OnlineTuneConfig] = None) -> BaseTuner:
+    """Factory for the paper's tuners by name.
+
+    The seed is offset per tuner name so tuners sharing internals (e.g.
+    BO and ResTune both sample random acquisition candidates) do not
+    produce identical trajectories under the same experiment seed.
+    """
+    seed = seed + sum(ord(c) for c in name) * 1009
+    if name == "OnlineTune":
+        return OnlineTune(space, config=onlinetune_config, seed=seed)
+    if name == "BO":
+        return BOTuner(space, seed=seed)
+    if name == "DDPG":
+        return DDPGTuner(space, seed=seed)
+    if name == "QTune":
+        return QTuneTuner(space, seed=seed)
+    if name == "ResTune":
+        return ResTuneTuner(space, seed=seed)
+    if name == "MysqlTuner":
+        return MysqlTunerBaseline(space, seed=seed)
+    if name == "Default":
+        return DefaultTuner(space, seed=seed)
+    raise ValueError(f"unknown tuner {name!r}")
+
+
+def build_session(tuner: BaseTuner, workload: Workload,
+                  space: Optional[KnobSpace] = None,
+                  reference: str = "dba", n_iterations: int = 60,
+                  interval_seconds: float = 180.0, seed: int = 0,
+                  noise_std: float = 0.02) -> TuningSession:
+    """Wire a tuner to a fresh simulated instance."""
+    space = space or tuner.space
+    if reference == "dba":
+        ref_config = dba_default_config(space) if _is_full_space(space) \
+            else _project(dba_default_config(mysql57_space()), space)
+    elif reference == "mysql":
+        ref_config = mysql_default_config(space) if _is_full_space(space) \
+            else _project(mysql_default_config(mysql57_space()), space)
+    else:
+        raise ValueError(f"unknown reference {reference!r}")
+    db = SimulatedMySQL(space, workload, reference_config=ref_config,
+                        model=PerformanceModel(noise_std=noise_std),
+                        interval_seconds=interval_seconds, seed=seed)
+    return TuningSession(tuner, db, n_iterations=n_iterations)
+
+
+def _is_full_space(space: KnobSpace) -> bool:
+    return space.dim == 40
+
+
+def _project(config, space: KnobSpace):
+    return {k.name: config.get(k.name, k.default) for k in space}
+
+
+def run_tuners(workload_factory: Callable[[int], Workload],
+               tuner_names: Optional[List[str]] = None,
+               space: Optional[KnobSpace] = None,
+               n_iterations: int = 60, seed: int = 0,
+               reference: str = "dba",
+               interval_seconds: float = 180.0,
+               onlinetune_config: Optional[OnlineTuneConfig] = None) -> Dict[str, SessionResult]:
+    """Run several tuners on independent copies of the same workload."""
+    space = space or mysql57_space()
+    results: Dict[str, SessionResult] = {}
+    for name in (tuner_names or all_tuner_names()):
+        tuner = make_tuner(name, space, seed=seed,
+                           onlinetune_config=onlinetune_config)
+        session = build_session(tuner, workload_factory(seed), space=space,
+                                reference=reference,
+                                n_iterations=n_iterations,
+                                interval_seconds=interval_seconds, seed=seed)
+        results[name] = session.run()
+    return results

@@ -1,0 +1,68 @@
+"""Plain-text reporting helpers: print the paper's tables and series."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+import numpy as np
+
+from .evaluation import StaticStats, safety_stats
+from .runner import SessionResult
+
+__all__ = ["format_safety_table", "format_static_table", "format_series",
+           "format_cumulative_table"]
+
+
+def format_safety_table(results: Sequence[SessionResult],
+                        title: str = "") -> str:
+    """The #Unsafe / #Failure bars of Figures 5/7/11/14/15."""
+    lines = []
+    if title:
+        lines.append(title)
+    lines.append(f"{'tuner':<14} {'#Unsafe':>8} {'#Failure':>9} {'unsafe%':>8}")
+    for result in results:
+        stats = safety_stats(result)
+        lines.append(f"{result.tuner_name:<14} {stats.n_unsafe:>8d} "
+                     f"{stats.n_failures:>9d} {100 * stats.unsafe_fraction:>7.1f}%")
+    return "\n".join(lines)
+
+
+def format_cumulative_table(results: Sequence[SessionResult],
+                            interval_seconds: float = 180.0,
+                            title: str = "") -> str:
+    """Cumulative performance rows (higher=better OLTP, lower=better OLAP)."""
+    lines = []
+    if title:
+        lines.append(title)
+    header = (f"{'tuner':<14} {'cumulative':>14} {'cum.improv':>12} "
+              f"{'#Unsafe':>8} {'#Failure':>9}")
+    lines.append(header)
+    for result in results:
+        lines.append(
+            f"{result.tuner_name:<14} "
+            f"{result.cumulative_objective(interval_seconds):>14.3e} "
+            f"{result.cumulative_improvement():>12.3e} "
+            f"{result.n_unsafe:>8d} {result.n_failures:>9d}")
+    return "\n".join(lines)
+
+
+def format_static_table(rows: Sequence[StaticStats], workload: str = "") -> str:
+    """Table 1 rows: Max Improv. and Search Step per tuner."""
+    lines = []
+    if workload:
+        lines.append(f"workload: {workload}")
+    lines.append(f"{'tuner':<14} {'Max Improv.':>12} {'Search Step':>12}")
+    for row in rows:
+        step = "\\" if row.search_step is None else str(row.search_step)
+        lines.append(f"{row.tuner:<14} {100 * row.max_improvement:>11.2f}% "
+                     f"{step:>12}")
+    return "\n".join(lines)
+
+
+def format_series(values: Sequence[float], label: str = "",
+                  every: int = 10) -> str:
+    """A compact numeric series dump (stands in for the paper's plots)."""
+    values = list(values)
+    picks = values[::every] if len(values) > every else values
+    body = " ".join(f"{v:.4g}" for v in picks)
+    return f"{label}[every {every}]: {body}" if label else body

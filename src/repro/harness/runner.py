@@ -1,0 +1,158 @@
+"""Tuning-session runner: drives tuner <-> simulated DBMS for N intervals.
+
+This is the experimental loop shared by every figure/table reproduction.
+Each iteration follows the paper's workflow: observe the workload
+snapshot, query the context's default performance (safety threshold tau),
+ask the tuner for a configuration, run the interval, and feed the outcome
+back to the tuner.
+"""
+
+from __future__ import annotations
+
+import time
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional
+
+import numpy as np
+
+from ..baselines.base import BaseTuner, Feedback, SuggestInput
+from ..dbms.engine import SimulatedMySQL
+
+__all__ = ["IterationRecord", "SessionResult", "TuningSession"]
+
+#: relative slack below tau before a recommendation is counted unsafe;
+#: absorbs measurement noise exactly like a production SLA guardband.
+UNSAFE_TOLERANCE = 0.05
+
+
+@dataclass
+class IterationRecord:
+    """Everything measured during one tuning interval."""
+
+    iteration: int
+    performance: float               # maximization objective
+    default_performance: float       # tau for this context
+    throughput: float
+    latency_p99: float
+    exec_seconds: float
+    failed: bool
+    unsafe: bool
+    suggest_seconds: float           # tuner computation time
+    config: Dict[str, object] = field(default_factory=dict)
+
+    @property
+    def improvement(self) -> float:
+        tau = self.default_performance
+        return (self.performance - tau) / max(abs(tau), 1e-9)
+
+
+@dataclass
+class SessionResult:
+    """Outcome of a full tuning session."""
+
+    tuner_name: str
+    records: List[IterationRecord]
+    is_olap: bool = False
+
+    # -- safety statistics -------------------------------------------------
+    @property
+    def n_unsafe(self) -> int:
+        return sum(r.unsafe for r in self.records)
+
+    @property
+    def n_failures(self) -> int:
+        return sum(r.failed for r in self.records)
+
+    # -- cumulative performance ------------------------------------------
+    def cumulative_transactions(self, interval_seconds: float = 180.0) -> float:
+        """Total transactions processed while tuning (OLTP metric)."""
+        return sum(r.throughput for r in self.records) * interval_seconds
+
+    def cumulative_execution_seconds(self) -> float:
+        """Total OLAP execution time while tuning (lower is better)."""
+        return sum(r.exec_seconds for r in self.records)
+
+    def cumulative_improvement(self) -> float:
+        """Sum of (f_t - tau_t): the paper's cumulative-improvement metric."""
+        return sum(r.performance - r.default_performance for r in self.records)
+
+    def cumulative_objective(self, interval_seconds: float = 180.0) -> float:
+        if self.is_olap:
+            return self.cumulative_execution_seconds()
+        return self.cumulative_transactions(interval_seconds)
+
+    # -- series for plotting/benchmark output ------------------------------
+    def performance_series(self) -> np.ndarray:
+        return np.array([r.performance for r in self.records])
+
+    def improvement_series(self) -> np.ndarray:
+        return np.array([r.improvement for r in self.records])
+
+    def mean_suggest_seconds(self) -> float:
+        if not self.records:
+            return 0.0
+        return float(np.mean([r.suggest_seconds for r in self.records]))
+
+
+class TuningSession:
+    """Run one tuner against one simulated instance."""
+
+    def __init__(self, tuner: BaseTuner, db: SimulatedMySQL,
+                 n_iterations: int = 100,
+                 unsafe_tolerance: float = UNSAFE_TOLERANCE,
+                 snapshot_queries: int = 30,
+                 record_configs: bool = False) -> None:
+        self.tuner = tuner
+        self.db = db
+        self.n_iterations = int(n_iterations)
+        self.unsafe_tolerance = float(unsafe_tolerance)
+        self.snapshot_queries = int(snapshot_queries)
+        self.record_configs = record_configs
+
+    def run(self) -> SessionResult:
+        db = self.db
+        tuner = self.tuner
+        tuner.start(dict(db.reference_config), db.default_performance(0))
+
+        last_metrics: Dict[str, float] = {}
+        records: List[IterationRecord] = []
+        any_olap = False
+
+        for t in range(self.n_iterations):
+            profile = db.profile(t)
+            any_olap = any_olap or profile.is_olap
+            snapshot = db.observe_snapshot(t, n_queries=self.snapshot_queries)
+            tau = db.default_performance(t)
+
+            inp = SuggestInput(iteration=t, snapshot=snapshot,
+                               metrics=last_metrics,
+                               default_performance=tau,
+                               is_olap=profile.is_olap)
+            t0 = time.perf_counter()
+            config = tuner.suggest(inp)
+            suggest_seconds = time.perf_counter() - t0
+
+            result = db.run_interval(t, config)
+            perf = result.objective(profile.is_olap)
+            unsafe = result.failed or (
+                perf < tau - self.unsafe_tolerance * abs(tau))
+
+            tuner.observe(Feedback(
+                iteration=t, config=config, performance=perf,
+                metrics=result.metrics, failed=result.failed,
+                default_performance=tau))
+
+            last_metrics = result.metrics
+            records.append(IterationRecord(
+                iteration=t,
+                performance=perf,
+                default_performance=tau,
+                throughput=result.throughput,
+                latency_p99=result.latency_p99,
+                exec_seconds=result.exec_seconds,
+                failed=result.failed,
+                unsafe=bool(unsafe),
+                suggest_seconds=suggest_seconds,
+                config=dict(config) if self.record_configs else {},
+            ))
+        return SessionResult(tuner.name, records, is_olap=any_olap)

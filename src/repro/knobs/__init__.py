@@ -1,0 +1,41 @@
+"""Knob space definitions (the configuration space Theta)."""
+
+from .knob import (
+    Configuration,
+    EnumKnob,
+    FloatKnob,
+    IntegerKnob,
+    Knob,
+    KnobSpace,
+)
+from .mysql_knobs import (
+    GIB,
+    IMPORTANCE_PRIOR,
+    INSTANCE_MEMORY_BYTES,
+    INSTANCE_VCPUS,
+    MIB,
+    case_study_space,
+    dba_default_config,
+    importance_prior_vector,
+    mysql57_space,
+    mysql_default_config,
+)
+
+__all__ = [
+    "Knob",
+    "IntegerKnob",
+    "FloatKnob",
+    "EnumKnob",
+    "KnobSpace",
+    "Configuration",
+    "mysql57_space",
+    "case_study_space",
+    "IMPORTANCE_PRIOR",
+    "importance_prior_vector",
+    "dba_default_config",
+    "mysql_default_config",
+    "INSTANCE_MEMORY_BYTES",
+    "INSTANCE_VCPUS",
+    "MIB",
+    "GIB",
+]

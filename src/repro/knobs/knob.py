@@ -1,0 +1,272 @@
+"""Knob and knob-space abstractions.
+
+A *knob* is a single tunable DBMS configuration parameter.  A
+:class:`KnobSpace` is an ordered collection of knobs defining the search
+space Theta = Theta_1 x ... x Theta_m from the paper's problem statement
+(Section 3).  All tuners in this repository work on the *normalized* unit
+hypercube ``[0, 1]^m``; the knob space is responsible for translating
+between unit vectors and concrete configuration dictionaries.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = [
+    "Knob",
+    "IntegerKnob",
+    "FloatKnob",
+    "EnumKnob",
+    "KnobSpace",
+    "Configuration",
+]
+
+
+class Knob:
+    """Base class for a single tunable configuration parameter.
+
+    Parameters
+    ----------
+    name:
+        The configuration variable name (e.g. ``innodb_buffer_pool_size``).
+    default:
+        The vendor-default value.
+    unit:
+        Optional human-readable unit ("bytes", "ms", ...), documentation only.
+    restart_required:
+        Whether changing the knob requires a DBMS restart.  The paper tunes
+        only dynamic (no-restart) knobs; the flag lets a space filter them.
+    """
+
+    def __init__(self, name: str, default, unit: str = "", restart_required: bool = False):
+        self.name = name
+        self.default = default
+        self.unit = unit
+        self.restart_required = restart_required
+
+    # -- interface -------------------------------------------------------
+    def to_unit(self, value) -> float:
+        """Map a concrete value into [0, 1]."""
+        raise NotImplementedError
+
+    def from_unit(self, u: float):
+        """Map a unit-interval coordinate back to a concrete value."""
+        raise NotImplementedError
+
+    def clip(self, value):
+        """Clamp a concrete value into the legal range."""
+        raise NotImplementedError
+
+    def grid(self, resolution: int) -> List:
+        """Return up to ``resolution`` representative concrete values."""
+        raise NotImplementedError
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, default={self.default!r})"
+
+
+class IntegerKnob(Knob):
+    """An integer-valued knob on ``[low, high]``, optionally log-scaled.
+
+    Log scaling is important for size-like knobs (buffer sizes span
+    kilobytes to tens of gigabytes); it makes the unit-space geometry match
+    how DBAs reason about these parameters.
+    """
+
+    def __init__(self, name: str, low: int, high: int, default: int,
+                 unit: str = "", log_scale: bool = False, restart_required: bool = False):
+        if low >= high:
+            raise ValueError(f"knob {name}: low {low} must be < high {high}")
+        if not (low <= default <= high):
+            raise ValueError(f"knob {name}: default {default} outside [{low}, {high}]")
+        if log_scale and low <= 0:
+            raise ValueError(f"knob {name}: log scale requires positive low, got {low}")
+        super().__init__(name, default, unit, restart_required)
+        self.low = int(low)
+        self.high = int(high)
+        self.log_scale = log_scale
+
+    def to_unit(self, value) -> float:
+        value = self.clip(value)
+        if self.log_scale:
+            return (math.log(value) - math.log(self.low)) / (math.log(self.high) - math.log(self.low))
+        return (value - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> int:
+        u = min(1.0, max(0.0, float(u)))
+        if self.log_scale:
+            raw = math.exp(math.log(self.low) + u * (math.log(self.high) - math.log(self.low)))
+        else:
+            raw = self.low + u * (self.high - self.low)
+        return int(self.clip(int(round(raw))))
+
+    def clip(self, value) -> int:
+        return int(min(self.high, max(self.low, int(value))))
+
+    def grid(self, resolution: int) -> List[int]:
+        units = np.linspace(0.0, 1.0, resolution)
+        values = sorted({self.from_unit(u) for u in units})
+        return values
+
+
+class FloatKnob(Knob):
+    """A real-valued knob on ``[low, high]``."""
+
+    def __init__(self, name: str, low: float, high: float, default: float,
+                 unit: str = "", log_scale: bool = False, restart_required: bool = False):
+        if low >= high:
+            raise ValueError(f"knob {name}: low {low} must be < high {high}")
+        if not (low <= default <= high):
+            raise ValueError(f"knob {name}: default {default} outside [{low}, {high}]")
+        if log_scale and low <= 0:
+            raise ValueError(f"knob {name}: log scale requires positive low, got {low}")
+        super().__init__(name, default, unit, restart_required)
+        self.low = float(low)
+        self.high = float(high)
+        self.log_scale = log_scale
+
+    def to_unit(self, value) -> float:
+        value = self.clip(value)
+        if self.log_scale:
+            return (math.log(value) - math.log(self.low)) / (math.log(self.high) - math.log(self.low))
+        return (value - self.low) / (self.high - self.low)
+
+    def from_unit(self, u: float) -> float:
+        u = min(1.0, max(0.0, float(u)))
+        if self.log_scale:
+            return float(math.exp(math.log(self.low) + u * (math.log(self.high) - math.log(self.low))))
+        return float(self.low + u * (self.high - self.low))
+
+    def clip(self, value) -> float:
+        return float(min(self.high, max(self.low, float(value))))
+
+    def grid(self, resolution: int) -> List[float]:
+        return [self.from_unit(u) for u in np.linspace(0.0, 1.0, resolution)]
+
+
+class EnumKnob(Knob):
+    """A categorical knob with a finite, ordered list of choices.
+
+    The choices are embedded evenly on [0, 1].  The paper notes that knobs
+    *without intrinsic ordering* (e.g. ``innodb_thread_concurrency`` where 0
+    means "unlimited") are exactly the ones the GP mis-extrapolates on and
+    the white box must guard; representing them as enums keeps that
+    behaviour reproducible.
+    """
+
+    def __init__(self, name: str, choices: Sequence, default, unit: str = "",
+                 restart_required: bool = False):
+        choices = list(choices)
+        if len(choices) < 2:
+            raise ValueError(f"knob {name}: need at least 2 choices")
+        if default not in choices:
+            raise ValueError(f"knob {name}: default {default!r} not in choices")
+        super().__init__(name, default, unit, restart_required)
+        self.choices = choices
+
+    def to_unit(self, value) -> float:
+        try:
+            idx = self.choices.index(value)
+        except ValueError:
+            idx = self.choices.index(self.clip(value))
+        return idx / (len(self.choices) - 1)
+
+    def from_unit(self, u: float):
+        u = min(1.0, max(0.0, float(u)))
+        idx = int(round(u * (len(self.choices) - 1)))
+        return self.choices[idx]
+
+    def clip(self, value):
+        if value in self.choices:
+            return value
+        # fall back to nearest choice for numeric-like enums
+        try:
+            numeric = [float(c) for c in self.choices]
+            target = float(value)
+            best = int(np.argmin([abs(n - target) for n in numeric]))
+            return self.choices[best]
+        except (TypeError, ValueError):
+            return self.default
+
+    def grid(self, resolution: int) -> List:
+        return list(self.choices)
+
+
+Configuration = Dict[str, object]
+"""A concrete configuration: knob name -> concrete value."""
+
+
+@dataclass
+class KnobSpace:
+    """An ordered collection of knobs with vector <-> dict conversion."""
+
+    knobs: List[Knob] = field(default_factory=list)
+
+    def __post_init__(self) -> None:
+        names = [k.name for k in self.knobs]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate knob names in KnobSpace")
+        self._by_name = {k.name: k for k in self.knobs}
+
+    # -- container protocol ----------------------------------------------
+    def __len__(self) -> int:
+        return len(self.knobs)
+
+    def __iter__(self) -> Iterator[Knob]:
+        return iter(self.knobs)
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._by_name
+
+    def __getitem__(self, name: str) -> Knob:
+        return self._by_name[name]
+
+    @property
+    def names(self) -> List[str]:
+        return [k.name for k in self.knobs]
+
+    @property
+    def dim(self) -> int:
+        return len(self.knobs)
+
+    # -- conversions -------------------------------------------------------
+    def default_config(self) -> Configuration:
+        return {k.name: k.default for k in self.knobs}
+
+    def default_vector(self) -> np.ndarray:
+        return self.to_unit(self.default_config())
+
+    def to_unit(self, config: Mapping[str, object]) -> np.ndarray:
+        """Convert a config dict to a unit vector; missing knobs use defaults."""
+        vec = np.empty(len(self.knobs))
+        for i, knob in enumerate(self.knobs):
+            value = config.get(knob.name, knob.default)
+            vec[i] = knob.to_unit(value)
+        return vec
+
+    def from_unit(self, vector: np.ndarray) -> Configuration:
+        vector = np.asarray(vector, dtype=float)
+        if vector.shape != (len(self.knobs),):
+            raise ValueError(
+                f"vector shape {vector.shape} does not match space dim {len(self.knobs)}")
+        return {knob.name: knob.from_unit(u) for knob, u in zip(self.knobs, vector)}
+
+    def clip_config(self, config: Mapping[str, object]) -> Configuration:
+        return {k.name: k.clip(config.get(k.name, k.default)) for k in self.knobs}
+
+    def subspace(self, names: Sequence[str]) -> "KnobSpace":
+        """Restrict to the named knobs (order follows ``names``)."""
+        missing = [n for n in names if n not in self._by_name]
+        if missing:
+            raise KeyError(f"unknown knobs: {missing}")
+        return KnobSpace([self._by_name[n] for n in names])
+
+    def random_vector(self, rng: np.random.Generator) -> np.ndarray:
+        return rng.random(len(self.knobs))
+
+    def sample_configs(self, n: int, rng: np.random.Generator) -> List[Configuration]:
+        return [self.from_unit(self.random_vector(rng)) for _ in range(n)]

@@ -1,0 +1,201 @@
+"""MySQL 5.7 knob definitions used throughout the reproduction.
+
+The paper tunes 40 dynamic (no-restart) configuration knobs chosen by DBAs
+for importance.  The list below mirrors well-known MySQL 5.7 dynamic system
+variables with realistic ranges for an 8 vCPU / 16 GB cloud instance (the
+paper's setup).  Defaults distinguish the *vendor* (MySQL) default from the
+*DBA* default used as the initial safety set; the DBA default is produced by
+:func:`dba_default_config`.
+
+The 5-knob case-study space (Section 7.2) is produced by
+:func:`case_study_space`.
+"""
+
+from __future__ import annotations
+
+from typing import Dict
+
+from .knob import Configuration, EnumKnob, FloatKnob, IntegerKnob, KnobSpace
+
+__all__ = [
+    "MIB",
+    "GIB",
+    "INSTANCE_MEMORY_BYTES",
+    "INSTANCE_VCPUS",
+    "mysql57_space",
+    "case_study_space",
+    "dba_default_config",
+    "mysql_default_config",
+]
+
+KIB = 1024
+MIB = 1024 * KIB
+GIB = 1024 * MIB
+
+#: The paper's evaluation instance: 8 vCPU, 16 GB RAM.
+INSTANCE_MEMORY_BYTES = 16 * GIB
+INSTANCE_VCPUS = 8
+
+
+def mysql57_space() -> KnobSpace:
+    """The 40-knob dynamic MySQL 5.7 tuning space.
+
+    Ranges are intentionally wide enough to contain unsafe settings (e.g.
+    buffer pool sizes beyond physical memory when combined with per-session
+    buffers), because exercising unsafe regions is central to the paper's
+    safety evaluation.
+    """
+    knobs = [
+        # -- InnoDB memory ------------------------------------------------
+        IntegerKnob("innodb_buffer_pool_size", 128 * MIB, 15 * GIB, 128 * MIB,
+                    unit="bytes", log_scale=True),
+        IntegerKnob("innodb_change_buffer_max_size", 0, 50, 25, unit="percent"),
+        IntegerKnob("innodb_sort_buffer_size", 64 * KIB, 64 * MIB, 1 * MIB,
+                    unit="bytes", log_scale=True),
+        IntegerKnob("innodb_log_buffer_size", 1 * MIB, 256 * MIB, 16 * MIB,
+                    unit="bytes", log_scale=True),
+        # -- InnoDB I/O -----------------------------------------------------
+        IntegerKnob("innodb_io_capacity", 100, 20000, 200, log_scale=True),
+        IntegerKnob("innodb_io_capacity_max", 200, 40000, 2000, log_scale=True),
+        IntegerKnob("innodb_read_io_threads", 1, 64, 4),
+        IntegerKnob("innodb_write_io_threads", 1, 64, 4),
+        IntegerKnob("innodb_purge_threads", 1, 32, 4),
+        IntegerKnob("innodb_page_cleaners", 1, 16, 4),
+        IntegerKnob("innodb_lru_scan_depth", 100, 16384, 1024, log_scale=True),
+        EnumKnob("innodb_flush_neighbors", [0, 1, 2], 1),
+        # -- InnoDB durability / logging -----------------------------------
+        EnumKnob("innodb_flush_log_at_trx_commit", [0, 1, 2], 1),
+        EnumKnob("innodb_flush_log_at_timeout", [1, 2, 5, 10, 30], 1, unit="seconds"),
+        IntegerKnob("innodb_max_dirty_pages_pct", 5, 99, 75, unit="percent"),
+        IntegerKnob("innodb_max_dirty_pages_pct_lwm", 0, 70, 0, unit="percent"),
+        EnumKnob("innodb_adaptive_flushing", ["OFF", "ON"], "ON"),
+        IntegerKnob("innodb_adaptive_flushing_lwm", 0, 70, 10, unit="percent"),
+        IntegerKnob("innodb_flushing_avg_loops", 1, 1000, 30),
+        # -- InnoDB concurrency ---------------------------------------------
+        EnumKnob("innodb_thread_concurrency",
+                 [0, 1, 2, 4, 8, 16, 32, 64, 128], 0),
+        IntegerKnob("innodb_thread_sleep_delay", 0, 1000000, 10000, unit="microseconds"),
+        IntegerKnob("innodb_spin_wait_delay", 0, 1500, 6),
+        IntegerKnob("innodb_sync_spin_loops", 0, 400, 30),
+        IntegerKnob("innodb_concurrency_tickets", 1, 100000, 5000, log_scale=True),
+        EnumKnob("innodb_adaptive_hash_index", ["OFF", "ON"], "ON"),
+        IntegerKnob("innodb_adaptive_max_sleep_delay", 0, 1000000, 150000,
+                    unit="microseconds"),
+        # -- InnoDB misc ------------------------------------------------------
+        IntegerKnob("innodb_old_blocks_pct", 5, 95, 37, unit="percent"),
+        IntegerKnob("innodb_old_blocks_time", 0, 10000, 1000, unit="ms"),
+        EnumKnob("innodb_random_read_ahead", ["OFF", "ON"], "OFF"),
+        IntegerKnob("innodb_read_ahead_threshold", 0, 64, 56),
+        IntegerKnob("innodb_sync_array_size", 1, 1024, 1, log_scale=True),
+        # -- session buffers ---------------------------------------------------
+        IntegerKnob("sort_buffer_size", 32 * KIB, 256 * MIB, 256 * KIB,
+                    unit="bytes", log_scale=True),
+        IntegerKnob("join_buffer_size", 128 * KIB, 256 * MIB, 256 * KIB,
+                    unit="bytes", log_scale=True),
+        IntegerKnob("read_buffer_size", 8 * KIB, 64 * MIB, 128 * KIB,
+                    unit="bytes", log_scale=True),
+        IntegerKnob("read_rnd_buffer_size", 8 * KIB, 64 * MIB, 256 * KIB,
+                    unit="bytes", log_scale=True),
+        IntegerKnob("max_heap_table_size", 16 * KIB, 1 * GIB, 16 * MIB,
+                    unit="bytes", log_scale=True),
+        IntegerKnob("tmp_table_size", 1 * MIB, 1 * GIB, 16 * MIB,
+                    unit="bytes", log_scale=True),
+        # -- server-level -------------------------------------------------------
+        IntegerKnob("table_open_cache", 400, 10000, 2000, log_scale=True),
+        IntegerKnob("thread_cache_size", 0, 1000, 9),
+        IntegerKnob("max_connections", 100, 10000, 151, log_scale=True),
+    ]
+    space = KnobSpace(knobs)
+    assert space.dim == 40, f"expected 40 knobs, got {space.dim}"
+    return space
+
+
+def case_study_space() -> KnobSpace:
+    """The 5-knob space from the Section 7.2 YCSB case study.
+
+    The paper highlights ``innodb_buffer_pool_size`` and
+    ``max_heap_table_size`` (Figure 10) and ``innodb_spin_wait_delay`` /
+    ``max_heap_table_size`` as the two most important knobs (Figure 12).
+    """
+    full = mysql57_space()
+    return full.subspace([
+        "innodb_buffer_pool_size",
+        "max_heap_table_size",
+        "innodb_spin_wait_delay",
+        "innodb_flush_log_at_trx_commit",
+        "sort_buffer_size",
+    ])
+
+
+#: DBA prior over knob importance (the paper's 40 knobs are themselves
+#: "chosen based on their importance by DBAs"; this ranking seeds the
+#: important-direction oracle before fANOVA has enough observations).
+IMPORTANCE_PRIOR = {
+    "innodb_buffer_pool_size": 1.0,
+    "innodb_flush_log_at_trx_commit": 0.9,
+    "innodb_io_capacity": 0.7,
+    "innodb_thread_concurrency": 0.65,
+    "max_heap_table_size": 0.6,
+    "tmp_table_size": 0.55,
+    "innodb_spin_wait_delay": 0.5,
+    "innodb_log_buffer_size": 0.45,
+    "join_buffer_size": 0.4,
+    "sort_buffer_size": 0.35,
+    "innodb_max_dirty_pages_pct": 0.3,
+    "innodb_old_blocks_pct": 0.25,
+}
+
+
+def importance_prior_vector(space: KnobSpace) -> "np.ndarray":
+    """IMPORTANCE_PRIOR as a vector aligned with ``space`` (0.05 floor)."""
+    import numpy as np
+    return np.array([max(IMPORTANCE_PRIOR.get(k.name, 0.0), 0.05)
+                     for k in space])
+
+
+def mysql_default_config(space: KnobSpace | None = None) -> Configuration:
+    """The vendor (MySQL 5.7) default configuration.
+
+    Notably ``innodb_buffer_pool_size`` = 128 MB, which the paper's Figure 17
+    uses as the inferior starting point.
+    """
+    space = space or mysql57_space()
+    return space.default_config()
+
+
+def dba_default_config(space: KnobSpace | None = None) -> Configuration:
+    """An experienced-DBA default for an 8 vCPU / 16 GB instance.
+
+    The paper's DBA default sets the buffer pool to 13 GB (Section 7.3.4);
+    we use 12 GB so the DBA default leaves the simulator's swap region with
+    comfortable margin, and generally track cloud-provider parameter groups.
+    """
+    space = space or mysql57_space()
+    overrides: Dict[str, object] = {
+        "innodb_buffer_pool_size": 12 * GIB,
+        "innodb_log_buffer_size": 64 * MIB,
+        "innodb_io_capacity": 2000,
+        "innodb_io_capacity_max": 4000,
+        "innodb_read_io_threads": 8,
+        "innodb_write_io_threads": 8,
+        "innodb_purge_threads": 4,
+        "innodb_page_cleaners": 8,
+        "innodb_flush_log_at_trx_commit": 1,
+        "innodb_max_dirty_pages_pct": 75,
+        "innodb_thread_concurrency": 0,
+        "innodb_spin_wait_delay": 6,
+        "sort_buffer_size": 2 * MIB,
+        "join_buffer_size": 2 * MIB,
+        "read_buffer_size": 1 * MIB,
+        "read_rnd_buffer_size": 1 * MIB,
+        "max_heap_table_size": 64 * MIB,
+        "tmp_table_size": 64 * MIB,
+        "table_open_cache": 4000,
+        "thread_cache_size": 100,
+        "max_connections": 2000,
+    }
+    config = space.default_config()
+    for name, value in overrides.items():
+        if name in space:
+            config[name] = space[name].clip(value)
+    return config

@@ -1,0 +1,97 @@
+"""DBSCAN density clustering (Ester et al., KDD 1996).
+
+Used by OnlineTune's offline clustering step (Algorithm 1, line 2) to group
+observations by context similarity.  Label ``-1`` marks noise points; the
+paper's pipeline assigns them to the nearest cluster (or a singleton) when
+fitting per-cluster GPs, which :func:`assign_noise_to_nearest` supports.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["DBSCAN", "assign_noise_to_nearest"]
+
+NOISE = -1
+UNVISITED = -2
+
+
+class DBSCAN:
+    """Density-based clustering with Euclidean neighbourhoods.
+
+    Parameters
+    ----------
+    eps:
+        Neighbourhood radius.
+    min_samples:
+        Minimum points (including self) for a core point.
+    """
+
+    def __init__(self, eps: float = 0.5, min_samples: int = 5) -> None:
+        if eps <= 0:
+            raise ValueError("eps must be positive")
+        if min_samples < 1:
+            raise ValueError("min_samples must be >= 1")
+        self.eps = float(eps)
+        self.min_samples = int(min_samples)
+        self.labels_: Optional[np.ndarray] = None
+
+    def fit_predict(self, X: np.ndarray) -> np.ndarray:
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        n = X.shape[0]
+        if n == 0:
+            self.labels_ = np.empty(0, dtype=int)
+            return self.labels_
+
+        # Pairwise distances; n is bounded by the observation cap so O(n^2)
+        # memory is acceptable here.
+        sq = np.sum(X ** 2, axis=1)
+        d2 = sq[:, None] + sq[None, :] - 2.0 * (X @ X.T)
+        np.maximum(d2, 0.0, out=d2)
+        neighbors = [np.flatnonzero(d2[i] <= self.eps ** 2) for i in range(n)]
+
+        labels = np.full(n, UNVISITED, dtype=int)
+        cluster = 0
+        for i in range(n):
+            if labels[i] != UNVISITED:
+                continue
+            if len(neighbors[i]) < self.min_samples:
+                labels[i] = NOISE
+                continue
+            labels[i] = cluster
+            queue = deque(neighbors[i])
+            while queue:
+                j = queue.popleft()
+                if labels[j] == NOISE:
+                    labels[j] = cluster  # border point
+                if labels[j] != UNVISITED:
+                    continue
+                labels[j] = cluster
+                if len(neighbors[j]) >= self.min_samples:
+                    queue.extend(neighbors[j])
+            cluster += 1
+        self.labels_ = labels
+        return labels
+
+
+def assign_noise_to_nearest(X: np.ndarray, labels: np.ndarray) -> np.ndarray:
+    """Reassign noise points (-1) to the nearest non-noise cluster.
+
+    If every point is noise, all points become cluster 0 so downstream
+    model fitting always has at least one cluster.
+    """
+    X = np.atleast_2d(np.asarray(X, dtype=float))
+    labels = np.asarray(labels, dtype=int).copy()
+    noise = labels == NOISE
+    if not noise.any():
+        return labels
+    if noise.all():
+        return np.zeros_like(labels)
+    clustered = np.flatnonzero(~noise)
+    for i in np.flatnonzero(noise):
+        dists = np.linalg.norm(X[clustered] - X[i], axis=1)
+        labels[i] = labels[clustered[int(np.argmin(dists))]]
+    return labels

@@ -1,0 +1,252 @@
+"""Numpy LSTM encoder-decoder for SQL query embeddings.
+
+OnlineTune (Section 5.1.1) uses a standard seq2seq LSTM autoencoder: the
+encoder's final hidden state is a dense query embedding, and the decoder's
+reconstruction objective avoids any labelling burden.  This implementation
+provides exactly that — a single-layer LSTM encoder, a single-layer LSTM
+decoder with a softmax head, and truncated-BPTT training with Adam.
+
+The model is deliberately small (queries have tens of tokens, vocabularies
+hundreds of entries) so training during tests takes seconds.
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from .mlp import Adam
+from .tokenizer import Vocabulary, tokenize_sql
+
+__all__ = ["LSTMCell", "LSTMAutoencoder", "QueryEmbedder"]
+
+
+def _sigmoid(z: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60)))
+
+
+class LSTMCell:
+    """A single LSTM cell with gate weights packed as one matrix.
+
+    Gate order inside the packed matrices: input, forget, cell, output.
+    """
+
+    def __init__(self, input_dim: int, hidden_dim: int,
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        scale = 1.0 / np.sqrt(hidden_dim)
+        self.input_dim = input_dim
+        self.hidden_dim = hidden_dim
+        self.W = rng.uniform(-scale, scale, size=(input_dim + hidden_dim, 4 * hidden_dim))
+        self.b = np.zeros(4 * hidden_dim)
+        self.b[hidden_dim: 2 * hidden_dim] = 1.0  # forget-gate bias trick
+
+    @property
+    def params(self) -> List[np.ndarray]:
+        return [self.W, self.b]
+
+    def forward(self, x: np.ndarray, h: np.ndarray, c: np.ndarray):
+        """One step. Returns (h_new, c_new, cache_for_backward)."""
+        z = np.concatenate([x, h])
+        gates = z @ self.W + self.b
+        H = self.hidden_dim
+        i = _sigmoid(gates[:H])
+        f = _sigmoid(gates[H:2 * H])
+        g = np.tanh(gates[2 * H:3 * H])
+        o = _sigmoid(gates[3 * H:])
+        c_new = f * c + i * g
+        h_new = o * np.tanh(c_new)
+        cache = (z, i, f, g, o, c, c_new)
+        return h_new, c_new, cache
+
+    def backward(self, dh: np.ndarray, dc: np.ndarray, cache,
+                 grad_W: np.ndarray, grad_b: np.ndarray):
+        """Backprop one step; accumulates into grad_W/grad_b.
+
+        Returns (dx, dh_prev, dc_prev).
+        """
+        z, i, f, g, o, c_prev, c_new = cache
+        H = self.hidden_dim
+        tanh_c = np.tanh(c_new)
+        do = dh * tanh_c
+        dc_total = dc + dh * o * (1.0 - tanh_c ** 2)
+        di = dc_total * g
+        df = dc_total * c_prev
+        dg = dc_total * i
+        dc_prev = dc_total * f
+        dgates = np.concatenate([
+            di * i * (1 - i),
+            df * f * (1 - f),
+            dg * (1 - g ** 2),
+            do * o * (1 - o),
+        ])
+        grad_W += np.outer(z, dgates)
+        grad_b += dgates
+        dz = self.W @ dgates
+        dx = dz[: self.input_dim]
+        dh_prev = dz[self.input_dim:]
+        return dx, dh_prev, dc_prev
+
+
+class LSTMAutoencoder:
+    """Seq2seq LSTM autoencoder over token-id sequences.
+
+    The encoder consumes the sequence; its final hidden state is the
+    embedding.  The decoder is initialized from that state and trained to
+    reproduce the sequence (teacher forcing).
+    """
+
+    def __init__(self, vocab_size: int, embed_dim: int = 16, hidden_dim: int = 32,
+                 lr: float = 5e-3, seed: int = 0) -> None:
+        rng = np.random.default_rng(seed)
+        self.vocab_size = vocab_size
+        self.embed_dim = embed_dim
+        self.hidden_dim = hidden_dim
+        self.embedding = rng.normal(scale=0.1, size=(vocab_size, embed_dim))
+        self.encoder = LSTMCell(embed_dim, hidden_dim, rng)
+        self.decoder = LSTMCell(embed_dim, hidden_dim, rng)
+        self.W_out = rng.normal(scale=0.1, size=(hidden_dim, vocab_size))
+        self.b_out = np.zeros(vocab_size)
+        self._params = ([self.embedding] + self.encoder.params
+                        + self.decoder.params + [self.W_out, self.b_out])
+        self.optimizer = Adam(self._params, lr=lr)
+
+    # -- inference ---------------------------------------------------------
+    def encode(self, ids: Sequence[int]) -> np.ndarray:
+        """Embed a token-id sequence as the encoder's final hidden state."""
+        h = np.zeros(self.hidden_dim)
+        c = np.zeros(self.hidden_dim)
+        for token_id in ids:
+            h, c, _ = self.encoder.forward(self.embedding[token_id], h, c)
+        return h.copy()
+
+    # -- training ------------------------------------------------------------
+    def train_step(self, ids: Sequence[int]) -> float:
+        """One autoencoding step on a single sequence; returns mean NLL."""
+        ids = list(ids)
+        if len(ids) < 2:
+            return 0.0
+        H = self.hidden_dim
+        # encoder forward
+        h = np.zeros(H)
+        c = np.zeros(H)
+        enc_caches = []
+        for token_id in ids:
+            h, c, cache = self.encoder.forward(self.embedding[token_id], h, c)
+            enc_caches.append((token_id, cache))
+        # decoder forward with teacher forcing: input ids[:-1], target ids[1:]
+        dec_caches = []
+        dh_out: List[np.ndarray] = []
+        loss = 0.0
+        dec_h, dec_c = h.copy(), c.copy()
+        targets = ids[1:]
+        inputs = ids[:-1]
+        probs_list = []
+        h_list = []
+        for token_id in inputs:
+            dec_h, dec_c, cache = self.decoder.forward(self.embedding[token_id], dec_h, dec_c)
+            dec_caches.append((token_id, cache))
+            h_list.append(dec_h.copy())
+            logits = dec_h @ self.W_out + self.b_out
+            logits -= logits.max()
+            exp = np.exp(logits)
+            probs = exp / exp.sum()
+            probs_list.append(probs)
+        for probs, target in zip(probs_list, targets):
+            loss -= float(np.log(probs[target] + 1e-12))
+        loss /= len(targets)
+
+        # gradients
+        grads = [np.zeros_like(p) for p in self._params]
+        g_embed = grads[0]
+        g_enc_W, g_enc_b = grads[1], grads[2]
+        g_dec_W, g_dec_b = grads[3], grads[4]
+        g_Wout, g_bout = grads[5], grads[6]
+
+        dh_next = np.zeros(H)
+        dc_next = np.zeros(H)
+        for t in reversed(range(len(inputs))):
+            probs = probs_list[t].copy()
+            probs[targets[t]] -= 1.0
+            probs /= len(targets)
+            g_Wout += np.outer(h_list[t], probs)
+            g_bout += probs
+            dh = self.W_out @ probs + dh_next
+            token_id, cache = dec_caches[t]
+            dx, dh_next, dc_next = self.decoder.backward(dh, dc_next, cache, g_dec_W, g_dec_b)
+            g_embed[token_id] += dx
+        # gradient flows from decoder's initial state into encoder final state
+        dh_enc, dc_enc = dh_next, dc_next
+        for t in reversed(range(len(ids))):
+            token_id, cache = enc_caches[t]
+            dx, dh_enc, dc_enc = self.encoder.backward(dh_enc, dc_enc, cache, g_enc_W, g_enc_b)
+            g_embed[token_id] += dx
+
+        for g in grads:
+            np.clip(g, -5.0, 5.0, out=g)
+        self.optimizer.step(grads)
+        return loss
+
+
+class QueryEmbedder:
+    """End-to-end SQL -> dense vector embedder with an embedding cache.
+
+    Wraps tokenizer + vocabulary + autoencoder.  ``fit`` trains the
+    autoencoder on a corpus of SQL strings; ``embed`` returns the encoder
+    state for one query.  Because workloads repeat query *templates*,
+    embeddings are memoized by normalized token stream.
+    """
+
+    def __init__(self, embed_dim: int = 16, hidden_dim: int = 32,
+                 epochs: int = 3, max_len: int = 48, lr: float = 5e-3,
+                 seed: int = 0) -> None:
+        self.vocab = Vocabulary()
+        self.hidden_dim = hidden_dim
+        self.embed_dim = embed_dim
+        self.epochs = epochs
+        self.max_len = max_len
+        self.lr = lr
+        self.seed = seed
+        self.model: Optional[LSTMAutoencoder] = None
+        self._cache: dict[Tuple[str, ...], np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        return self.hidden_dim
+
+    def fit(self, corpus: Sequence[str]) -> "QueryEmbedder":
+        """Train the autoencoder on a corpus of SQL strings."""
+        token_streams = [tokenize_sql(sql) for sql in corpus]
+        self.vocab.fit(token_streams)
+        self.model = LSTMAutoencoder(len(self.vocab), self.embed_dim,
+                                     self.hidden_dim, lr=self.lr, seed=self.seed)
+        # dedupe templates to keep training fast
+        unique = {tuple(ts): ts for ts in token_streams}
+        rng = np.random.default_rng(self.seed)
+        streams = list(unique.values())
+        for _ in range(self.epochs):
+            for idx in rng.permutation(len(streams)):
+                ids = self.vocab.encode(streams[idx], self.max_len)
+                self.model.train_step(ids)
+        self._cache.clear()
+        return self
+
+    def embed(self, sql: str) -> np.ndarray:
+        """Embed one SQL string (training must have happened)."""
+        if self.model is None:
+            raise RuntimeError("QueryEmbedder used before fit()")
+        tokens = tuple(tokenize_sql(sql))
+        hit = self._cache.get(tokens)
+        if hit is not None:
+            return hit
+        ids = self.vocab.encode(tokens, self.max_len)
+        vec = self.model.encode(ids)
+        self._cache[tokens] = vec
+        return vec
+
+    def embed_workload(self, queries: Sequence[str]) -> np.ndarray:
+        """Average query embeddings — the paper's composition feature."""
+        if not queries:
+            return np.zeros(self.dim)
+        return np.mean([self.embed(q) for q in queries], axis=0)

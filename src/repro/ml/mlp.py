@@ -1,0 +1,163 @@
+"""Minimal feed-forward networks with manual backpropagation.
+
+These power the DDPG (CDBTune-like) and QTune-like baselines.  Only the
+features those agents need are implemented: dense layers, ReLU/tanh/sigmoid
+activations, Adam, MSE loss, and externally supplied output gradients (for
+the deterministic policy-gradient chain rule).
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["Dense", "MLP", "Adam"]
+
+
+def _activation(name: str) -> Tuple[Callable, Callable]:
+    """Return (forward, derivative-given-output) for a named activation."""
+    if name == "relu":
+        return (lambda z: np.maximum(z, 0.0),
+                lambda a: (a > 0.0).astype(float))
+    if name == "tanh":
+        return (np.tanh, lambda a: 1.0 - a ** 2)
+    if name == "sigmoid":
+        return (lambda z: 1.0 / (1.0 + np.exp(-np.clip(z, -60, 60))),
+                lambda a: a * (1.0 - a))
+    if name == "linear":
+        return (lambda z: z, lambda a: np.ones_like(a))
+    raise ValueError(f"unknown activation {name!r}")
+
+
+class Dense:
+    """A fully connected layer ``a = act(x W + b)``."""
+
+    def __init__(self, in_dim: int, out_dim: int, activation: str = "relu",
+                 rng: Optional[np.random.Generator] = None) -> None:
+        rng = rng or np.random.default_rng(0)
+        limit = np.sqrt(6.0 / (in_dim + out_dim))
+        self.W = rng.uniform(-limit, limit, size=(in_dim, out_dim))
+        self.b = np.zeros(out_dim)
+        self.activation = activation
+        self._act, self._dact = _activation(activation)
+        self._x: Optional[np.ndarray] = None
+        self._a: Optional[np.ndarray] = None
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        self._x = x
+        self._a = self._act(x @ self.W + self.b)
+        return self._a
+
+    def backward(self, grad_out: np.ndarray) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+        """Return (grad_input, grad_W, grad_b) for a cached forward pass."""
+        if self._x is None or self._a is None:
+            raise RuntimeError("backward() before forward()")
+        dz = grad_out * self._dact(self._a)
+        grad_W = self._x.T @ dz
+        grad_b = dz.sum(axis=0)
+        grad_in = dz @ self.W.T
+        return grad_in, grad_W, grad_b
+
+    @property
+    def params(self) -> List[np.ndarray]:
+        return [self.W, self.b]
+
+
+class Adam:
+    """Adam optimizer over a flat list of parameter arrays."""
+
+    def __init__(self, params: Sequence[np.ndarray], lr: float = 1e-3,
+                 beta1: float = 0.9, beta2: float = 0.999, eps: float = 1e-8) -> None:
+        self.params = list(params)
+        self.lr, self.beta1, self.beta2, self.eps = lr, beta1, beta2, eps
+        self.m = [np.zeros_like(p) for p in self.params]
+        self.v = [np.zeros_like(p) for p in self.params]
+        self.t = 0
+
+    def step(self, grads: Sequence[np.ndarray]) -> None:
+        self.t += 1
+        for p, g, m, v in zip(self.params, grads, self.m, self.v):
+            m *= self.beta1
+            m += (1 - self.beta1) * g
+            v *= self.beta2
+            v += (1 - self.beta2) * g ** 2
+            m_hat = m / (1 - self.beta1 ** self.t)
+            v_hat = v / (1 - self.beta2 ** self.t)
+            p -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+
+class MLP:
+    """A stack of :class:`Dense` layers with Adam training helpers."""
+
+    def __init__(self, layer_sizes: Sequence[int], activations: Sequence[str],
+                 lr: float = 1e-3, seed: int = 0) -> None:
+        if len(activations) != len(layer_sizes) - 1:
+            raise ValueError("need one activation per layer transition")
+        rng = np.random.default_rng(seed)
+        self.layers = [
+            Dense(layer_sizes[i], layer_sizes[i + 1], activations[i], rng)
+            for i in range(len(activations))
+        ]
+        self.optimizer = Adam(self.params, lr=lr)
+
+    @property
+    def params(self) -> List[np.ndarray]:
+        out: List[np.ndarray] = []
+        for layer in self.layers:
+            out.extend(layer.params)
+        return out
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        x = np.atleast_2d(np.asarray(x, dtype=float))
+        for layer in self.layers:
+            x = layer.forward(x)
+        return x
+
+    __call__ = forward
+
+    def backward(self, grad_out: np.ndarray) -> Tuple[np.ndarray, List[np.ndarray]]:
+        """Backprop an output gradient; return (grad_input, parameter grads)."""
+        grads: List[np.ndarray] = []
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad, gW, gb = layer.backward(grad)
+            grads.extend([gb, gW])
+        grads.reverse()
+        return grad, grads
+
+    def train_step_mse(self, x: np.ndarray, y: np.ndarray) -> float:
+        """One Adam step on the MSE loss; returns the loss value."""
+        y = np.atleast_2d(np.asarray(y, dtype=float))
+        pred = self.forward(x)
+        diff = pred - y
+        loss = float(np.mean(diff ** 2))
+        grad_out = 2.0 * diff / diff.size
+        _, grads = self.backward(grad_out)
+        self.optimizer.step(grads)
+        return loss
+
+    def apply_output_gradient(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Adam step using an external output gradient (policy gradient).
+
+        Returns the gradient w.r.t. the input, which DDPG uses to chain the
+        critic's action gradient into the actor.
+        """
+        self.forward(x)
+        grad_in, grads = self.backward(grad_out)
+        self.optimizer.step(grads)
+        return grad_in
+
+    def input_gradient(self, x: np.ndarray, grad_out: np.ndarray) -> np.ndarray:
+        """Gradient of (grad_out . output) w.r.t. input, without updating."""
+        self.forward(x)
+        grad = grad_out
+        for layer in reversed(self.layers):
+            grad, _, _ = layer.backward(grad)
+        return grad
+
+    def copy_from(self, other: "MLP", tau: float = 1.0) -> None:
+        """Polyak-average parameters from ``other`` (tau=1 copies exactly)."""
+        for p, q in zip(self.params, other.params):
+            p *= (1.0 - tau)
+            p += tau * q

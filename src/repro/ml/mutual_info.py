@@ -1,0 +1,60 @@
+"""Mutual-information scores between two clusterings.
+
+OnlineTune triggers re-clustering when the normalized mutual information
+between the maintained clustering and a freshly simulated one drops below a
+threshold (0.5 in the paper's experiments) — MI near zero means the context
+distribution has shifted.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import Counter
+from typing import Sequence
+
+import numpy as np
+
+__all__ = ["mutual_information", "entropy", "normalized_mutual_information"]
+
+
+def entropy(labels: Sequence) -> float:
+    """Shannon entropy (nats) of a label assignment."""
+    labels = list(labels)
+    n = len(labels)
+    if n == 0:
+        return 0.0
+    counts = Counter(labels)
+    return -sum((c / n) * math.log(c / n) for c in counts.values() if c > 0)
+
+
+def mutual_information(labels_a: Sequence, labels_b: Sequence) -> float:
+    """Mutual information (nats) between two clusterings of the same items."""
+    labels_a, labels_b = list(labels_a), list(labels_b)
+    if len(labels_a) != len(labels_b):
+        raise ValueError("clusterings must label the same items")
+    n = len(labels_a)
+    if n == 0:
+        return 0.0
+    joint = Counter(zip(labels_a, labels_b))
+    pa = Counter(labels_a)
+    pb = Counter(labels_b)
+    mi = 0.0
+    for (a, b), c in joint.items():
+        p_ab = c / n
+        mi += p_ab * math.log(p_ab / ((pa[a] / n) * (pb[b] / n)))
+    return max(0.0, mi)
+
+
+def normalized_mutual_information(labels_a: Sequence, labels_b: Sequence) -> float:
+    """NMI in [0, 1] using the arithmetic-mean normalization.
+
+    Two identical clusterings score 1; independent clusterings score ~0.
+    When both clusterings are single-cluster (zero entropy) they are
+    identical by construction, so the score is 1.
+    """
+    mi = mutual_information(labels_a, labels_b)
+    ha, hb = entropy(labels_a), entropy(labels_b)
+    denom = 0.5 * (ha + hb)
+    if denom <= 1e-15:
+        return 1.0
+    return float(np.clip(mi / denom, 0.0, 1.0))

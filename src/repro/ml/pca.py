@@ -1,0 +1,46 @@
+"""Principal component analysis via SVD (used to compact query embeddings)."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+__all__ = ["PCA"]
+
+
+class PCA:
+    """Project data onto the top ``n_components`` principal directions."""
+
+    def __init__(self, n_components: int) -> None:
+        if n_components < 1:
+            raise ValueError("n_components must be >= 1")
+        self.n_components = int(n_components)
+        self.mean_: Optional[np.ndarray] = None
+        self.components_: Optional[np.ndarray] = None
+        self.explained_variance_: Optional[np.ndarray] = None
+
+    def fit(self, X: np.ndarray) -> "PCA":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.mean_ = X.mean(axis=0)
+        centered = X - self.mean_
+        _, s, vt = np.linalg.svd(centered, full_matrices=False)
+        k = min(self.n_components, vt.shape[0])
+        self.components_ = vt[:k]
+        denom = max(X.shape[0] - 1, 1)
+        self.explained_variance_ = (s[:k] ** 2) / denom
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.components_ is None:
+            raise RuntimeError("PCA used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        projected = (X - self.mean_) @ self.components_.T
+        if projected.shape[1] < self.n_components:
+            pad = np.zeros((projected.shape[0],
+                            self.n_components - projected.shape[1]))
+            projected = np.hstack([projected, pad])
+        return projected
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)

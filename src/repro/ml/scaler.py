@@ -1,0 +1,69 @@
+"""Feature scaling utilities (standardization and min-max)."""
+
+from __future__ import annotations
+
+import numpy as np
+
+__all__ = ["StandardScaler", "MinMaxScaler"]
+
+
+class StandardScaler:
+    """Zero-mean / unit-variance scaler with degenerate-column protection."""
+
+    def __init__(self) -> None:
+        self.mean_: np.ndarray | None = None
+        self.scale_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "StandardScaler":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.mean_ = X.mean(axis=0)
+        std = X.std(axis=0)
+        std[std < 1e-12] = 1.0
+        self.scale_ = std
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return (X - self.mean_) / self.scale_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.mean_ is None:
+            raise RuntimeError("StandardScaler used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X * self.scale_ + self.mean_
+
+
+class MinMaxScaler:
+    """Scale each column to [0, 1] with degenerate-column protection."""
+
+    def __init__(self) -> None:
+        self.min_: np.ndarray | None = None
+        self.range_: np.ndarray | None = None
+
+    def fit(self, X: np.ndarray) -> "MinMaxScaler":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        self.min_ = X.min(axis=0)
+        rng = X.max(axis=0) - self.min_
+        rng[rng < 1e-12] = 1.0
+        self.range_ = rng
+        return self
+
+    def transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return (X - self.min_) / self.range_
+
+    def fit_transform(self, X: np.ndarray) -> np.ndarray:
+        return self.fit(X).transform(X)
+
+    def inverse_transform(self, X: np.ndarray) -> np.ndarray:
+        if self.min_ is None:
+            raise RuntimeError("MinMaxScaler used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X * self.range_ + self.min_

@@ -1,0 +1,121 @@
+"""Multi-class linear SVM via the Pegasos sub-gradient solver.
+
+OnlineTune learns a decision boundary over context features to route an
+incoming context to the right per-cluster GP model (Algorithm 1, line 4).
+The paper chooses SVM "for its simplicity, ease of training, and the need
+for fewer samples"; a one-vs-rest linear SVM with an RBF random-feature
+lift gives the required non-linear boundary without external dependencies.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from .scaler import StandardScaler
+
+__all__ = ["LinearSVM", "SVMClassifier"]
+
+
+class LinearSVM:
+    """Binary linear SVM trained with Pegasos (Shalev-Shwartz et al.)."""
+
+    def __init__(self, lam: float = 1e-3, epochs: int = 40, seed: int = 0) -> None:
+        self.lam = float(lam)
+        self.epochs = int(epochs)
+        self.seed = int(seed)
+        self.w: Optional[np.ndarray] = None
+        self.b: float = 0.0
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "LinearSVM":
+        """Fit with labels y in {-1, +1}."""
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float)
+        n, d = X.shape
+        rng = np.random.default_rng(self.seed)
+        w = np.zeros(d)
+        b = 0.0
+        t = 0
+        for _ in range(self.epochs):
+            order = rng.permutation(n)
+            for i in order:
+                t += 1
+                eta = 1.0 / (self.lam * t)
+                margin = y[i] * (X[i] @ w + b)
+                w *= (1.0 - eta * self.lam)
+                if margin < 1.0:
+                    w += eta * y[i] * X[i]
+                    b += eta * y[i]
+        self.w, self.b = w, b
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.w is None:
+            raise RuntimeError("LinearSVM used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        return X @ self.w + self.b
+
+
+class SVMClassifier:
+    """One-vs-rest SVM with a random-Fourier-feature RBF lift.
+
+    The lift makes the effective boundary non-linear in the original
+    context space (Figure 4(b) of the paper shows a curved boundary).
+    With ``n_features=0`` the classifier is purely linear.
+    """
+
+    def __init__(self, lam: float = 1e-3, epochs: int = 40, n_features: int = 100,
+                 gamma: float = 1.0, seed: int = 0) -> None:
+        self.lam = lam
+        self.epochs = epochs
+        self.n_features = int(n_features)
+        self.gamma = float(gamma)
+        self.seed = int(seed)
+        self.classes_: Optional[np.ndarray] = None
+        self._machines: list[LinearSVM] = []
+        self._scaler = StandardScaler()
+        self._W: Optional[np.ndarray] = None
+        self._phase: Optional[np.ndarray] = None
+
+    def _lift(self, X: np.ndarray) -> np.ndarray:
+        X = self._scaler.transform(X)
+        if self.n_features == 0 or self._W is None:
+            return X
+        proj = X @ self._W + self._phase
+        return np.sqrt(2.0 / self.n_features) * np.cos(proj)
+
+    def fit(self, X: np.ndarray, y: np.ndarray) -> "SVMClassifier":
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y)
+        self.classes_ = np.unique(y)
+        self._scaler.fit(X)
+        rng = np.random.default_rng(self.seed)
+        d = X.shape[1]
+        if self.n_features > 0:
+            self._W = rng.normal(scale=np.sqrt(2.0 * self.gamma), size=(d, self.n_features))
+            self._phase = rng.uniform(0.0, 2.0 * np.pi, size=self.n_features)
+        Z = self._lift(X)
+        self._machines = []
+        for idx, cls in enumerate(self.classes_):
+            target = np.where(y == cls, 1.0, -1.0)
+            machine = LinearSVM(self.lam, self.epochs, seed=self.seed + idx)
+            if len(self.classes_) == 1:
+                # degenerate single-class problem: constant predictor
+                machine.w = np.zeros(Z.shape[1])
+                machine.b = 1.0
+            else:
+                machine.fit(Z, target)
+            self._machines.append(machine)
+        return self
+
+    def decision_function(self, X: np.ndarray) -> np.ndarray:
+        if self.classes_ is None:
+            raise RuntimeError("SVMClassifier used before fit()")
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        Z = self._lift(X)
+        return np.column_stack([m.decision_function(Z) for m in self._machines])
+
+    def predict(self, X: np.ndarray) -> np.ndarray:
+        scores = self.decision_function(X)
+        return self.classes_[np.argmax(scores, axis=1)]

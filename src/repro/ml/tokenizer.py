@@ -1,0 +1,106 @@
+"""SQL tokenizer and vocabulary for workload featurization.
+
+The LSTM encoder-decoder (Section 5.1.1) consumes token-id sequences.  The
+tokenizer normalizes literals so that structurally identical queries map to
+identical token streams — the property that makes an autoencoder embedding
+capture *query composition* rather than literal values.
+"""
+
+from __future__ import annotations
+
+import re
+from typing import Dict, Iterable, List, Sequence
+
+__all__ = ["tokenize_sql", "Vocabulary"]
+
+_TOKEN_RE = re.compile(
+    r"""
+    '(?:[^']|'')*'          # single-quoted string
+    |\d+\.\d+|\d+           # numbers
+    |[A-Za-z_][A-Za-z0-9_.]*  # identifiers / keywords
+    |<>|<=|>=|!=|=|<|>        # comparison operators
+    |[(),;*+\-/%]             # punctuation
+    """,
+    re.VERBOSE,
+)
+
+_SQL_KEYWORDS = {
+    "select", "insert", "update", "delete", "from", "where", "and", "or",
+    "not", "in", "between", "like", "join", "inner", "left", "right", "outer",
+    "on", "group", "by", "order", "having", "limit", "offset", "as", "set",
+    "values", "into", "distinct", "count", "sum", "avg", "min", "max",
+    "union", "all", "exists", "null", "is", "asc", "desc", "for", "begin",
+    "commit", "rollback",
+}
+
+
+def tokenize_sql(sql: str) -> List[str]:
+    """Tokenize a SQL string with literal normalization.
+
+    Keywords are lower-cased, identifiers kept verbatim, numeric literals
+    become ``<num>`` and string literals become ``<str>``.
+    """
+    tokens: List[str] = []
+    for raw in _TOKEN_RE.findall(sql):
+        if raw.startswith("'"):
+            tokens.append("<str>")
+        elif raw[0].isdigit():
+            tokens.append("<num>")
+        elif raw.lower() in _SQL_KEYWORDS:
+            tokens.append(raw.lower())
+        else:
+            tokens.append(raw)
+    return tokens
+
+
+class Vocabulary:
+    """Token <-> id mapping with reserved PAD/UNK/BOS/EOS entries."""
+
+    PAD, UNK, BOS, EOS = "<pad>", "<unk>", "<bos>", "<eos>"
+
+    def __init__(self) -> None:
+        self._token_to_id: Dict[str, int] = {}
+        self._id_to_token: List[str] = []
+        for special in (self.PAD, self.UNK, self.BOS, self.EOS):
+            self.add(special)
+
+    def add(self, token: str) -> int:
+        if token not in self._token_to_id:
+            self._token_to_id[token] = len(self._id_to_token)
+            self._id_to_token.append(token)
+        return self._token_to_id[token]
+
+    def fit(self, corpus: Iterable[Sequence[str]]) -> "Vocabulary":
+        for tokens in corpus:
+            for token in tokens:
+                self.add(token)
+        return self
+
+    def __len__(self) -> int:
+        return len(self._id_to_token)
+
+    def encode(self, tokens: Sequence[str], max_len: int | None = None) -> List[int]:
+        """Encode tokens as ids, wrapped in BOS/EOS, optionally truncated."""
+        ids = [self._token_to_id[self.BOS]]
+        unk = self._token_to_id[self.UNK]
+        for token in tokens:
+            ids.append(self._token_to_id.get(token, unk))
+        ids.append(self._token_to_id[self.EOS])
+        if max_len is not None and len(ids) > max_len:
+            ids = ids[: max_len - 1] + [self._token_to_id[self.EOS]]
+        return ids
+
+    def decode(self, ids: Sequence[int]) -> List[str]:
+        return [self._id_to_token[i] for i in ids if 0 <= i < len(self._id_to_token)]
+
+    @property
+    def pad_id(self) -> int:
+        return self._token_to_id[self.PAD]
+
+    @property
+    def bos_id(self) -> int:
+        return self._token_to_id[self.BOS]
+
+    @property
+    def eos_id(self) -> int:
+        return self._token_to_id[self.EOS]

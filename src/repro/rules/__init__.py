@@ -1,0 +1,14 @@
+"""White-box (heuristic) tuning rules with relaxation."""
+
+from .mysql_rules import mysql_rulebook, suggest_config, total_memory_demand
+from .rule import RangeRule, Rule, RuleBook, RuleContext
+
+__all__ = [
+    "Rule",
+    "RangeRule",
+    "RuleBook",
+    "RuleContext",
+    "mysql_rulebook",
+    "suggest_config",
+    "total_memory_demand",
+]

@@ -1,0 +1,164 @@
+"""MysqlTuner-style heuristic rules.
+
+These implement the white-box knowledge OnlineTune consults (Section
+6.2.2), including the two examples the paper calls out explicitly:
+
+* the total configured memory must not exceed physical capacity, and
+* ``innodb_thread_concurrency`` below half the vCPU count starves the
+  engine (the ``thread_concurrency = 1`` trap in Section 7.3.2).
+
+The rule set also mirrors common MysqlTuner suggestions (buffer-pool
+sizing, temp-table parity, log buffering for write-heavy instances).
+MysqlTuner's own *recommendation* behaviour (used as a standalone baseline
+tuner) lives in :mod:`repro.baselines.mysqltuner` and reuses
+:func:`suggest_config`.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+from ..knobs.knob import Configuration, KnobSpace
+from ..knobs.mysql_knobs import GIB, MIB
+from .rule import RangeRule, RuleBook, RuleContext
+
+__all__ = ["mysql_rulebook", "suggest_config", "total_memory_demand"]
+
+
+def total_memory_demand(config: Configuration, ctx: RuleContext) -> float:
+    """A DBA's back-of-envelope total memory estimate (bytes).
+
+    Deliberately simpler than the simulator's internal accounting — the
+    white box is heuristic, not an oracle.
+    """
+    sessions = 64 if not ctx.is_olap else 16
+    per_session = (float(config.get("sort_buffer_size", 0))
+                   + float(config.get("join_buffer_size", 0))
+                   + float(config.get("read_buffer_size", 0))
+                   + float(config.get("read_rnd_buffer_size", 0)))
+    heap = max(float(config.get("max_heap_table_size", 0)),
+               float(config.get("tmp_table_size", 0)))
+    return (float(config.get("innodb_buffer_pool_size", 0))
+            + float(config.get("innodb_log_buffer_size", 0))
+            + sessions * per_session + heap)
+
+
+def _buffer_pool_bound(config: Configuration, ctx: RuleContext) -> Tuple[float, float]:
+    """Buffer pool must leave room for everything else (<= 80% of RAM)."""
+    return (0.0, 0.80 * ctx.memory_bytes)
+
+
+def _memory_cap_bound(config: Configuration, ctx: RuleContext) -> Optional[Tuple[float, float]]:
+    """Given the other knobs, bound the buffer pool so totals fit in RAM."""
+    other = total_memory_demand(config, ctx) - float(
+        config.get("innodb_buffer_pool_size", 0))
+    headroom = 0.92 * ctx.memory_bytes - other
+    return (0.0, max(headroom, 128 * MIB))
+
+
+def _thread_concurrency_bound(config: Configuration, ctx: RuleContext) -> Optional[Tuple[float, float]]:
+    """tc = 0 (unlimited) or at least half the vCPUs (the paper's rule)."""
+    value = float(config.get("innodb_thread_concurrency", 0))
+    if value == 0:
+        return None  # 0 = unlimited, always acceptable
+    return (ctx.vcpus / 2.0, float("inf"))
+
+
+def _session_buffer_bound(config: Configuration, ctx: RuleContext) -> Tuple[float, float]:
+    """Per-session sort buffers beyond 16 MB rarely help and multiply."""
+    return (32 * 1024, 16 * MIB)
+
+
+def _join_buffer_bound(config: Configuration, ctx: RuleContext) -> Optional[Tuple[float, float]]:
+    """Increase the join buffer only when joins actually lack indexes."""
+    joins_without_index = ctx.metrics.get("joins_without_index_per_day", 0.0)
+    if joins_without_index > 250.0:
+        return (1 * MIB, 64 * MIB)
+    return (128 * 1024, 8 * MIB)
+
+
+def _tmp_heap_parity(config: Configuration, ctx: RuleContext) -> Optional[Tuple[float, float]]:
+    """tmp_table_size is capped by max_heap_table_size; keep them close."""
+    heap = float(config.get("max_heap_table_size", 16 * MIB))
+    return (heap / 4.0, heap * 4.0)
+
+
+def _log_buffer_bound(config: Configuration, ctx: RuleContext) -> Optional[Tuple[float, float]]:
+    """Write-heavy instances want a log buffer of at least 16 MB."""
+    if ctx.metrics.get("qps_insert", 0.0) + ctx.metrics.get("qps_update", 0.0) > 100.0:
+        return (16 * MIB, float("inf"))
+    return None
+
+
+def _dirty_pct_bound(config: Configuration, ctx: RuleContext) -> Tuple[float, float]:
+    """Keep the dirty-page threshold away from stall-prone extremes."""
+    return (10.0, 95.0)
+
+
+def _max_connections_bound(config: Configuration, ctx: RuleContext) -> Tuple[float, float]:
+    """Enough connections for the application's concurrency."""
+    demand = 16 if ctx.is_olap else 64
+    return (float(demand), float("inf"))
+
+
+def mysql_rulebook() -> RuleBook:
+    """The default white-box rule set consulted by OnlineTune."""
+    return RuleBook([
+        # memory rules are near-certain physics: overriding them crashes the
+        # instance, so their conflict/relax thresholds are effectively "never"
+        RangeRule("buffer_pool_le_80pct_ram", "innodb_buffer_pool_size",
+                  _buffer_pool_bound, credibility=5, relax_factor=1.1,
+                  conflict_threshold=10 ** 6, relax_threshold=10 ** 6),
+        RangeRule("total_memory_within_ram", "innodb_buffer_pool_size",
+                  _memory_cap_bound, credibility=5, relax_factor=1.05,
+                  conflict_threshold=10 ** 6, relax_threshold=10 ** 6),
+        RangeRule("thread_concurrency_floor", "innodb_thread_concurrency",
+                  _thread_concurrency_bound, credibility=4, relax_factor=1.5,
+                  conflict_threshold=8, relax_threshold=5),
+        RangeRule("sort_buffer_sane", "sort_buffer_size",
+                  _session_buffer_bound, credibility=2, relax_factor=2.0,
+                  conflict_threshold=2, relax_threshold=2),
+        RangeRule("join_buffer_conditional", "join_buffer_size",
+                  _join_buffer_bound, credibility=2, relax_factor=2.0,
+                  conflict_threshold=2, relax_threshold=2),
+        RangeRule("tmp_heap_parity", "tmp_table_size",
+                  _tmp_heap_parity, credibility=2, relax_factor=2.0),
+        RangeRule("log_buffer_write_heavy", "innodb_log_buffer_size",
+                  _log_buffer_bound, credibility=3, relax_factor=2.0),
+        RangeRule("dirty_pct_sane", "innodb_max_dirty_pages_pct",
+                  _dirty_pct_bound, credibility=3, relax_factor=1.2),
+        RangeRule("max_connections_floor", "max_connections",
+                  _max_connections_bound, credibility=4, relax_factor=1.5),
+    ])
+
+
+def suggest_config(space: KnobSpace, current: Configuration,
+                   ctx: RuleContext) -> Configuration:
+    """MysqlTuner-like one-shot suggestion from metrics + heuristics.
+
+    Used by the standalone MysqlTuner baseline: nudge knobs toward rule
+    mid-ranges based on observed metrics; purely static logic.
+    """
+    suggestion = dict(current)
+    hit = ctx.metrics.get("buffer_pool_hit_rate", 1.0)
+    if "innodb_buffer_pool_size" in space:
+        bp = float(current.get("innodb_buffer_pool_size", GIB))
+        if hit < 0.97:
+            bp *= 1.5
+        cap = _memory_cap_bound(suggestion, ctx)[1]
+        suggestion["innodb_buffer_pool_size"] = min(bp, cap, 0.8 * ctx.memory_bytes)
+    if ctx.metrics.get("tmp_disk_tables", 0.0) > 5.0:
+        for knob in ("max_heap_table_size", "tmp_table_size"):
+            if knob in space:
+                suggestion[knob] = min(
+                    2.0 * float(current.get(knob, 16 * MIB)), 512 * MIB)
+    if ctx.metrics.get("log_waits", 0.0) > 10.0 and "innodb_log_buffer_size" in space:
+        suggestion["innodb_log_buffer_size"] = min(
+            2.0 * float(current.get("innodb_log_buffer_size", 16 * MIB)), 256 * MIB)
+    if ctx.metrics.get("pending_writes", 0.0) > 20.0 and "innodb_io_capacity" in space:
+        suggestion["innodb_io_capacity"] = min(
+            2.0 * float(current.get("innodb_io_capacity", 200)), 20000)
+    tc = float(current.get("innodb_thread_concurrency", 0))
+    if tc != 0 and tc < ctx.vcpus / 2.0 and "innodb_thread_concurrency" in space:
+        suggestion["innodb_thread_concurrency"] = 0
+    return space.clip_config(suggestion)

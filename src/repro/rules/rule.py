@@ -1,0 +1,184 @@
+"""White-box rule abstraction with the paper's relaxation mechanism.
+
+A rule examines DBMS metrics / instance facts and suggests a *range* (or a
+specific value) for one knob.  OnlineTune dismisses candidate
+configurations that violate a rule's suggestion (Section 6.2.2).
+
+Because static heuristics can be wrong and exclude the optimum, each rule
+carries two counters:
+
+* ``conflict`` — incremented when the black box wants a configuration the
+  rule rejects.  Once it reaches ``conflict_threshold`` the rule is
+  *ignored* for that recommendation (at most one rule may be ignored at a
+  time, controlled by the rule book).
+* ``conflict_safe`` — incremented when such an overridden recommendation
+  turns out safe.  Once it reaches ``relax_threshold`` the rule is
+  permanently *relaxed* (its range is widened by ``relax()``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+from ..knobs.knob import Configuration, KnobSpace
+
+__all__ = ["RuleContext", "Rule", "RangeRule", "RuleBook"]
+
+
+@dataclass
+class RuleContext:
+    """Facts a rule may consult: instance size + live DBMS metrics."""
+
+    memory_bytes: int
+    vcpus: int
+    metrics: Dict[str, float] = field(default_factory=dict)
+    is_olap: bool = False
+
+
+class Rule:
+    """Base class.  Subclasses implement :meth:`allowed_range`."""
+
+    def __init__(self, name: str, knob: str, credibility: int = 3,
+                 conflict_threshold: int = 3, relax_threshold: int = 3) -> None:
+        self.name = name
+        self.knob = knob
+        self.credibility = credibility
+        self.conflict_threshold = int(conflict_threshold)
+        self.relax_threshold = int(relax_threshold)
+        self.conflict_count = 0
+        self.conflict_safe_count = 0
+        self.relaxations = 0
+        self.ignored = False   # permanently dropped after repeated relaxation
+
+    def allowed_range(self, config: Configuration,
+                      ctx: RuleContext) -> Optional[Tuple[float, float]]:
+        """Return (low, high) bounds for ``self.knob`` or None if inactive."""
+        raise NotImplementedError
+
+    def check(self, config: Configuration, ctx: RuleContext) -> bool:
+        """True when ``config`` satisfies the rule."""
+        if self.ignored:
+            return True
+        bounds = self.allowed_range(config, ctx)
+        if bounds is None:
+            return True
+        low, high = bounds
+        try:
+            value = float(config[self.knob])
+        except (KeyError, TypeError, ValueError):
+            return True
+        return low <= value <= high
+
+    def relax(self) -> None:
+        """Widen the rule; default marks it ignored after enough relaxing."""
+        self.relaxations += 1
+        if self.relaxations >= 2:
+            self.ignored = True
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"{type(self).__name__}({self.name!r}, knob={self.knob!r})"
+
+
+class RangeRule(Rule):
+    """A rule whose bounds come from a callable of (config, ctx).
+
+    ``relax_factor`` widens the returned range multiplicatively each time
+    the rule is relaxed (e.g. 0.5 halves the lower bound and doubles the
+    upper bound).
+    """
+
+    def __init__(self, name: str, knob: str,
+                 bounds_fn: Callable[[Configuration, RuleContext], Optional[Tuple[float, float]]],
+                 relax_factor: float = 2.0, **kwargs) -> None:
+        super().__init__(name, knob, **kwargs)
+        self._bounds_fn = bounds_fn
+        self.relax_factor = float(relax_factor)
+
+    def allowed_range(self, config: Configuration,
+                      ctx: RuleContext) -> Optional[Tuple[float, float]]:
+        bounds = self._bounds_fn(config, ctx)
+        if bounds is None:
+            return None
+        low, high = bounds
+        widen = self.relax_factor ** self.relaxations
+        if low > -float("inf"):
+            low = low / widen
+        if high < float("inf"):
+            high = high * widen
+        return (low, high)
+
+    def relax(self) -> None:
+        self.relaxations += 1
+        if self.relaxations >= 4:
+            self.ignored = True
+
+
+class RuleBook:
+    """A set of rules with the decision-conflict / relaxation protocol.
+
+    Usage per iteration:
+
+    1. ``violations(config, ctx)`` — which rules reject a candidate.
+    2. If the black box insists on a rejected candidate, call
+       ``register_conflict(rule)``; ``may_override(rule)`` says whether the
+       rule may be ignored *this* recommendation (only one rule at a time).
+    3. After evaluating an overridden recommendation, call
+       ``feedback(rule, was_safe)`` so the rule can be relaxed or the
+       override cancelled.
+    """
+
+    def __init__(self, rules: List[Rule]) -> None:
+        names = [r.name for r in rules]
+        if len(names) != len(set(names)):
+            raise ValueError("duplicate rule names")
+        self.rules = list(rules)
+        self._overridden: Optional[Rule] = None
+
+    def __iter__(self):
+        return iter(self.rules)
+
+    def __len__(self) -> int:
+        return len(self.rules)
+
+    def violations(self, config: Configuration, ctx: RuleContext) -> List[Rule]:
+        return [r for r in self.rules
+                if not r.ignored and r is not self._overridden
+                and not r.check(config, ctx)]
+
+    def satisfies(self, config: Configuration, ctx: RuleContext) -> bool:
+        return not self.violations(config, ctx)
+
+    # -- conflict protocol -------------------------------------------------
+    def register_conflict(self, rule: Rule) -> None:
+        rule.conflict_count += 1
+
+    def may_override(self, rule: Rule) -> bool:
+        """Whether the rule may be temporarily ignored for one step."""
+        if rule.conflict_count < rule.conflict_threshold:
+            return False
+        if self._overridden is not None and self._overridden is not rule:
+            return False  # only one rule may be overridden at a time
+        self._overridden = rule
+        return True
+
+    def feedback(self, was_safe: bool) -> None:
+        """Report the outcome of an overridden recommendation."""
+        rule = self._overridden
+        if rule is None:
+            return
+        if was_safe:
+            rule.conflict_safe_count += 1
+            if rule.conflict_safe_count >= rule.relax_threshold:
+                rule.relax()
+                rule.conflict_count = 0
+                rule.conflict_safe_count = 0
+        else:
+            # unsafe override: restore trust in the rule
+            rule.conflict_count = 0
+            rule.conflict_safe_count = 0
+        self._overridden = None
+
+    @property
+    def overridden_rule(self) -> Optional[Rule]:
+        return self._overridden

@@ -1,0 +1,30 @@
+"""Workload generators (TPC-C, Twitter, YCSB, JOB, dynamic compositions)."""
+
+from .base import (
+    QueryClass,
+    Workload,
+    WorkloadProfile,
+    WorkloadSnapshot,
+    mixture_profile,
+)
+from .dynamic import AlternatingWorkload, RealWorldTrace
+from .job import JOBWorkload, build_job_queries
+from .tpcc import TPCCWorkload
+from .twitter import TwitterWorkload
+from .ycsb import YCSBWorkload, ycsb_read_ratio_trace
+
+__all__ = [
+    "QueryClass",
+    "Workload",
+    "WorkloadProfile",
+    "WorkloadSnapshot",
+    "mixture_profile",
+    "TPCCWorkload",
+    "TwitterWorkload",
+    "YCSBWorkload",
+    "ycsb_read_ratio_trace",
+    "JOBWorkload",
+    "build_job_queries",
+    "AlternatingWorkload",
+    "RealWorldTrace",
+]

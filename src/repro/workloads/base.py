@@ -1,0 +1,203 @@
+"""Workload abstractions.
+
+A workload produces, per tuning interval (iteration), two synchronized
+views of itself:
+
+* a :class:`WorkloadProfile` — the quantitative *demand vector* the DBMS
+  simulator uses to compute performance (read ratio, scan/join intensity,
+  working-set size, ...), and
+* a :class:`WorkloadSnapshot` — what the tuner can actually observe: the
+  SQL texts that arrived and the arrival rate, which the context
+  featurization module turns into a context vector.
+
+Keeping the two views consistent (same underlying mix weights) is what lets
+OnlineTune's learned context correlate with the simulator's behaviour, just
+as real workload features correlate with real DBMS behaviour.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+__all__ = ["QueryClass", "WorkloadProfile", "WorkloadSnapshot", "Workload",
+           "mixture_profile"]
+
+
+@dataclass(frozen=True)
+class QueryClass:
+    """A query/transaction template within a workload.
+
+    ``sql_templates`` are representative statements issued by one execution
+    of this class.  The per-statement demand fields describe *one* execution
+    and are blended by mix weight into the workload profile.
+    """
+
+    name: str
+    sql_templates: Tuple[str, ...]
+    read_fraction: float            # fraction of row ops that are reads
+    point_read: float = 0.0         # intensity 0..1 of indexed point reads
+    range_scan: float = 0.0         # intensity of range/sequential scans
+    sort: float = 0.0               # intensity of sorts / order-by
+    join: float = 0.0               # intensity of multi-table joins
+    temp_table: float = 0.0         # intensity of implicit temp/heap tables
+    lock: float = 0.0               # lock-contention contribution
+    log_write: float = 0.0          # redo-log write intensity (commits)
+    rows_examined: float = 100.0    # typical rows examined per execution
+    filter_ratio: float = 0.5       # fraction of examined rows filtered out
+    uses_index: bool = True
+
+
+@dataclass
+class WorkloadProfile:
+    """Quantitative demand vector consumed by the DBMS simulator."""
+
+    name: str
+    read_ratio: float               # reads / (reads + writes) row ops
+    point_read: float
+    range_scan: float
+    sort: float
+    join: float
+    temp_table: float
+    lock_contention: float
+    log_write: float
+    working_set_gb: float
+    data_size_gb: float
+    base_rate: float                # nominal txn/s (OLTP) at reference config
+    is_olap: bool = False
+    base_query_seconds: float = 0.0  # nominal per-query seconds (OLAP)
+    arrival_rate: Optional[float] = None  # txn/s cap; None = unlimited
+    skew: float = 0.5               # access skew (0 uniform .. 1 extreme)
+
+    def clamped(self) -> "WorkloadProfile":
+        """Copy with all intensity fields clipped to [0, 1]."""
+        fields = ("read_ratio", "point_read", "range_scan", "sort", "join",
+                  "temp_table", "lock_contention", "log_write", "skew")
+        updates = {f: float(np.clip(getattr(self, f), 0.0, 1.0)) for f in fields}
+        return replace(self, **updates)
+
+
+@dataclass
+class WorkloadSnapshot:
+    """What the tuner observes during one interval (the context source)."""
+
+    iteration: int
+    queries: List[str]              # sampled SQL texts that arrived
+    arrival_rate: float             # observed queries/sec
+    # per-query optimizer estimates, aligned with ``queries``
+    rows_examined: List[float] = field(default_factory=list)
+    filter_ratios: List[float] = field(default_factory=list)
+    index_used: List[bool] = field(default_factory=list)
+
+
+class Workload:
+    """Base class: deterministic per-iteration mixes over query classes."""
+
+    #: subclasses set these
+    classes: Tuple[QueryClass, ...] = ()
+    name: str = "workload"
+    is_olap: bool = False
+    base_rate: float = 1000.0
+    base_query_seconds: float = 0.0
+    initial_data_gb: float = 10.0
+    working_set_fraction: float = 0.8   # fraction of data that is hot
+    skew: float = 0.5
+
+    def __init__(self, seed: int = 0) -> None:
+        self.seed = int(seed)
+
+    # -- hooks subclasses may override -----------------------------------
+    def mix_weights(self, iteration: int) -> np.ndarray:
+        """Mixture weights over ``classes`` at the given iteration."""
+        weights = np.ones(len(self.classes))
+        return weights / weights.sum()
+
+    def data_size_gb(self, iteration: int) -> float:
+        return self.initial_data_gb
+
+    def arrival_rate(self, iteration: int) -> Optional[float]:
+        return None
+
+    # -- derived views -----------------------------------------------------
+    def profile(self, iteration: int) -> WorkloadProfile:
+        weights = self.mix_weights(iteration)
+        prof = mixture_profile(self.name, self.classes, weights)
+        data = self.data_size_gb(iteration)
+        prof.data_size_gb = data
+        prof.working_set_gb = data * self.working_set_fraction
+        prof.base_rate = self.base_rate
+        prof.is_olap = self.is_olap
+        prof.base_query_seconds = self.base_query_seconds
+        prof.arrival_rate = self.arrival_rate(iteration)
+        prof.skew = self.skew
+        return prof.clamped()
+
+    def snapshot(self, iteration: int, n_queries: int = 30,
+                 seed_offset: int = 0) -> WorkloadSnapshot:
+        """Sample the SQL stream the tuner observes this interval."""
+        rng = np.random.default_rng(self.seed + 7919 * iteration + seed_offset)
+        weights = self.mix_weights(iteration)
+        profile = self.profile(iteration)
+        queries: List[str] = []
+        rows: List[float] = []
+        filters: List[float] = []
+        indexed: List[bool] = []
+        scale = profile.data_size_gb / max(self.initial_data_gb, 1e-9)
+        choices = rng.choice(len(self.classes), size=n_queries, p=weights)
+        for idx in choices:
+            qc = self.classes[idx]
+            template = qc.sql_templates[rng.integers(len(qc.sql_templates))]
+            queries.append(_fill_template(template, rng))
+            noise = float(rng.lognormal(0.0, 0.1))
+            rows.append(qc.rows_examined * scale * noise)
+            filters.append(float(np.clip(qc.filter_ratio + rng.normal(0, 0.02), 0, 1)))
+            indexed.append(qc.uses_index)
+        rate = profile.arrival_rate
+        if rate is None:
+            # unlimited arrival: observed rate tracks nominal service rate
+            rate = profile.base_rate * float(rng.lognormal(0.0, 0.05))
+        return WorkloadSnapshot(iteration, queries, float(rate), rows, filters, indexed)
+
+
+def mixture_profile(name: str, classes: Sequence[QueryClass],
+                    weights: np.ndarray) -> WorkloadProfile:
+    """Blend query-class demands by mixture weight."""
+    weights = np.asarray(weights, dtype=float)
+    if len(weights) != len(classes):
+        raise ValueError("weights and classes disagree")
+    total = weights.sum()
+    if total <= 0:
+        raise ValueError("weights must sum to a positive value")
+    weights = weights / total
+
+    def blend(attr: str) -> float:
+        return float(sum(w * getattr(qc, attr) for qc, w in zip(classes, weights)))
+
+    return WorkloadProfile(
+        name=name,
+        read_ratio=blend("read_fraction"),
+        point_read=blend("point_read"),
+        range_scan=blend("range_scan"),
+        sort=blend("sort"),
+        join=blend("join"),
+        temp_table=blend("temp_table"),
+        lock_contention=blend("lock"),
+        log_write=blend("log_write"),
+        working_set_gb=0.0,
+        data_size_gb=0.0,
+        base_rate=0.0,
+    )
+
+
+def _fill_template(template: str, rng: np.random.Generator) -> str:
+    """Substitute ``{id}``/``{n}``/``{str}`` placeholders with literals."""
+    out = template
+    while "{id}" in out:
+        out = out.replace("{id}", str(int(rng.integers(1, 1_000_000))), 1)
+    while "{n}" in out:
+        out = out.replace("{n}", str(int(rng.integers(1, 1000))), 1)
+    while "{str}" in out:
+        out = out.replace("{str}", "'v%d'" % rng.integers(1, 10_000), 1)
+    return out

@@ -1,0 +1,150 @@
+"""JOB-like analytical workload: 113 multi-join queries.
+
+The Join Order Benchmark (Leis et al., VLDB 2015) runs 113 analytical
+queries over the IMDB schema.  We generate 113 query *classes*
+programmatically over an IMDB-like schema: each class is a multi-way join
+with realistic variation in join count, predicate selectivity, and
+aggregation.  The paper executes ten queries per iteration, re-sampling
+five of them each time (Section 7.1.1); :meth:`JOBWorkload.mix_weights`
+reproduces that query-rotation behaviour deterministically per iteration.
+
+The optimization objective for JOB is execution time (lower is better).
+"""
+
+from __future__ import annotations
+
+from typing import List, Tuple
+
+import numpy as np
+
+from .base import QueryClass, Workload
+
+__all__ = ["JOBWorkload", "build_job_queries"]
+
+_TABLES = [
+    ("title", "t", "production_year"),
+    ("movie_companies", "mc", "company_type_id"),
+    ("company_name", "cn", "country_code"),
+    ("movie_info", "mi", "info_type_id"),
+    ("movie_info_idx", "mi_idx", "info_type_id"),
+    ("cast_info", "ci", "role_id"),
+    ("name", "n", "gender"),
+    ("aka_name", "an", "person_id"),
+    ("movie_keyword", "mk", "keyword_id"),
+    ("keyword", "k", "phonetic_code"),
+    ("person_info", "pi", "info_type_id"),
+    ("char_name", "chn", "imdb_index"),
+    ("role_type", "rt", "role"),
+    ("company_type", "ct", "kind"),
+    ("info_type", "it", "info"),
+    ("kind_type", "kt", "kind"),
+    ("link_type", "lt", "link"),
+    ("movie_link", "ml", "link_type_id"),
+    ("complete_cast", "cc", "status_id"),
+    ("comp_cast_type", "cct", "kind"),
+]
+
+
+def build_job_queries(n_queries: int = 113, seed: int = 42) -> Tuple[QueryClass, ...]:
+    """Generate ``n_queries`` JOB-like analytical query classes."""
+    rng = np.random.default_rng(seed)
+    classes: List[QueryClass] = []
+    for q in range(n_queries):
+        n_joins = int(rng.integers(3, 9))
+        idx = rng.choice(len(_TABLES), size=n_joins, replace=False)
+        tables = [_TABLES[i] for i in idx]
+        select_cols = ", ".join(
+            f"MIN({alias}.{col}) AS {alias}_{col}" for _, alias, col in tables[:2])
+        from_clause = ", ".join(f"{name} AS {alias}" for name, alias, _ in tables)
+        join_preds = " AND ".join(
+            f"{tables[i][1]}.movie_id = {tables[i + 1][1]}.movie_id"
+            for i in range(n_joins - 1))
+        _, falias, fcol = tables[-1]
+        selectivity = float(rng.uniform(0.02, 0.6))
+        filter_pred = f"{falias}.{fcol} > {{n}}"
+        order = " ORDER BY 1" if rng.random() < 0.4 else ""
+        sql = (f"SELECT {select_cols} FROM {from_clause} "
+               f"WHERE {join_preds} AND {filter_pred}{order}")
+        base_rows = float(rng.lognormal(np.log(4e5), 0.8))
+        classes.append(QueryClass(
+            name=f"job_q{q + 1}",
+            sql_templates=(sql,),
+            read_fraction=1.0,
+            point_read=0.0,
+            range_scan=float(rng.uniform(0.6, 1.0)),
+            sort=0.5 if order else float(rng.uniform(0.1, 0.3)),
+            join=float(np.clip(n_joins / 8.0, 0.0, 1.0)),
+            temp_table=float(rng.uniform(0.3, 0.8)),
+            lock=0.0,
+            log_write=0.0,
+            rows_examined=base_rows,
+            filter_ratio=1.0 - selectivity,
+            uses_index=bool(rng.random() < 0.5),
+        ))
+    return tuple(classes)
+
+
+class JOBWorkload(Workload):
+    """JOB-like analytical workload with per-iteration query rotation.
+
+    Each iteration executes ``queries_per_iter`` query classes; half of the
+    active set is re-sampled each iteration (the paper re-samples 5 of 10).
+    """
+
+    name = "job"
+    is_olap = True
+    base_rate = 10.0
+    base_query_seconds = 4.0    # nominal seconds/query at reference config
+    initial_data_gb = 9.0
+    working_set_fraction = 0.95  # scans touch nearly everything
+    skew = 0.1
+
+    def __init__(self, seed: int = 0, n_queries: int = 113,
+                 queries_per_iter: int = 10, resample: int = 5,
+                 dynamic: bool = True) -> None:
+        super().__init__(seed)
+        self.classes = build_job_queries(n_queries, seed=seed + 42)
+        self.queries_per_iter = int(queries_per_iter)
+        self.resample = int(resample)
+        self.dynamic = dynamic
+
+    def _active_set(self, iteration: int) -> np.ndarray:
+        """Deterministic active query-class indices for an iteration."""
+        n = len(self.classes)
+        rng0 = np.random.default_rng(self.seed + 1234)
+        active = rng0.choice(n, size=self.queries_per_iter, replace=False)
+        if not self.dynamic:
+            return active
+        for it in range(1, iteration + 1):
+            rng = np.random.default_rng(self.seed + 5555 + it)
+            drop = rng.choice(self.queries_per_iter, size=self.resample, replace=False)
+            remaining = np.delete(active, drop)
+            pool = np.setdiff1d(np.arange(n), remaining)
+            new = rng.choice(pool, size=self.resample, replace=False)
+            active = np.concatenate([remaining, new])
+        return active
+
+    # caching: recomputing the rotation chain is O(iteration); memoize.
+    def active_set(self, iteration: int) -> np.ndarray:
+        cache = getattr(self, "_active_cache", None)
+        if cache is None:
+            cache = {}
+            self._active_cache = cache
+        if iteration not in cache:
+            if iteration > 0 and (iteration - 1) in cache:
+                active = cache[iteration - 1]
+                n = len(self.classes)
+                rng = np.random.default_rng(self.seed + 5555 + iteration)
+                drop = rng.choice(self.queries_per_iter, size=self.resample, replace=False)
+                remaining = np.delete(active, drop)
+                pool = np.setdiff1d(np.arange(n), remaining)
+                new = rng.choice(pool, size=self.resample, replace=False)
+                cache[iteration] = np.concatenate([remaining, new])
+            else:
+                cache[iteration] = self._active_set(iteration)
+        return cache[iteration]
+
+    def mix_weights(self, iteration: int) -> np.ndarray:
+        weights = np.zeros(len(self.classes))
+        weights[self.active_set(iteration)] = 1.0
+        return weights / weights.sum()

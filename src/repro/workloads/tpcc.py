@@ -1,0 +1,138 @@
+"""TPC-C workload: write-heavy OLTP with complex relations.
+
+Five transaction types with the standard mix (NewOrder 45%, Payment 43%,
+OrderStatus 4%, Delivery 4%, StockLevel 4%).  In dynamic mode the weights
+follow the paper's recipe (Section 7.1.1): sampled from a normal
+distribution whose mean is a sine function of the iteration with 10%
+standard deviation.  Because TPC-C is write-heavy, its data grows during
+the run — the paper observes 18 GB -> 48 GB over 400 intervals.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import QueryClass, Workload
+
+__all__ = ["TPCCWorkload", "TPCC_CLASSES"]
+
+TPCC_CLASSES = (
+    QueryClass(
+        name="NewOrder",
+        sql_templates=(
+            "SELECT c_discount, c_last, c_credit FROM customer WHERE c_w_id = {id} AND c_d_id = {n} AND c_id = {id}",
+            "SELECT s_quantity, s_data FROM stock WHERE s_i_id = {id} AND s_w_id = {id} FOR UPDATE",
+            "INSERT INTO orders (o_id, o_d_id, o_w_id, o_c_id) VALUES ({id}, {n}, {id}, {id})",
+            "INSERT INTO order_line (ol_o_id, ol_d_id, ol_w_id, ol_number, ol_i_id) VALUES ({id}, {n}, {id}, {n}, {id})",
+            "UPDATE stock SET s_quantity = {n} WHERE s_i_id = {id} AND s_w_id = {id}",
+        ),
+        read_fraction=0.45, point_read=0.8, range_scan=0.05, sort=0.0,
+        join=0.15, temp_table=0.02, lock=0.55, log_write=0.9,
+        rows_examined=46.0, filter_ratio=0.1, uses_index=True,
+    ),
+    QueryClass(
+        name="Payment",
+        sql_templates=(
+            "UPDATE warehouse SET w_ytd = w_ytd + {n} WHERE w_id = {id}",
+            "UPDATE district SET d_ytd = d_ytd + {n} WHERE d_w_id = {id} AND d_id = {n}",
+            "SELECT c_first, c_middle, c_last FROM customer WHERE c_w_id = {id} AND c_d_id = {n} AND c_last = {str} ORDER BY c_first",
+            "UPDATE customer SET c_balance = c_balance - {n} WHERE c_w_id = {id} AND c_d_id = {n} AND c_id = {id}",
+            "INSERT INTO history (h_c_d_id, h_c_w_id, h_c_id, h_amount) VALUES ({n}, {id}, {id}, {n})",
+        ),
+        read_fraction=0.30, point_read=0.75, range_scan=0.05, sort=0.1,
+        join=0.05, temp_table=0.02, lock=0.7, log_write=0.95,
+        rows_examined=12.0, filter_ratio=0.2, uses_index=True,
+    ),
+    QueryClass(
+        name="OrderStatus",
+        sql_templates=(
+            "SELECT c_balance, c_first, c_middle, c_last FROM customer WHERE c_w_id = {id} AND c_d_id = {n} AND c_id = {id}",
+            "SELECT o_id, o_carrier_id, o_entry_d FROM orders WHERE o_w_id = {id} AND o_d_id = {n} AND o_c_id = {id} ORDER BY o_id DESC LIMIT 1",
+            "SELECT ol_i_id, ol_supply_w_id, ol_quantity FROM order_line WHERE ol_w_id = {id} AND ol_d_id = {n} AND ol_o_id = {id}",
+        ),
+        read_fraction=1.0, point_read=0.7, range_scan=0.25, sort=0.25,
+        join=0.1, temp_table=0.05, lock=0.05, log_write=0.0,
+        rows_examined=28.0, filter_ratio=0.3, uses_index=True,
+    ),
+    QueryClass(
+        name="Delivery",
+        sql_templates=(
+            "SELECT no_o_id FROM new_order WHERE no_d_id = {n} AND no_w_id = {id} ORDER BY no_o_id ASC LIMIT 1",
+            "DELETE FROM new_order WHERE no_d_id = {n} AND no_w_id = {id} AND no_o_id = {id}",
+            "UPDATE orders SET o_carrier_id = {n} WHERE o_id = {id} AND o_d_id = {n} AND o_w_id = {id}",
+            "UPDATE order_line SET ol_delivery_d = {str} WHERE ol_o_id = {id} AND ol_d_id = {n} AND ol_w_id = {id}",
+            "UPDATE customer SET c_balance = c_balance + {n} WHERE c_id = {id} AND c_d_id = {n} AND c_w_id = {id}",
+        ),
+        read_fraction=0.25, point_read=0.6, range_scan=0.15, sort=0.1,
+        join=0.05, temp_table=0.02, lock=0.65, log_write=0.9,
+        rows_examined=130.0, filter_ratio=0.15, uses_index=True,
+    ),
+    QueryClass(
+        name="StockLevel",
+        sql_templates=(
+            "SELECT d_next_o_id FROM district WHERE d_w_id = {id} AND d_id = {n}",
+            "SELECT COUNT(DISTINCT s_i_id) FROM order_line, stock WHERE ol_w_id = {id} AND ol_d_id = {n} AND ol_o_id < {id} AND s_quantity < {n}",
+        ),
+        read_fraction=1.0, point_read=0.2, range_scan=0.8, sort=0.1,
+        join=0.7, temp_table=0.4, lock=0.05, log_write=0.0,
+        rows_examined=1200.0, filter_ratio=0.8, uses_index=False,
+    ),
+)
+
+_BASE_WEIGHTS = np.array([0.45, 0.43, 0.04, 0.04, 0.04])
+
+
+class TPCCWorkload(Workload):
+    """TPC-C with optional sine-varying transaction weights and data growth.
+
+    Parameters
+    ----------
+    dynamic:
+        Vary transaction weights over iterations (paper Section 7.1.1).
+    grow_data:
+        Grow the data from 18 GB toward 48 GB across ``growth_iters``.
+    period:
+        Sine period (iterations) of the weight oscillation.
+    """
+
+    classes = TPCC_CLASSES
+    name = "tpcc"
+    is_olap = False
+    base_rate = 800.0          # txn/s magnitude matching Figure 1(c)
+    initial_data_gb = 18.0
+    working_set_fraction = 0.65
+    skew = 0.4
+
+    def __init__(self, seed: int = 0, dynamic: bool = True, grow_data: bool = True,
+                 period: int = 80, weight_std: float = 0.10,
+                 growth_iters: int = 400, final_data_gb: float = 48.0) -> None:
+        super().__init__(seed)
+        self.dynamic = dynamic
+        self.grow_data = grow_data
+        self.period = int(period)
+        self.weight_std = float(weight_std)
+        self.growth_iters = int(growth_iters)
+        self.final_data_gb = float(final_data_gb)
+
+    def mix_weights(self, iteration: int) -> np.ndarray:
+        if not self.dynamic:
+            return _BASE_WEIGHTS / _BASE_WEIGHTS.sum()
+        rng = np.random.default_rng(self.seed + 104729 * iteration)
+        phase = 2.0 * np.pi * iteration / self.period
+        # shift mass between the write-heavy pair and the read classes
+        swing = 0.5 * (1.0 + np.sin(phase))  # 0..1
+        means = _BASE_WEIGHTS.copy()
+        means[0] *= 0.5 + swing           # NewOrder
+        means[1] *= 0.5 + swing           # Payment
+        means[2] *= 0.5 + 2.0 * (1 - swing)  # OrderStatus
+        means[3] *= 0.5 + (1 - swing)
+        means[4] *= 0.5 + 2.0 * (1 - swing)  # StockLevel
+        weights = np.abs(rng.normal(means, self.weight_std * means))
+        weights = np.maximum(weights, 1e-3)
+        return weights / weights.sum()
+
+    def data_size_gb(self, iteration: int) -> float:
+        if not self.grow_data:
+            return self.initial_data_gb
+        frac = min(1.0, max(0.0, iteration / self.growth_iters))
+        return self.initial_data_gb + frac * (self.final_data_gb - self.initial_data_gb)

@@ -1,0 +1,102 @@
+"""Twitter workload (OLTP-Bench): skewed, read-mostly web workload.
+
+Characterized by heavily skewed many-to-many relationships and non-uniform
+access (Section 7 of the paper).  Five transaction types following the
+OLTP-Bench Twitter mix; dynamic mode varies the weights the same way as
+TPC-C (normal around a sine of the iteration, 10% std).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from .base import QueryClass, Workload
+
+__all__ = ["TwitterWorkload", "TWITTER_CLASSES"]
+
+TWITTER_CLASSES = (
+    QueryClass(
+        name="GetTweet",
+        sql_templates=(
+            "SELECT * FROM tweets WHERE id = {id}",
+        ),
+        read_fraction=1.0, point_read=1.0, range_scan=0.0, sort=0.0,
+        join=0.0, temp_table=0.0, lock=0.0, log_write=0.0,
+        rows_examined=1.0, filter_ratio=0.0, uses_index=True,
+    ),
+    QueryClass(
+        name="GetTweetsFromFollowing",
+        sql_templates=(
+            "SELECT f2 FROM follows WHERE f1 = {id} LIMIT {n}",
+            "SELECT * FROM tweets WHERE uid IN ({id}, {id}, {id}) ORDER BY createdate DESC LIMIT 20",
+        ),
+        read_fraction=1.0, point_read=0.5, range_scan=0.5, sort=0.5,
+        join=0.3, temp_table=0.35, lock=0.0, log_write=0.0,
+        rows_examined=420.0, filter_ratio=0.6, uses_index=True,
+    ),
+    QueryClass(
+        name="GetFollowers",
+        sql_templates=(
+            "SELECT f2 FROM followers WHERE f1 = {id} LIMIT 20",
+            "SELECT uid, name FROM user_profiles WHERE uid IN ({id}, {id}, {id})",
+        ),
+        read_fraction=1.0, point_read=0.6, range_scan=0.4, sort=0.1,
+        join=0.2, temp_table=0.15, lock=0.0, log_write=0.0,
+        rows_examined=160.0, filter_ratio=0.4, uses_index=True,
+    ),
+    QueryClass(
+        name="GetUserTweets",
+        sql_templates=(
+            "SELECT * FROM tweets WHERE uid = {id} ORDER BY createdate DESC LIMIT 10",
+        ),
+        read_fraction=1.0, point_read=0.3, range_scan=0.7, sort=0.6,
+        join=0.0, temp_table=0.25, lock=0.0, log_write=0.0,
+        rows_examined=350.0, filter_ratio=0.5, uses_index=True,
+    ),
+    QueryClass(
+        name="InsertTweet",
+        sql_templates=(
+            "INSERT INTO tweets (uid, text, createdate) VALUES ({id}, {str}, {str})",
+            "UPDATE user_profiles SET num_tweets = num_tweets + 1 WHERE uid = {id}",
+        ),
+        read_fraction=0.1, point_read=0.5, range_scan=0.0, sort=0.0,
+        join=0.0, temp_table=0.0, lock=0.3, log_write=0.9,
+        rows_examined=2.0, filter_ratio=0.0, uses_index=True,
+    ),
+)
+
+_BASE_WEIGHTS = np.array([0.35, 0.30, 0.12, 0.15, 0.08])
+
+
+class TwitterWorkload(Workload):
+    """Twitter with optional sine-varying composition."""
+
+    classes = TWITTER_CLASSES
+    name = "twitter"
+    is_olap = False
+    base_rate = 16000.0        # txn/s magnitude matching Figure 18(b)
+    initial_data_gb = 29.0
+    working_set_fraction = 0.30   # heavy skew -> small hot set
+    skew = 0.9
+
+    def __init__(self, seed: int = 0, dynamic: bool = True,
+                 period: int = 70, weight_std: float = 0.10) -> None:
+        super().__init__(seed)
+        self.dynamic = dynamic
+        self.period = int(period)
+        self.weight_std = float(weight_std)
+
+    def mix_weights(self, iteration: int) -> np.ndarray:
+        if not self.dynamic:
+            return _BASE_WEIGHTS / _BASE_WEIGHTS.sum()
+        rng = np.random.default_rng(self.seed + 99991 * iteration)
+        phase = 2.0 * np.pi * iteration / self.period
+        swing = 0.5 * (1.0 + np.sin(phase))
+        means = _BASE_WEIGHTS.copy()
+        means[0] *= 0.6 + 0.8 * swing          # point reads
+        means[1] *= 0.6 + 0.8 * (1.0 - swing)  # timeline scans
+        means[3] *= 0.6 + 0.8 * (1.0 - swing)
+        means[4] *= 0.6 + 0.8 * swing          # writes
+        weights = np.abs(rng.normal(means, self.weight_std * means))
+        weights = np.maximum(weights, 1e-3)
+        return weights / weights.sum()

@@ -1,0 +1,97 @@
+"""YCSB workload used in the Section 7.2 case study.
+
+A key-value style workload whose read ratio follows a configurable trace —
+the paper's Figure 9 shows the read ratio wandering between ~40% and 100%
+over 400 iterations.  The default trace reproduces that pattern.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Optional
+
+import numpy as np
+
+from .base import QueryClass, Workload
+
+__all__ = ["YCSBWorkload", "ycsb_read_ratio_trace"]
+
+_READ = QueryClass(
+    name="Read",
+    sql_templates=("SELECT * FROM usertable WHERE ycsb_key = {id}",),
+    read_fraction=1.0, point_read=1.0, range_scan=0.0, sort=0.0,
+    join=0.0, temp_table=0.0, lock=0.0, log_write=0.0,
+    rows_examined=1.0, filter_ratio=0.0, uses_index=True,
+)
+_SCAN = QueryClass(
+    name="Scan",
+    sql_templates=("SELECT * FROM usertable WHERE ycsb_key >= {id} LIMIT {n}",),
+    read_fraction=1.0, point_read=0.0, range_scan=1.0, sort=0.2,
+    join=0.0, temp_table=0.45, lock=0.0, log_write=0.0,
+    rows_examined=500.0, filter_ratio=0.3, uses_index=True,
+)
+_UPDATE = QueryClass(
+    name="Update",
+    sql_templates=("UPDATE usertable SET field0 = {str} WHERE ycsb_key = {id}",),
+    read_fraction=0.0, point_read=0.8, range_scan=0.0, sort=0.0,
+    join=0.0, temp_table=0.0, lock=0.4, log_write=0.9,
+    rows_examined=1.0, filter_ratio=0.0, uses_index=True,
+)
+_INSERT = QueryClass(
+    name="Insert",
+    sql_templates=("INSERT INTO usertable (ycsb_key, field0) VALUES ({id}, {str})",),
+    read_fraction=0.0, point_read=0.0, range_scan=0.0, sort=0.0,
+    join=0.0, temp_table=0.0, lock=0.3, log_write=0.95,
+    rows_examined=1.0, filter_ratio=0.0, uses_index=True,
+)
+
+
+def ycsb_read_ratio_trace(iteration: int, seed: int = 0) -> float:
+    """The Figure 9 style read-ratio trace: 40%..100% with plateaus."""
+    rng = np.random.default_rng(seed + 31 * (iteration // 40))
+    base = 0.70 + 0.30 * np.sin(2.0 * np.pi * iteration / 160.0)
+    step = float(rng.uniform(-0.12, 0.12))
+    return float(np.clip(base + step, 0.40, 1.0))
+
+
+class YCSBWorkload(Workload):
+    """YCSB with a pluggable read-ratio trace.
+
+    Parameters
+    ----------
+    read_ratio_fn:
+        ``iteration -> read ratio in [0, 1]``; defaults to the Figure 9
+        trace.  Pass ``lambda i: 0.5`` (etc.) for a static mix.
+    scan_fraction:
+        Fraction of read operations that are range scans.
+    """
+
+    classes = (_READ, _SCAN, _UPDATE, _INSERT)
+    name = "ycsb"
+    is_olap = False
+    base_rate = 24000.0      # txn/s magnitude matching Figure 10/11
+    initial_data_gb = 12.0
+    working_set_fraction = 0.5
+    skew = 0.7
+
+    def __init__(self, seed: int = 0,
+                 read_ratio_fn: Optional[Callable[[int], float]] = None,
+                 scan_fraction: float = 0.25) -> None:
+        super().__init__(seed)
+        self._read_ratio_fn = read_ratio_fn or (
+            lambda i: ycsb_read_ratio_trace(i, seed))
+        self.scan_fraction = float(scan_fraction)
+
+    def read_ratio(self, iteration: int) -> float:
+        return float(np.clip(self._read_ratio_fn(iteration), 0.0, 1.0))
+
+    def mix_weights(self, iteration: int) -> np.ndarray:
+        r = self.read_ratio(iteration)
+        w = 1.0 - r
+        weights = np.array([
+            r * (1.0 - self.scan_fraction),
+            r * self.scan_fraction,
+            w * 0.8,
+            w * 0.2,
+        ])
+        weights = np.maximum(weights, 1e-6)
+        return weights / weights.sum()

@@ -1,0 +1,43 @@
+"""Shared fixtures for the test suite."""
+
+from __future__ import annotations
+
+import numpy as np
+import pytest
+
+from repro.knobs import (
+    case_study_space,
+    dba_default_config,
+    mysql57_space,
+)
+from repro.workloads import TPCCWorkload, YCSBWorkload
+
+
+@pytest.fixture(scope="session")
+def full_space():
+    return mysql57_space()
+
+
+@pytest.fixture(scope="session")
+def small_space():
+    return case_study_space()
+
+
+@pytest.fixture(scope="session")
+def dba_config(full_space):
+    return dba_default_config(full_space)
+
+
+@pytest.fixture()
+def rng():
+    return np.random.default_rng(12345)
+
+
+@pytest.fixture()
+def tpcc_static():
+    return TPCCWorkload(seed=3, dynamic=False, grow_data=False)
+
+
+@pytest.fixture()
+def ycsb():
+    return YCSBWorkload(seed=3)

@@ -1,0 +1,225 @@
+"""Tests for the baseline tuners (repro.baselines)."""
+
+import numpy as np
+import pytest
+
+from repro.baselines import (
+    BOTuner,
+    DDPGTuner,
+    DefaultTuner,
+    Feedback,
+    METRIC_KEYS,
+    MysqlTunerBaseline,
+    QTuneTuner,
+    ResTuneTuner,
+    SuggestInput,
+    metrics_vector,
+    rgpe_weights,
+    workload_feature,
+)
+from repro.gp import GaussianProcess, Matern52Kernel
+from repro.knobs import case_study_space, dba_default_config, mysql57_space
+from repro.workloads import TPCCWorkload
+
+
+def _inp(iteration=0, tau=100.0, metrics=None, workload=None):
+    workload = workload or TPCCWorkload(seed=0, dynamic=False, grow_data=False)
+    return SuggestInput(iteration=iteration,
+                        snapshot=workload.snapshot(iteration, n_queries=10),
+                        metrics=metrics or {}, default_performance=tau)
+
+
+def _fb(config, perf, iteration=0, tau=100.0, failed=False, metrics=None):
+    return Feedback(iteration=iteration, config=config, performance=perf,
+                    metrics=metrics or {}, failed=failed,
+                    default_performance=tau)
+
+
+def _drive(tuner, objective, n=20, tau=100.0):
+    """Run a tuner against a synthetic objective over unit configs."""
+    space = tuner.space
+    tuner.start(space.default_config(), objective(space.default_vector()))
+    best = -np.inf
+    for i in range(n):
+        config = tuner.suggest(_inp(i, tau))
+        perf = objective(space.to_unit(config))
+        best = max(best, perf)
+        tuner.observe(_fb(config, perf, i, tau))
+    return best
+
+
+class TestDefaultTuner:
+    def test_always_same_config(self):
+        space = case_study_space()
+        tuner = DefaultTuner(space)
+        a = tuner.suggest(_inp())
+        tuner.observe(_fb(a, 1.0))
+        b = tuner.suggest(_inp(1))
+        assert a == b == space.default_config()
+
+
+class TestBOTuner:
+    def test_improves_on_smooth_objective(self):
+        space = case_study_space()
+        tuner = BOTuner(space, n_candidates=300, n_initial_random=3, seed=0)
+        objective = lambda u: -np.sum((u - 0.3) ** 2)
+        best = _drive(tuner, objective, n=25)
+        assert best > -0.15  # much better than random (~-1.0)
+
+    def test_suggest_returns_valid_config(self):
+        space = mysql57_space()
+        tuner = BOTuner(space, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        config = tuner.suggest(_inp())
+        assert space.clip_config(config) == config
+
+    def test_initial_random_phase(self):
+        space = case_study_space()
+        tuner = BOTuner(space, n_initial_random=5, seed=0)
+        tuner.start(space.default_config(), 1.0)
+        seen = set()
+        for i in range(3):
+            config = tuner.suggest(_inp(i))
+            seen.add(tuple(space.to_unit(config).round(6)))
+            tuner.observe(_fb(config, 1.0, i))
+        assert len(seen) == 3  # random phase produces distinct configs
+
+    def test_window_limits_observations(self):
+        space = case_study_space()
+        tuner = BOTuner(space, max_observations=10, seed=0)
+        objective = lambda u: float(u[0])
+        _drive(tuner, objective, n=15)
+        assert tuner._gp is None or tuner._gp.n_observations <= 10
+
+
+class TestDDPG:
+    def test_metrics_vector_order_and_scale(self):
+        metrics = {k: 1.0 for k in METRIC_KEYS}
+        vec = metrics_vector(metrics)
+        assert vec.shape == (len(METRIC_KEYS),)
+        assert np.allclose(vec, np.log1p(1.0))
+
+    def test_metrics_vector_missing_keys_zero(self):
+        assert np.allclose(metrics_vector({}), 0.0)
+
+    def test_action_is_valid_config(self):
+        space = mysql57_space()
+        tuner = DDPGTuner(space, seed=0)
+        config = tuner.suggest(_inp(metrics={"cpu_util": 0.5}))
+        assert space.clip_config(config) == config
+
+    def test_replay_and_training_cycle(self):
+        space = case_study_space()
+        tuner = DDPGTuner(space, batch_size=8, warmup=2, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        for i in range(12):
+            config = tuner.suggest(_inp(i, metrics={"cpu_util": 0.5}))
+            tuner.observe(_fb(config, 100.0 + i, i,
+                              metrics={"cpu_util": 0.5}))
+        assert len(tuner.replay) == 12
+
+    def test_failure_reward_strongly_negative(self):
+        space = case_study_space()
+        tuner = DDPGTuner(space, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        config = tuner.suggest(_inp())
+        tuner.observe(_fb(config, 0.0, failed=True))
+        _, _, reward, _ = tuner.replay.buffer[-1]
+        assert reward == -5.0
+
+    def test_policy_moves_with_training(self):
+        space = case_study_space()
+        tuner = DDPGTuner(space, batch_size=4, warmup=1, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        state = metrics_vector({"cpu_util": 0.5})
+        before = tuner.actor(state[None, :]).copy()
+        for i in range(20):
+            config = tuner.suggest(_inp(i, metrics={"cpu_util": 0.5}))
+            tuner.observe(_fb(config, 100.0 + i, i, metrics={"cpu_util": 0.5}))
+        after = tuner.actor(state[None, :])
+        assert not np.allclose(before, after)
+
+
+class TestQTune:
+    def test_workload_feature_histogram(self):
+        w = TPCCWorkload(seed=0, dynamic=False)
+        feat = workload_feature(w.snapshot(0, n_queries=20))
+        assert feat.shape[0] == 7
+        assert feat[:4].sum() == pytest.approx(1.0, abs=1e-6)
+
+    def test_predictor_learns_metric_mapping(self):
+        space = case_study_space()
+        tuner = QTuneTuner(space, warmup=2, batch_size=4, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        metrics = {"cpu_util": 0.7, "qps_select": 500.0}
+        for i in range(15):
+            config = tuner.suggest(_inp(i))
+            tuner.observe(_fb(config, 100.0, i, metrics=metrics))
+        snap = TPCCWorkload(seed=0, dynamic=False).snapshot(0, n_queries=10)
+        pred = tuner.predictor(workload_feature(snap)[None, :])[0]
+        target = metrics_vector(metrics)
+        # prediction has moved toward the constant target
+        assert np.linalg.norm(pred - target) < np.linalg.norm(target)
+
+
+class TestResTune:
+    def test_rgpe_weights_prefer_accurate_base(self, rng):
+        X = rng.random((10, 2))
+        y = X[:, 0]
+        good = GaussianProcess(kernel=Matern52Kernel()).fit(X, y)
+        bad = GaussianProcess(kernel=Matern52Kernel()).fit(X, -y)
+        weights = rgpe_weights([good, bad], X, y, target_loss=5)
+        assert weights[0] > weights[1]
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_base_models_freeze_in_chunks(self):
+        space = case_study_space()
+        tuner = ResTuneTuner(space, chunk_size=10, n_initial_random=3, seed=0)
+        objective = lambda u: float(u[0])
+        _drive(tuner, objective, n=40)
+        assert len(tuner._base_models) >= 1
+
+    def test_improves_on_smooth_objective(self):
+        space = case_study_space()
+        tuner = ResTuneTuner(space, chunk_size=25, n_initial_random=3,
+                             n_candidates=300, seed=0)
+        objective = lambda u: -np.sum((u - 0.6) ** 2)
+        best = _drive(tuner, objective, n=25)
+        assert best > -0.2
+
+    def test_pof_blocks_predictably_unsafe(self):
+        """With tau very high, the acquisition still returns a config."""
+        space = case_study_space()
+        tuner = ResTuneTuner(space, n_initial_random=2, seed=0)
+        tuner.start(space.default_config(), 10.0)
+        for i in range(5):
+            config = tuner.suggest(_inp(i, tau=10.0))
+            tuner.observe(_fb(config, 1.0, i, tau=10.0))
+        assert isinstance(config, dict)
+
+
+class TestMysqlTunerBaseline:
+    def test_reacts_to_metrics(self):
+        space = mysql57_space()
+        tuner = MysqlTunerBaseline(space, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        config = tuner.suggest(_inp(metrics={"buffer_pool_hit_rate": 0.5}))
+        assert (config["innodb_buffer_pool_size"]
+                > space.default_config()["innodb_buffer_pool_size"])
+
+    def test_stateless_about_performance(self):
+        space = mysql57_space()
+        tuner = MysqlTunerBaseline(space, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        a = tuner.suggest(_inp(metrics={}))
+        tuner.observe(_fb(a, 0.0, failed=True))
+        b = tuner.suggest(_inp(1, metrics={}))
+        assert space.clip_config(b) == b
+
+    def test_converges_to_fixed_point(self):
+        space = mysql57_space()
+        tuner = MysqlTunerBaseline(space, seed=0)
+        tuner.start(space.default_config(), 100.0)
+        metrics = {"buffer_pool_hit_rate": 0.99}
+        configs = [tuner.suggest(_inp(i, metrics=metrics)) for i in range(6)]
+        assert configs[-1] == configs[-2]  # heuristics stop changing things

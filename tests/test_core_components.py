@@ -1,0 +1,408 @@
+"""Tests for OnlineTune's components (repro.core.*, excluding the tuner)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core import (
+    ClusteredModels,
+    ContextFeaturizer,
+    DataRepository,
+    Observation,
+    SafetyAssessor,
+    Subspace,
+    select_candidate,
+)
+from repro.core.safety import SafetyAssessment
+from repro.knobs import case_study_space, mysql57_space
+from repro.rules import RuleBook, RangeRule, RuleContext
+from repro.workloads import TPCCWorkload, TwitterWorkload
+
+
+def _obs(iteration, context, config, perf, tau=100.0, failed=False):
+    return Observation(iteration=iteration, context=np.asarray(context, float),
+                       config_vec=np.asarray(config, float),
+                       performance=perf, default_performance=tau, failed=failed)
+
+
+class TestContextFeaturizer:
+    def test_dim_accounts_for_switches(self):
+        full = ContextFeaturizer(use_workload=True, use_data=True,
+                                 embedding_components=4)
+        assert full.dim == 1 + 4 + 3
+        no_wl = ContextFeaturizer(use_workload=False, use_data=True)
+        assert no_wl.dim == 3
+        no_data = ContextFeaturizer(use_workload=True, use_data=False,
+                                    embedding_components=4)
+        assert no_data.dim == 5
+
+    def test_feature_dim_stable_across_warmup(self):
+        feat = ContextFeaturizer(warmup_snapshots=2, seed=0)
+        w = TPCCWorkload(seed=0)
+        dims = {feat.featurize(w.snapshot(i)).shape[0] for i in range(5)}
+        assert dims == {feat.dim}
+
+    def test_distinguishes_workloads_after_warmup(self):
+        feat = ContextFeaturizer(warmup_snapshots=2, seed=0)
+        tpcc = TPCCWorkload(seed=0)
+        twitter = TwitterWorkload(seed=0)
+        for i in range(3):
+            feat.featurize(tpcc.snapshot(i))
+            feat.featurize(twitter.snapshot(i))
+        a = feat.featurize(tpcc.snapshot(10))
+        b = feat.featurize(twitter.snapshot(10))
+        assert np.linalg.norm(a - b) > 1e-3
+
+    def test_keyword_fallback_before_training(self):
+        feat = ContextFeaturizer(warmup_snapshots=10 ** 6, seed=0)
+        w = TPCCWorkload(seed=0)
+        vec = feat.featurize(w.snapshot(0))
+        assert vec.shape == (feat.dim,)
+        assert np.all(np.isfinite(vec))
+
+    def test_disabled_everything_yields_one_dim(self):
+        feat = ContextFeaturizer(use_workload=False, use_data=False)
+        w = TPCCWorkload(seed=0)
+        assert feat.featurize(w.snapshot(0)).shape == (1,)
+
+
+class TestDataRepository:
+    def test_append_and_views(self):
+        repo = DataRepository()
+        for i in range(5):
+            repo.add(_obs(i, [i, 0.0], [0.1 * i, 0.5], perf=100 + i))
+        assert len(repo) == 5
+        assert repo.contexts().shape == (5, 2)
+        assert repo.configs().shape == (5, 2)
+        assert repo.performances().tolist() == [100, 101, 102, 103, 104]
+
+    def test_index_selection(self):
+        repo = DataRepository()
+        for i in range(4):
+            repo.add(_obs(i, [i], [i * 0.1], perf=float(i)))
+        assert repo.performances([1, 3]).tolist() == [1.0, 3.0]
+
+    def test_best_index_by_improvement(self):
+        repo = DataRepository()
+        repo.add(_obs(0, [0], [0.1], perf=100, tau=100))   # improvement 0
+        repo.add(_obs(1, [0], [0.2], perf=90, tau=50))     # improvement 0.8
+        repo.add(_obs(2, [0], [0.3], perf=120, tau=100))   # improvement 0.2
+        assert repo.best_index() == 1
+
+    def test_best_index_skips_failures(self):
+        repo = DataRepository()
+        repo.add(_obs(0, [0], [0.1], perf=500, tau=100, failed=True))
+        repo.add(_obs(1, [0], [0.2], perf=101, tau=100))
+        assert repo.best_index() == 1
+
+    def test_best_index_empty_none(self):
+        assert DataRepository().best_index() is None
+
+    def test_observation_safe_property(self):
+        assert _obs(0, [0], [0], perf=100, tau=100).safe
+        assert not _obs(0, [0], [0], perf=99, tau=100).safe
+        assert not _obs(0, [0], [0], perf=200, tau=100, failed=True).safe
+
+    def test_negative_tau_improvement(self):
+        # OLAP objective: perf = -exec_seconds, tau = -50
+        obs = _obs(0, [0], [0], perf=-40.0, tau=-50.0)
+        assert obs.improvement == pytest.approx(0.2)
+        assert obs.safe
+
+
+class TestClusteredModels:
+    def _repo_two_contexts(self, n=30):
+        rng = np.random.default_rng(0)
+        repo = DataRepository()
+        for i in range(n):
+            cluster = i % 2
+            ctx = rng.normal(3.0 * cluster, 0.05, size=2)
+            cfg = rng.random(3)
+            repo.add(_obs(i, ctx, cfg, perf=100 + 10 * cluster + cfg[0]))
+        return repo
+
+    def test_relearn_discovers_two_clusters(self):
+        repo = self._repo_two_contexts()
+        models = ClusteredModels(config_dim=3, context_dim=2, eps=0.8,
+                                 min_samples=3, seed=0)
+        models.labels = [0] * len(repo)
+        models.relearn(repo)
+        assert models.n_clusters == 2
+
+    def test_select_routes_to_matching_cluster(self):
+        repo = self._repo_two_contexts()
+        models = ClusteredModels(config_dim=3, context_dim=2, eps=0.8,
+                                 min_samples=3, seed=0)
+        models.labels = [0] * len(repo)
+        models.relearn(repo)
+        label_a = models.select(np.array([0.0, 0.0]))
+        label_b = models.select(np.array([3.0, 3.0]))
+        assert label_a != label_b
+
+    def test_model_for_fits_on_cluster_data(self):
+        repo = self._repo_two_contexts()
+        models = ClusteredModels(config_dim=3, context_dim=2, eps=0.8,
+                                 min_samples=3, seed=0)
+        models.labels = [0] * len(repo)
+        models.relearn(repo)
+        label = models.select(np.array([0.0, 0.0]))
+        model = models.model_for(label, repo)
+        assert model.n_observations > 0
+
+    def test_need_relearn_on_shift(self):
+        repo = self._repo_two_contexts()
+        models = ClusteredModels(config_dim=3, context_dim=2, eps=0.8,
+                                 min_samples=3, nmi_threshold=0.5, seed=0)
+        models.labels = [0] * len(repo)  # stale single-cluster labelling
+        assert models.need_relearn(repo)
+
+    def test_no_relearn_when_consistent(self):
+        repo = self._repo_two_contexts()
+        models = ClusteredModels(config_dim=3, context_dim=2, eps=0.8,
+                                 min_samples=3, seed=0)
+        models.labels = [0] * len(repo)
+        models.relearn(repo)
+        assert not models.need_relearn(repo)
+
+    def test_cluster_size_cap(self):
+        rng = np.random.default_rng(1)
+        repo = DataRepository()
+        for i in range(60):
+            repo.add(_obs(i, rng.normal(0, 0.1, 2), rng.random(3), perf=float(i)))
+        models = ClusteredModels(config_dim=3, context_dim=2,
+                                 max_cluster_size=20, seed=0)
+        models.labels = [0] * len(repo)
+        model = models.model_for(0, repo)
+        assert model.n_observations <= 20
+
+    def test_disabled_clustering_single_model(self):
+        repo = self._repo_two_contexts()
+        models = ClusteredModels(config_dim=3, context_dim=2, enabled=False,
+                                 seed=0)
+        for obs in repo:
+            models.add_observation(obs.context, repo)
+        assert models.n_clusters == 1
+
+
+class TestSubspace:
+    def test_initialize_hypercube(self):
+        sub = Subspace(dim=4, r_init=0.1)
+        sub.initialize(np.full(4, 0.5))
+        assert sub.kind == Subspace.HYPERCUBE
+        assert sub.radius == 0.1
+
+    def test_discretize_within_hypercube(self):
+        sub = Subspace(dim=4, r_init=0.1, seed=0)
+        center = np.full(4, 0.5)
+        sub.initialize(center)
+        pts = sub.discretize(50)
+        assert np.all(np.abs(pts - center) <= 0.1 + 1e-9)
+        assert np.allclose(pts[0], center)
+
+    def test_discretize_clipped_to_unit_cube(self):
+        sub = Subspace(dim=3, r_init=0.4, seed=0)
+        sub.initialize(np.array([0.05, 0.95, 0.5]))
+        pts = sub.discretize(40)
+        assert pts.min() >= 0.0 and pts.max() <= 1.0
+
+    def test_radius_doubles_after_successes(self):
+        sub = Subspace(dim=3, r_init=0.1, eta_succ=2, seed=0)
+        sub.initialize(np.full(3, 0.5))
+        for _ in range(3):
+            sub.update(success=True, improvement=0.1)
+        assert sub.radius == pytest.approx(0.2)
+
+    def test_radius_capped_at_rmax(self):
+        sub = Subspace(dim=3, r_init=0.4, r_max=0.5, eta_succ=1, seed=0)
+        sub.initialize(np.full(3, 0.5))
+        for _ in range(10):
+            sub.update(success=True, improvement=0.1)
+        assert sub.radius <= 0.5
+
+    def test_failures_switch_to_line(self):
+        sub = Subspace(dim=3, r_init=0.1, eta_fail=2, seed=0)
+        sub.initialize(np.full(3, 0.5))
+        for _ in range(3):
+            sub.update(success=False, improvement=0.0)
+        assert sub.kind == Subspace.LINE
+        assert sub.direction is not None
+
+    def test_line_returns_to_hypercube(self):
+        sub = Subspace(dim=3, eta_fail=10, seed=0)
+        sub.initialize(np.full(3, 0.5))
+        sub.exhausted()  # -> line
+        assert sub.kind == Subspace.LINE
+        returned = False
+        for _ in range(20):
+            sub.update(success=False, improvement=0.0)
+            if sub.kind == Subspace.HYPERCUBE:
+                returned = True
+                break
+        assert returned
+
+    def test_line_discretize_on_line(self):
+        sub = Subspace(dim=3, seed=0)
+        sub.initialize(np.full(3, 0.5))
+        sub.exhausted()
+        pts = sub.discretize(21)
+        # all points on the line through center (before clipping effects)
+        inside = [p for p in pts if 0.0 < p.min() and p.max() < 1.0]
+        for p in inside:
+            diff = p - sub.center
+            residual = diff - (diff @ sub.direction) * sub.direction
+            assert np.linalg.norm(residual) < 1e-9
+
+    def test_recenter_moves_subspace(self):
+        sub = Subspace(dim=3, seed=0)
+        sub.initialize(np.full(3, 0.5))
+        sub.update(success=True, improvement=0.2, new_center=np.full(3, 0.7))
+        assert np.allclose(sub.center, 0.7)
+
+    def test_prior_importance_directions(self):
+        sub = Subspace(dim=5, seed=1)
+        sub.initialize(np.full(5, 0.5))
+        prior = np.array([0.0, 0.0, 1.0, 0.0, 0.0]) + 0.01
+        sub.set_prior_importances(prior)
+        hits = 0
+        for _ in range(50):
+            d = sub._generate_direction()
+            if np.argmax(np.abs(d)) == 2 and np.abs(d).max() > 0.9:
+                hits += 1
+        assert hits > 25  # dominant knob drawn most of the time
+
+    def test_prior_wrong_dim_raises(self):
+        sub = Subspace(dim=3)
+        with pytest.raises(ValueError):
+            sub.set_prior_importances(np.ones(5))
+
+    def test_discretize_before_initialize_raises(self):
+        with pytest.raises(RuntimeError):
+            Subspace(dim=2).discretize(5)
+
+    def test_contains_hypercube(self):
+        sub = Subspace(dim=2, r_init=0.1)
+        sub.initialize(np.array([0.5, 0.5]))
+        assert sub.contains(np.array([0.55, 0.45]))
+        assert not sub.contains(np.array([0.9, 0.5]))
+
+    @given(st.integers(min_value=1, max_value=12))
+    @settings(max_examples=20, deadline=None)
+    def test_discretize_shape_property(self, dim):
+        sub = Subspace(dim=dim, seed=0)
+        sub.initialize(np.full(dim, 0.5))
+        pts = sub.discretize(30)
+        assert pts.shape[1] == dim
+        assert np.all((0.0 <= pts) & (pts <= 1.0))
+
+
+class _StubModel:
+    """Deterministic stand-in for a ContextualGP."""
+
+    def __init__(self, mean_fn, std=1.0):
+        self.mean_fn = mean_fn
+        self.std = std
+        self.n_observations = 10
+
+    def confidence_bounds(self, candidates, context, beta=None):
+        mean = np.array([self.mean_fn(c) for c in np.atleast_2d(candidates)])
+        return mean, mean - 2 * self.std, mean + 2 * self.std
+
+
+class TestSafetyAssessor:
+    def _space(self):
+        return case_study_space()
+
+    def test_blackbox_gates_on_lcb(self):
+        space = self._space()
+        assessor = SafetyAssessor(space, rulebook=None, margin=0.0,
+                                  use_whitebox=False)
+        model = _StubModel(lambda c: 100.0 + 10 * c[0], std=1.0)
+        cands = np.array([[0.9, 0.5, 0.5, 0.5, 0.5],
+                          [0.0, 0.5, 0.5, 0.5, 0.5]])
+        out = assessor.assess(model, cands, np.zeros(1), tau=105.0)
+        assert out.blackbox_mask.tolist() == [True, False]
+
+    def test_margin_loosens_threshold(self):
+        space = self._space()
+        model = _StubModel(lambda c: 100.0, std=0.5)
+        tight = SafetyAssessor(space, None, margin=0.0, use_whitebox=False)
+        loose = SafetyAssessor(space, None, margin=0.05, use_whitebox=False)
+        cands = np.array([[0.5] * 5])
+        assert not tight.assess(model, cands, np.zeros(1), tau=100.0).safe_mask[0]
+        assert loose.assess(model, cands, np.zeros(1), tau=100.0).safe_mask[0]
+
+    def test_margin_sign_for_negative_tau(self):
+        """OLAP objectives are negative; the margin must loosen, not tighten."""
+        assessor = SafetyAssessor(self._space(), None, margin=0.1,
+                                  use_whitebox=False)
+        assert assessor.threshold(-50.0) == pytest.approx(-55.0)
+        assert assessor.threshold(50.0) == pytest.approx(45.0)
+
+    def test_no_model_everything_blackbox_safe(self):
+        assessor = SafetyAssessor(self._space(), None, use_whitebox=False)
+        out = assessor.assess(None, np.array([[0.5] * 5]), np.zeros(1), tau=0.0)
+        assert out.safe_mask[0]
+
+    def test_whitebox_dismisses_violating_candidates(self):
+        space = self._space()
+        rule = RangeRule("cap_spin", "innodb_spin_wait_delay",
+                         lambda cfg, ctx: (0, 100))
+        assessor = SafetyAssessor(space, RuleBook([rule]), use_blackbox=False)
+        ctx = RuleContext(memory_bytes=16 * 2 ** 30, vcpus=8)
+        low_spin = space.to_unit({"innodb_spin_wait_delay": 10})
+        high_spin = space.to_unit({"innodb_spin_wait_delay": 1400})
+        out = assessor.assess(None, np.vstack([low_spin, high_spin]),
+                              np.zeros(1), tau=0.0, rule_ctx=ctx)
+        assert out.whitebox_mask.tolist() == [True, False]
+
+    def test_conflict_override_single_rule(self):
+        space = self._space()
+        rule = RangeRule("cap_spin", "innodb_spin_wait_delay",
+                         lambda cfg, ctx: (0, 100), conflict_threshold=1)
+        book = RuleBook([rule])
+        assessor = SafetyAssessor(space, book)
+        ctx = RuleContext(memory_bytes=16 * 2 ** 30, vcpus=8)
+        model = _StubModel(lambda c: 1000.0 * c[2], std=0.1)  # spin dim lucrative
+        cands = np.vstack([space.to_unit({"innodb_spin_wait_delay": 10}),
+                           space.to_unit({"innodb_spin_wait_delay": 1400})])
+        out = assessor.assess(model, cands, np.zeros(1), tau=0.0, rule_ctx=ctx)
+        out = assessor.resolve_conflict(out, ctx)
+        # conflict_threshold=1: the first conflict already grants an override
+        assert out.overridden_rule is rule
+        assert out.safe_mask[1]
+        # the override persists until evaluation feedback arrives
+        out2 = assessor.assess(model, cands, np.zeros(1), tau=0.0, rule_ctx=ctx)
+        assert out2.whitebox_mask[1]
+        book.feedback(was_safe=False)
+        out3 = assessor.assess(model, cands, np.zeros(1), tau=0.0, rule_ctx=ctx)
+        assert not out3.whitebox_mask[1]
+
+
+class TestSelectCandidate:
+    def _assessment(self, mean, lower, upper, safe):
+        n = len(mean)
+        return SafetyAssessment(
+            candidates=np.arange(n)[:, None].astype(float),
+            safe_mask=np.array(safe), blackbox_mask=np.array(safe),
+            whitebox_mask=np.ones(n, bool),
+            mean=np.array(mean, float), lower=np.array(lower, float),
+            upper=np.array(upper, float))
+
+    def test_empty_safety_set_none(self, rng):
+        a = self._assessment([1.0], [0.0], [2.0], [False])
+        assert select_candidate(a, 0.0, rng) is None
+
+    def test_exploit_picks_best_mean(self, rng):
+        a = self._assessment([1.0, 5.0, 3.0], [0, 4, 2], [2, 6, 4],
+                             [True, True, True])
+        assert select_candidate(a, 0.0, rng, selection_beta=0.0) == 1
+
+    def test_unsafe_best_is_skipped(self, rng):
+        a = self._assessment([1.0, 99.0], [0, 98], [2, 100], [True, False])
+        assert select_candidate(a, 0.0, rng) == 0
+
+    def test_boundary_exploration_picks_widest(self):
+        rng = np.random.default_rng(0)  # first random() < 0.999
+        a = self._assessment([1.0, 1.0], [0.9, -5.0], [1.1, 7.0],
+                             [True, True])
+        assert select_candidate(a, 0.999, rng) == 1

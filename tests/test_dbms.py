@@ -1,0 +1,252 @@
+"""Tests for the simulated MySQL substrate (repro.dbms)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbms import (
+    DATA_FEATURE_DIM,
+    PerformanceModel,
+    SimulatedMySQL,
+    data_features,
+)
+from repro.knobs import (
+    GIB,
+    MIB,
+    dba_default_config,
+    mysql57_space,
+    mysql_default_config,
+)
+from repro.workloads import JOBWorkload, TPCCWorkload, TwitterWorkload, YCSBWorkload
+
+
+@pytest.fixture(scope="module")
+def space():
+    return mysql57_space()
+
+
+@pytest.fixture(scope="module")
+def dba(space):
+    return dba_default_config(space)
+
+
+@pytest.fixture(scope="module")
+def model():
+    return PerformanceModel()
+
+
+def _with(space, base, **overrides):
+    config = dict(base)
+    config.update(overrides)
+    return space.clip_config(config)
+
+
+class TestPerformanceFactors:
+    def test_buffer_pool_monotone_up_to_working_set(self, space, dba, model):
+        prof = TwitterWorkload(seed=0, dynamic=False).profile(0)
+        factors = [
+            model.total_factor(_with(space, dba, innodb_buffer_pool_size=s), prof)
+            for s in (256 * MIB, 1 * GIB, 4 * GIB, 10 * GIB)
+        ]
+        assert factors == sorted(factors)
+
+    def test_vendor_default_much_worse_than_dba(self, space, dba, model):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        vendor = mysql_default_config(space)
+        assert model.total_factor(vendor, prof) < 0.7 * model.total_factor(dba, prof)
+
+    def test_flush_policy_gains_write_heavy(self, space, dba, model):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        f1 = model.total_factor(_with(space, dba, innodb_flush_log_at_trx_commit=1), prof)
+        f2 = model.total_factor(_with(space, dba, innodb_flush_log_at_trx_commit=2), prof)
+        f0 = model.total_factor(_with(space, dba, innodb_flush_log_at_trx_commit=0), prof)
+        assert f0 > f2 > f1
+
+    def test_flush_policy_irrelevant_read_only(self, space, dba, model):
+        prof = YCSBWorkload(seed=0, read_ratio_fn=lambda i: 1.0).profile(0)
+        f1 = model.total_factor(_with(space, dba, innodb_flush_log_at_trx_commit=1), prof)
+        f0 = model.total_factor(_with(space, dba, innodb_flush_log_at_trx_commit=0), prof)
+        assert f0 == pytest.approx(f1, rel=0.02)
+
+    def test_thread_concurrency_one_is_cliff(self, space, dba, model):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        f_unlimited = model.total_factor(_with(space, dba, innodb_thread_concurrency=0), prof)
+        f_one = model.total_factor(_with(space, dba, innodb_thread_concurrency=1), prof)
+        assert f_one < 0.5 * f_unlimited
+
+    def test_huge_spin_delay_hurts_contended(self, space, dba, model):
+        prof = YCSBWorkload(seed=0, read_ratio_fn=lambda i: 0.3).profile(0)
+        f_default = model.total_factor(_with(space, dba, innodb_spin_wait_delay=6), prof)
+        f_huge = model.total_factor(_with(space, dba, innodb_spin_wait_delay=1500), prof)
+        assert f_huge < f_default
+
+    def test_scratch_buffers_help_olap(self, space, dba, model):
+        prof = JOBWorkload(seed=0).profile(0)
+        small = _with(space, dba, join_buffer_size=128 * 1024,
+                      sort_buffer_size=32 * 1024,
+                      max_heap_table_size=16 * 1024, tmp_table_size=1 * MIB)
+        big = _with(space, dba, join_buffer_size=64 * MIB,
+                    sort_buffer_size=16 * MIB,
+                    max_heap_table_size=256 * MIB, tmp_table_size=256 * MIB)
+        assert model.total_factor(big, prof) > 1.1 * model.total_factor(small, prof)
+
+    def test_heap_table_interaction_ycsb(self, space, dba, model):
+        """Figure 10's pattern: small heap with scans drops throughput."""
+        prof = YCSBWorkload(seed=0, read_ratio_fn=lambda i: 0.9).profile(0)
+        small_heap = _with(space, dba, max_heap_table_size=16 * 1024,
+                           tmp_table_size=1 * MIB)
+        big_heap = _with(space, dba, max_heap_table_size=512 * MIB,
+                         tmp_table_size=512 * MIB)
+        assert model.total_factor(big_heap, prof) > model.total_factor(small_heap, prof)
+
+    def test_memory_overcommit_penalized(self, space, dba, model):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        sane = model.total_factor(dba, prof)
+        overcommitted = _with(space, dba, innodb_buffer_pool_size=15 * GIB,
+                              sort_buffer_size=128 * MIB,
+                              join_buffer_size=128 * MIB)
+        assert model.total_factor(overcommitted, prof) < 0.5 * sane
+
+    def test_memory_demand_increases_with_buffers(self, space, dba, model):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        base = model.memory_demand(dba, prof)
+        bigger = model.memory_demand(
+            _with(space, dba, sort_buffer_size=256 * MIB), prof)
+        assert bigger > base
+
+
+class TestEvaluate:
+    def test_noiseless_deterministic(self, space, dba, model):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        a = model.evaluate(dba, prof, noiseless=True)
+        b = model.evaluate(dba, prof, noiseless=True)
+        assert a.throughput == b.throughput
+
+    def test_noise_varies(self, space, dba, model, rng):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        values = {model.evaluate(dba, prof, rng).throughput for _ in range(5)}
+        assert len(values) > 1
+
+    def test_short_interval_noisier(self, space, dba):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        model = PerformanceModel(noise_std=0.02)
+        rng_a, rng_b = np.random.default_rng(0), np.random.default_rng(0)
+        long = [model.evaluate(dba, prof, rng_a, interval_seconds=180).throughput
+                for _ in range(60)]
+        short = [model.evaluate(dba, prof, rng_b, interval_seconds=5).throughput
+                 for _ in range(60)]
+        assert np.std(short) > 1.5 * np.std(long)
+
+    def test_far_overcommit_always_fails(self, space, dba, model, rng):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        config = _with(space, dba, innodb_buffer_pool_size=15 * GIB,
+                       sort_buffer_size=256 * MIB, join_buffer_size=256 * MIB,
+                       read_buffer_size=64 * MIB, read_rnd_buffer_size=64 * MIB)
+        result = model.evaluate(config, prof, rng)
+        assert result.failed and result.throughput == 0.0
+
+    def test_olap_reports_exec_seconds(self, space, dba, model, rng):
+        prof = JOBWorkload(seed=0).profile(0)
+        result = model.evaluate(dba, prof, rng)
+        assert result.exec_seconds > 0
+        assert result.objective(is_olap=True) == -result.exec_seconds
+
+    def test_olap_queries_killed_at_interval(self, space, model, rng):
+        prof = JOBWorkload(seed=0).profile(0)
+        vendor = mysql_default_config()
+        result = model.evaluate(vendor, prof, rng, interval_seconds=30.0)
+        assert result.exec_seconds <= 30.0
+
+    def test_arrival_rate_caps_throughput(self, space, dba, model, rng):
+        from dataclasses import replace
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        capped = replace(prof, arrival_rate=100.0)
+        result = model.evaluate(dba, capped, rng)
+        assert result.throughput <= 100.0 + 1e-9
+
+    def test_metrics_contain_ddpg_state_keys(self, space, dba, model, rng):
+        from repro.baselines.ddpg import METRIC_KEYS
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        result = model.evaluate(dba, prof, rng)
+        present = sum(1 for k in METRIC_KEYS if k in result.metrics)
+        assert present >= len(METRIC_KEYS) - 1  # 'failed' & co. present
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=40, max_size=40))
+    @settings(max_examples=20, deadline=None)
+    def test_factor_positive_for_any_config(self, units):
+        space = mysql57_space()
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        factor = PerformanceModel().total_factor(
+            space.from_unit(np.array(units)), prof)
+        assert factor > 0
+
+
+class TestSimulatedMySQL:
+    def _engine(self, space, dba, workload=None, seed=0):
+        return SimulatedMySQL(space, workload or TPCCWorkload(seed=0, dynamic=False,
+                                                              grow_data=False),
+                              reference_config=dba, seed=seed)
+
+    def test_apply_config_clips(self, space, dba):
+        db = self._engine(space, dba)
+        applied = db.apply_config({"innodb_buffer_pool_size": 10 ** 18})
+        assert applied["innodb_buffer_pool_size"] <= 15 * GIB
+
+    def test_apply_partial_config_merges(self, space, dba):
+        db = self._engine(space, dba)
+        db.apply_config({"innodb_io_capacity": 5000})
+        assert db.current_config["innodb_io_capacity"] == 5000
+        assert db.current_config["innodb_buffer_pool_size"] == dba["innodb_buffer_pool_size"]
+
+    def test_failure_resets_to_reference(self, space, dba):
+        db = self._engine(space, dba, seed=1)
+        crash = {"innodb_buffer_pool_size": 15 * GIB,
+                 "sort_buffer_size": 256 * MIB,
+                 "join_buffer_size": 256 * MIB,
+                 "read_buffer_size": 64 * MIB,
+                 "read_rnd_buffer_size": 64 * MIB}
+        result = db.run_interval(0, crash)
+        assert result.failed
+        assert db.failure_count == 1
+        assert db.current_config == dict(db.reference_config)
+
+    def test_default_performance_stable(self, space, dba):
+        db = self._engine(space, dba)
+        assert db.default_performance(3) == db.default_performance(3)
+
+    def test_default_performance_tracks_context(self, space, dba):
+        db = self._engine(space, dba, workload=TPCCWorkload(seed=0, dynamic=True))
+        taus = {round(db.default_performance(i), 3) for i in range(0, 60, 10)}
+        assert len(taus) > 1
+
+    def test_objective_sign_olap(self, space, dba):
+        db = self._engine(space, dba, workload=JOBWorkload(seed=0))
+        result = db.run_interval(0)
+        assert db.objective(result, 0) == -result.exec_seconds
+
+    def test_snapshot_delegates_to_workload(self, space, dba):
+        db = self._engine(space, dba)
+        snap = db.observe_snapshot(2, n_queries=9)
+        assert len(snap.queries) == 9
+
+
+class TestDataFeatures:
+    def test_dimension(self, tpcc_static):
+        snap = tpcc_static.snapshot(0)
+        assert data_features(snap).shape == (DATA_FEATURE_DIM,)
+
+    def test_empty_snapshot_zeros(self, tpcc_static):
+        snap = tpcc_static.snapshot(0, n_queries=0)
+        snap.rows_examined = []
+        assert np.allclose(data_features(snap), 0.0)
+
+    def test_data_growth_reflected(self):
+        w = TPCCWorkload(seed=0, grow_data=True, growth_iters=100)
+        early = data_features(w.snapshot(0))
+        late = data_features(w.snapshot(100))
+        assert late[0] > early[0]  # more rows examined as data grows
+
+    def test_features_bounded(self, tpcc_static):
+        feats = data_features(tpcc_static.snapshot(5))
+        assert np.all(feats >= 0) and np.all(feats <= 1.5)

@@ -1,0 +1,199 @@
+"""Tests for the knob space (repro.knobs)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.knobs import (
+    GIB,
+    IMPORTANCE_PRIOR,
+    MIB,
+    EnumKnob,
+    FloatKnob,
+    IntegerKnob,
+    KnobSpace,
+    case_study_space,
+    dba_default_config,
+    importance_prior_vector,
+    mysql57_space,
+    mysql_default_config,
+)
+
+
+class TestIntegerKnob:
+    def test_roundtrip_endpoints(self):
+        knob = IntegerKnob("k", 10, 1000, 100)
+        assert knob.from_unit(0.0) == 10
+        assert knob.from_unit(1.0) == 1000
+
+    def test_unit_of_default(self):
+        knob = IntegerKnob("k", 0, 100, 50)
+        assert knob.to_unit(50) == pytest.approx(0.5)
+
+    def test_log_scale_midpoint_is_geometric_mean(self):
+        knob = IntegerKnob("k", 1, 10000, 100, log_scale=True)
+        assert knob.from_unit(0.5) == pytest.approx(100, rel=0.05)
+
+    def test_clip(self):
+        knob = IntegerKnob("k", 10, 20, 15)
+        assert knob.clip(5) == 10
+        assert knob.clip(100) == 20
+        assert knob.clip(12) == 12
+
+    def test_grid_sorted_unique_in_range(self):
+        knob = IntegerKnob("k", 0, 10, 5)
+        grid = knob.grid(25)
+        assert grid == sorted(set(grid))
+        assert all(0 <= v <= 10 for v in grid)
+
+    def test_invalid_bounds_raise(self):
+        with pytest.raises(ValueError):
+            IntegerKnob("k", 10, 10, 10)
+        with pytest.raises(ValueError):
+            IntegerKnob("k", 0, 10, 50)
+        with pytest.raises(ValueError):
+            IntegerKnob("k", 0, 10, 5, log_scale=True)
+
+    @given(st.integers(min_value=10, max_value=10000))
+    @settings(max_examples=50, deadline=None)
+    def test_roundtrip_property(self, value):
+        knob = IntegerKnob("k", 10, 10000, 100)
+        assert knob.from_unit(knob.to_unit(value)) == value
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_log_from_unit_in_range(self, u):
+        knob = IntegerKnob("k", 128 * MIB, 15 * GIB, GIB, log_scale=True)
+        assert 128 * MIB <= knob.from_unit(u) <= 15 * GIB
+
+
+class TestFloatKnob:
+    def test_roundtrip(self):
+        knob = FloatKnob("f", 0.0, 10.0, 5.0)
+        assert knob.from_unit(knob.to_unit(2.5)) == pytest.approx(2.5)
+
+    def test_clip(self):
+        knob = FloatKnob("f", 1.0, 2.0, 1.5)
+        assert knob.clip(0.0) == 1.0
+        assert knob.clip(3.0) == 2.0
+
+    def test_grid_length(self):
+        knob = FloatKnob("f", 0.0, 1.0, 0.5)
+        assert len(knob.grid(7)) == 7
+
+    @given(st.floats(min_value=0.0, max_value=1.0))
+    @settings(max_examples=50, deadline=None)
+    def test_unit_roundtrip_property(self, u):
+        knob = FloatKnob("f", -5.0, 5.0, 0.0)
+        assert knob.to_unit(knob.from_unit(u)) == pytest.approx(u, abs=1e-9)
+
+
+class TestEnumKnob:
+    def test_roundtrip_all_choices(self):
+        knob = EnumKnob("e", [0, 1, 2], 1)
+        for choice in knob.choices:
+            assert knob.from_unit(knob.to_unit(choice)) == choice
+
+    def test_unit_values_evenly_spaced(self):
+        knob = EnumKnob("e", ["a", "b", "c"], "b")
+        assert knob.to_unit("a") == 0.0
+        assert knob.to_unit("b") == 0.5
+        assert knob.to_unit("c") == 1.0
+
+    def test_clip_numeric_nearest(self):
+        knob = EnumKnob("e", [0, 1, 2, 5], 0)
+        assert knob.clip(4) == 5
+        assert knob.clip(1) == 1
+
+    def test_clip_non_numeric_falls_back_to_default(self):
+        knob = EnumKnob("e", ["ON", "OFF"], "ON")
+        assert knob.clip("BOGUS") == "ON"
+
+    def test_grid_is_choices(self):
+        knob = EnumKnob("e", [1, 2, 3], 2)
+        assert knob.grid(100) == [1, 2, 3]
+
+    def test_too_few_choices_raises(self):
+        with pytest.raises(ValueError):
+            EnumKnob("e", ["only"], "only")
+
+    def test_default_must_be_choice(self):
+        with pytest.raises(ValueError):
+            EnumKnob("e", [1, 2], 3)
+
+
+class TestKnobSpace:
+    def test_duplicate_names_rejected(self):
+        with pytest.raises(ValueError):
+            KnobSpace([IntegerKnob("a", 0, 1, 0), IntegerKnob("a", 0, 2, 1)])
+
+    def test_default_vector_roundtrip(self, full_space):
+        vec = full_space.default_vector()
+        config = full_space.from_unit(vec)
+        assert config == full_space.default_config()
+
+    def test_to_unit_missing_knobs_use_default(self, full_space):
+        vec = full_space.to_unit({})
+        assert np.allclose(vec, full_space.default_vector())
+
+    def test_from_unit_wrong_shape_raises(self, full_space):
+        with pytest.raises(ValueError):
+            full_space.from_unit(np.zeros(3))
+
+    def test_subspace_preserves_order(self, full_space):
+        sub = full_space.subspace(["sort_buffer_size", "max_connections"])
+        assert sub.names == ["sort_buffer_size", "max_connections"]
+
+    def test_subspace_unknown_raises(self, full_space):
+        with pytest.raises(KeyError):
+            full_space.subspace(["nonexistent_knob"])
+
+    def test_contains_and_getitem(self, full_space):
+        assert "innodb_buffer_pool_size" in full_space
+        assert full_space["innodb_buffer_pool_size"].name == "innodb_buffer_pool_size"
+
+    def test_sample_configs_within_ranges(self, full_space, rng):
+        for config in full_space.sample_configs(5, rng):
+            clipped = full_space.clip_config(config)
+            assert clipped == config
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=40, max_size=40))
+    @settings(max_examples=25, deadline=None)
+    def test_from_unit_always_valid(self, units):
+        space = mysql57_space()
+        config = space.from_unit(np.array(units))
+        assert space.clip_config(config) == config
+
+
+class TestMySQLSpace:
+    def test_forty_knobs(self, full_space):
+        assert full_space.dim == 40
+
+    def test_all_dynamic(self, full_space):
+        assert not any(k.restart_required for k in full_space)
+
+    def test_dba_default_large_buffer_pool(self, full_space):
+        dba = dba_default_config(full_space)
+        assert dba["innodb_buffer_pool_size"] == 12 * GIB
+
+    def test_mysql_default_small_buffer_pool(self, full_space):
+        vendor = mysql_default_config(full_space)
+        assert vendor["innodb_buffer_pool_size"] == 128 * MIB
+
+    def test_dba_config_valid(self, full_space):
+        dba = dba_default_config(full_space)
+        assert full_space.clip_config(dba) == dba
+
+    def test_case_study_space_five_knobs(self):
+        space = case_study_space()
+        assert space.dim == 5
+        assert "innodb_buffer_pool_size" in space
+        assert "innodb_spin_wait_delay" in space
+
+    def test_importance_prior_alignment(self, full_space):
+        vec = importance_prior_vector(full_space)
+        assert vec.shape == (40,)
+        assert vec.min() >= 0.05
+        idx = full_space.names.index("innodb_buffer_pool_size")
+        assert vec[idx] == IMPORTANCE_PRIOR["innodb_buffer_pool_size"]

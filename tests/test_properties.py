@@ -1,0 +1,124 @@
+"""Cross-cutting property-based tests on system invariants."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.dbms import PerformanceModel
+from repro.gp import GaussianProcess, Matern52Kernel
+from repro.knobs import GIB, dba_default_config, mysql57_space
+from repro.ml import normalized_mutual_information
+from repro.workloads import TPCCWorkload, TwitterWorkload
+
+SPACE = mysql57_space()
+DBA = dba_default_config(SPACE)
+MODEL = PerformanceModel()
+PROFILE = TPCCWorkload(seed=0, dynamic=False, grow_data=False).profile(0)
+
+unit_vec = st.lists(st.floats(min_value=0.0, max_value=1.0),
+                    min_size=40, max_size=40).map(np.array)
+
+
+@given(unit_vec)
+@settings(max_examples=30, deadline=None)
+def test_memory_pressure_drives_failure_consistency(vec):
+    """A config that always fails must have pressure beyond the hard cap."""
+    config = SPACE.from_unit(vec)
+    result = MODEL.evaluate(config, PROFILE, noiseless=True)
+    pressure = MODEL.memory_demand(config, PROFILE) / MODEL.memory_bytes
+    if result.failed:
+        assert pressure > 1.20
+    if pressure <= 1.08:
+        assert not result.failed
+
+
+@given(unit_vec)
+@settings(max_examples=30, deadline=None)
+def test_objective_antisymmetry_olap_flag(vec):
+    config = SPACE.from_unit(vec)
+    result = MODEL.evaluate(config, PROFILE, noiseless=True)
+    assert result.objective(False) == result.throughput
+    assert result.objective(True) == -result.exec_seconds
+
+
+@given(st.floats(min_value=0.1, max_value=0.9),
+       st.floats(min_value=0.1, max_value=0.9))
+@settings(max_examples=20, deadline=None)
+def test_buffer_pool_weak_monotonicity(u_lo, u_hi):
+    """More buffer pool never hurts when everything else is modest."""
+    lo, hi = sorted((u_lo, u_hi))
+    prof = TwitterWorkload(seed=0, dynamic=False).profile(0)
+    base = dict(DBA)
+    base["innodb_buffer_pool_size"] = SPACE["innodb_buffer_pool_size"].from_unit(lo)
+    f_lo = MODEL.total_factor(SPACE.clip_config(base), prof)
+    base["innodb_buffer_pool_size"] = SPACE["innodb_buffer_pool_size"].from_unit(hi)
+    f_hi = MODEL.total_factor(SPACE.clip_config(base), prof)
+    # DBA default leaves headroom: raising bp within [lo, hi<=0.9] is safe
+    assert f_hi >= f_lo - 1e-6
+
+
+@given(st.integers(min_value=0, max_value=10 ** 6))
+@settings(max_examples=25, deadline=None)
+def test_default_performance_reproducible(it):
+    from repro.dbms import SimulatedMySQL
+    db = SimulatedMySQL(SPACE, TPCCWorkload(seed=1), reference_config=DBA)
+    assert db.default_performance(it % 500) == db.default_performance(it % 500)
+
+
+@given(st.lists(st.integers(min_value=0, max_value=4), min_size=4,
+                max_size=60))
+@settings(max_examples=30, deadline=None)
+def test_nmi_self_identity(labels):
+    assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
+
+
+@given(st.lists(st.tuples(st.floats(min_value=0, max_value=1),
+                          st.floats(min_value=-2, max_value=2)),
+                min_size=4, max_size=25))
+@settings(max_examples=20, deadline=None)
+def test_gp_posterior_mean_bounded_by_data_scale(points):
+    X = np.array([[p[0]] for p in points])
+    y = np.array([p[1] for p in points])
+    if np.ptp(y) < 1e-9:
+        y[0] += 1.0
+    gp = GaussianProcess(kernel=Matern52Kernel()).fit(X, y, optimize=False)
+    mean, std = gp.predict(np.linspace(0, 1, 11)[:, None])
+    spread = np.ptp(y)
+    assert np.all(np.abs(mean - y.mean()) <= 3 * spread + 1e-6)
+    assert np.all(std >= 0)
+
+
+@given(st.integers(min_value=1, max_value=8),
+       st.floats(min_value=0.02, max_value=0.4))
+@settings(max_examples=20, deadline=None)
+def test_subspace_radius_never_leaves_bounds(dim, r):
+    from repro.core import Subspace
+    sub = Subspace(dim=dim, r_init=r, r_max=0.5, r_min=0.02,
+                   eta_succ=1, eta_fail=1, seed=0)
+    sub.initialize(np.full(dim, 0.5))
+    rng = np.random.default_rng(0)
+    for _ in range(30):
+        sub.update(success=bool(rng.random() < 0.5), improvement=0.0)
+        assert 0.02 - 1e-12 <= sub.radius <= 0.5 + 1e-12
+        pts = sub.discretize(8)
+        assert np.all((0.0 <= pts) & (pts <= 1.0))
+
+
+@given(st.floats(min_value=-1e6, max_value=1e6))
+@settings(max_examples=30, deadline=None)
+def test_safety_threshold_never_stricter_than_tau(tau):
+    from repro.core import SafetyAssessor
+    assessor = SafetyAssessor(SPACE, None, margin=0.05, use_whitebox=False)
+    assert assessor.threshold(tau) <= tau + 1e-9
+
+
+def test_end_to_end_safety_invariant():
+    """OnlineTune never crashes the instance across several seeds."""
+    from repro.core import OnlineTune
+    from repro.harness import build_session
+    for seed in (0, 1, 2):
+        tuner = OnlineTune(SPACE, seed=seed)
+        result = build_session(tuner, TPCCWorkload(seed=seed), space=SPACE,
+                               n_iterations=12, seed=seed).run()
+        assert result.n_failures == 0
+        assert result.n_unsafe <= 3

@@ -1,0 +1,222 @@
+"""Tests for the white-box rules (repro.rules)."""
+
+import pytest
+
+from repro.knobs import (
+    GIB,
+    INSTANCE_MEMORY_BYTES,
+    INSTANCE_VCPUS,
+    MIB,
+    dba_default_config,
+    mysql57_space,
+)
+from repro.rules import (
+    RangeRule,
+    RuleBook,
+    RuleContext,
+    mysql_rulebook,
+    suggest_config,
+    total_memory_demand,
+)
+
+
+@pytest.fixture()
+def ctx():
+    return RuleContext(memory_bytes=INSTANCE_MEMORY_BYTES,
+                       vcpus=INSTANCE_VCPUS, metrics={}, is_olap=False)
+
+
+@pytest.fixture()
+def space():
+    return mysql57_space()
+
+
+@pytest.fixture()
+def dba(space):
+    return dba_default_config(space)
+
+
+class TestRangeRule:
+    def _rule(self, low=0.0, high=10.0, **kwargs):
+        return RangeRule("r", "k", lambda cfg, ctx: (low, high), **kwargs)
+
+    def test_check_inside(self, ctx):
+        assert self._rule().check({"k": 5}, ctx)
+
+    def test_check_outside(self, ctx):
+        assert not self._rule().check({"k": 50}, ctx)
+
+    def test_missing_knob_passes(self, ctx):
+        assert self._rule().check({}, ctx)
+
+    def test_inactive_rule_passes(self, ctx):
+        rule = RangeRule("r", "k", lambda cfg, ctx: None)
+        assert rule.check({"k": 10 ** 9}, ctx)
+
+    def test_relax_widens_range(self, ctx):
+        rule = self._rule(low=2.0, high=10.0, relax_factor=2.0)
+        assert not rule.check({"k": 15}, ctx)
+        rule.relax()
+        assert rule.check({"k": 15}, ctx)  # high now 20
+        assert rule.check({"k": 1.5}, ctx)  # low now 1
+
+    def test_repeated_relax_eventually_ignored(self, ctx):
+        rule = self._rule()
+        for _ in range(4):
+            rule.relax()
+        assert rule.ignored
+        assert rule.check({"k": 10 ** 9}, ctx)
+
+
+class TestRuleBook:
+    def _book(self):
+        keep = RangeRule("keep", "a", lambda cfg, ctx: (0, 10),
+                         conflict_threshold=2, relax_threshold=2)
+        other = RangeRule("other", "b", lambda cfg, ctx: (0, 10))
+        return RuleBook([keep, other]), keep, other
+
+    def test_duplicate_names_rejected(self):
+        a = RangeRule("x", "a", lambda cfg, ctx: (0, 1))
+        b = RangeRule("x", "b", lambda cfg, ctx: (0, 1))
+        with pytest.raises(ValueError):
+            RuleBook([a, b])
+
+    def test_violations_lists_failing_rules(self, ctx):
+        book, keep, other = self._book()
+        violations = book.violations({"a": 50, "b": 5}, ctx)
+        assert violations == [keep]
+
+    def test_satisfies(self, ctx):
+        book, *_ = self._book()
+        assert book.satisfies({"a": 5, "b": 5}, ctx)
+        assert not book.satisfies({"a": 50, "b": 5}, ctx)
+
+    def test_override_requires_conflict_threshold(self, ctx):
+        book, keep, _ = self._book()
+        book.register_conflict(keep)
+        assert not book.may_override(keep)
+        book.register_conflict(keep)
+        assert book.may_override(keep)
+
+    def test_only_one_override_at_a_time(self, ctx):
+        book, keep, other = self._book()
+        keep.conflict_count = other.conflict_count = 10
+        assert book.may_override(keep)
+        assert not book.may_override(other)
+
+    def test_overridden_rule_skipped_in_violations(self, ctx):
+        book, keep, _ = self._book()
+        keep.conflict_count = 10
+        book.may_override(keep)
+        assert book.satisfies({"a": 50, "b": 5}, ctx)
+
+    def test_safe_feedback_relaxes_after_threshold(self, ctx):
+        book, keep, _ = self._book()
+        for _ in range(2):
+            keep.conflict_count = 10
+            assert book.may_override(keep)
+            book.feedback(was_safe=True)
+        assert keep.relaxations >= 1
+
+    def test_unsafe_feedback_resets_counters(self, ctx):
+        book, keep, _ = self._book()
+        keep.conflict_count = 10
+        book.may_override(keep)
+        book.feedback(was_safe=False)
+        assert keep.conflict_count == 0
+        assert book.overridden_rule is None
+
+    def test_feedback_without_override_is_noop(self):
+        book, *_ = self._book()
+        book.feedback(was_safe=True)  # must not raise
+
+
+class TestMySQLRules:
+    def test_dba_default_satisfies_all(self, space, dba, ctx):
+        assert mysql_rulebook().satisfies(dba, ctx)
+
+    def test_memory_overcommit_rejected(self, space, dba, ctx):
+        config = dict(dba)
+        config["innodb_buffer_pool_size"] = 15 * GIB
+        config["sort_buffer_size"] = 256 * MIB
+        book = mysql_rulebook()
+        names = {r.name for r in book.violations(config, ctx)}
+        assert "total_memory_within_ram" in names or "buffer_pool_le_80pct_ram" in names
+
+    def test_thread_concurrency_one_rejected(self, space, dba, ctx):
+        config = dict(dba)
+        config["innodb_thread_concurrency"] = 1
+        names = {r.name for r in mysql_rulebook().violations(config, ctx)}
+        assert "thread_concurrency_floor" in names
+
+    def test_thread_concurrency_zero_allowed(self, space, dba, ctx):
+        config = dict(dba)
+        config["innodb_thread_concurrency"] = 0
+        names = {r.name for r in mysql_rulebook().violations(config, ctx)}
+        assert "thread_concurrency_floor" not in names
+
+    def test_memory_rules_never_overridable(self, ctx):
+        book = mysql_rulebook()
+        memory_rule = next(r for r in book if r.name == "total_memory_within_ram")
+        for _ in range(100):
+            book.register_conflict(memory_rule)
+        assert not book.may_override(memory_rule)
+
+    def test_join_buffer_conditional_on_metric(self, space, dba):
+        config = dict(dba)
+        config["join_buffer_size"] = 32 * MIB
+        book = mysql_rulebook()
+        ctx_low = RuleContext(INSTANCE_MEMORY_BYTES, INSTANCE_VCPUS,
+                              metrics={"joins_without_index_per_day": 0.0})
+        ctx_high = RuleContext(INSTANCE_MEMORY_BYTES, INSTANCE_VCPUS,
+                               metrics={"joins_without_index_per_day": 1000.0})
+        assert not book.satisfies(config, ctx_low)
+        assert book.satisfies(config, ctx_high)
+
+    def test_total_memory_demand_components(self, dba, ctx):
+        base = total_memory_demand(dba, ctx)
+        bigger = dict(dba)
+        bigger["join_buffer_size"] = 128 * MIB
+        assert total_memory_demand(bigger, ctx) > base
+
+
+class TestSuggestConfig:
+    def test_low_hit_rate_grows_buffer_pool(self, space, ctx):
+        current = dict(space.default_config())
+        ctx.metrics = {"buffer_pool_hit_rate": 0.5}
+        suggestion = suggest_config(space, current, ctx)
+        assert (suggestion["innodb_buffer_pool_size"]
+                > current["innodb_buffer_pool_size"])
+
+    def test_disk_tmp_tables_grow_heap(self, space, ctx):
+        current = dict(space.default_config())
+        ctx.metrics = {"tmp_disk_tables": 20.0}
+        suggestion = suggest_config(space, current, ctx)
+        assert suggestion["max_heap_table_size"] > current["max_heap_table_size"]
+
+    def test_log_waits_grow_log_buffer(self, space, ctx):
+        current = dict(space.default_config())
+        ctx.metrics = {"log_waits": 100.0}
+        suggestion = suggest_config(space, current, ctx)
+        assert (suggestion["innodb_log_buffer_size"]
+                > current["innodb_log_buffer_size"])
+
+    def test_suggestion_always_valid(self, space, ctx):
+        current = dict(space.default_config())
+        ctx.metrics = {"buffer_pool_hit_rate": 0.1, "tmp_disk_tables": 99.0,
+                       "log_waits": 99.0, "pending_writes": 99.0}
+        suggestion = suggest_config(space, current, ctx)
+        assert space.clip_config(suggestion) == suggestion
+
+    def test_fixes_low_thread_concurrency(self, space, ctx):
+        current = dict(space.default_config())
+        current["innodb_thread_concurrency"] = 1
+        suggestion = suggest_config(space, current, ctx)
+        assert suggestion["innodb_thread_concurrency"] == 0
+
+    def test_suggestion_respects_memory_cap(self, space, ctx):
+        current = dict(space.default_config())
+        current["innodb_buffer_pool_size"] = 12 * GIB
+        ctx.metrics = {"buffer_pool_hit_rate": 0.5}
+        suggestion = suggest_config(space, current, ctx)
+        assert suggestion["innodb_buffer_pool_size"] <= 0.8 * ctx.memory_bytes

@@ -1,0 +1,246 @@
+"""Integration tests: OnlineTune end-to-end + the experiment harness."""
+
+import numpy as np
+import pytest
+
+from repro import (
+    DefaultTuner,
+    OnlineTune,
+    OnlineTuneConfig,
+    SimulatedMySQL,
+    TPCCWorkload,
+    TuningSession,
+    dba_default_config,
+    mysql57_space,
+)
+from repro.harness import (
+    all_tuner_names,
+    build_session,
+    cumulative_series,
+    format_cumulative_table,
+    format_safety_table,
+    format_series,
+    format_static_table,
+    make_tuner,
+    max_improvement,
+    run_tuners,
+    safety_stats,
+    search_step,
+    static_stats,
+)
+from repro.knobs import case_study_space
+from repro.workloads import AlternatingWorkload, JOBWorkload, YCSBWorkload
+
+
+@pytest.fixture(scope="module")
+def space():
+    return mysql57_space()
+
+
+@pytest.fixture(scope="module")
+def quick_result(space):
+    """One short OnlineTune session shared by several assertions."""
+    tuner = OnlineTune(space, seed=4)
+    session = build_session(tuner, TPCCWorkload(seed=4), space=space,
+                            n_iterations=25, seed=4)
+    return tuner, session.run()
+
+
+class TestOnlineTuneEndToEnd:
+    def test_first_recommendation_is_initial_config(self, space):
+        tuner = OnlineTune(space, seed=0)
+        db = SimulatedMySQL(space, TPCCWorkload(seed=0),
+                            reference_config=dba_default_config(space))
+        tuner.start(dict(db.reference_config), db.default_performance(0))
+        from repro.baselines.base import SuggestInput
+        inp = SuggestInput(0, db.observe_snapshot(0), {},
+                           db.default_performance(0))
+        config = tuner.suggest(inp)
+        assert config == space.clip_config(db.reference_config)
+
+    def test_no_failures_short_run(self, quick_result):
+        _, result = quick_result
+        assert result.n_failures == 0
+
+    def test_few_unsafe_short_run(self, quick_result):
+        _, result = quick_result
+        assert result.n_unsafe <= 4
+
+    def test_traces_recorded(self, quick_result):
+        tuner, result = quick_result
+        assert len(tuner.traces) == len(result.records) - 1  # no trace at cold start
+        trace = tuner.traces[-1]
+        assert trace.subspace_kind in ("hypercube", "line")
+        assert trace.safety_set_size >= 0
+        assert "featurization" in trace.overhead
+
+    def test_repository_filled(self, quick_result):
+        tuner, result = quick_result
+        assert len(tuner.repo) == len(result.records)
+
+    def test_observations_contексt_dim_consistent(self, quick_result):
+        tuner, _ = quick_result
+        dims = {obs.context.shape[0] for obs in tuner.repo}
+        assert dims == {tuner.featurizer.dim}
+
+    def test_ablation_flags_resolve(self):
+        cfg = OnlineTuneConfig(use_safety=False).resolved()
+        assert not cfg.use_whitebox and not cfg.use_blackbox and not cfg.use_subspace
+
+    def test_ablation_no_safety_runs(self, space):
+        tuner = OnlineTune(space, config=OnlineTuneConfig(use_safety=False),
+                           seed=1)
+        result = build_session(tuner, TPCCWorkload(seed=1), space=space,
+                               n_iterations=10, seed=1).run()
+        assert len(result.records) == 10
+
+    def test_ablation_no_clustering_runs(self, space):
+        tuner = OnlineTune(space, config=OnlineTuneConfig(use_clustering=False),
+                           seed=1)
+        result = build_session(tuner, TPCCWorkload(seed=1), space=space,
+                               n_iterations=10, seed=1).run()
+        assert tuner.models.n_clusters <= 1
+
+    def test_small_space_case_study(self):
+        space = case_study_space()
+        tuner = OnlineTune(space, seed=3)
+        result = build_session(tuner, YCSBWorkload(seed=3), space=space,
+                               n_iterations=15, seed=3).run()
+        assert result.n_failures == 0
+
+    def test_olap_objective_handled(self, space):
+        tuner = OnlineTune(space, seed=5)
+        result = build_session(tuner, JOBWorkload(seed=5), space=space,
+                               n_iterations=10, seed=5).run()
+        assert result.is_olap
+        assert all(r.exec_seconds > 0 for r in result.records)
+
+    def test_cycle_workload_model_selection(self, space):
+        cycle = AlternatingWorkload(TPCCWorkload(seed=6), JOBWorkload(seed=6),
+                                    period=8)
+        tuner = OnlineTune(space, seed=6)
+        result = build_session(tuner, cycle, space=space, n_iterations=20,
+                               seed=6).run()
+        assert len(result.records) == 20
+
+
+class TestTuningSession:
+    def test_record_fields(self, space):
+        tuner = DefaultTuner(space, dba_default_config(space))
+        result = build_session(tuner, TPCCWorkload(seed=0), space=space,
+                               n_iterations=5, seed=0).run()
+        record = result.records[0]
+        assert record.throughput > 0
+        assert record.default_performance > 0
+        assert record.suggest_seconds >= 0
+
+    def test_default_tuner_rarely_unsafe(self, space):
+        tuner = DefaultTuner(space, dba_default_config(space))
+        result = build_session(tuner, TPCCWorkload(seed=0), space=space,
+                               n_iterations=30, seed=0).run()
+        assert result.n_unsafe <= 2  # only noise tails can trip it
+
+    def test_cumulative_transactions_positive(self, space):
+        tuner = DefaultTuner(space, dba_default_config(space))
+        result = build_session(tuner, TPCCWorkload(seed=0), space=space,
+                               n_iterations=5, seed=0).run()
+        assert result.cumulative_transactions() > 0
+        assert result.cumulative_objective() == result.cumulative_transactions()
+
+    def test_olap_cumulative_uses_exec_time(self, space):
+        tuner = DefaultTuner(space, dba_default_config(space))
+        result = build_session(tuner, JOBWorkload(seed=0), space=space,
+                               n_iterations=5, seed=0).run()
+        assert result.cumulative_objective() == result.cumulative_execution_seconds()
+
+    def test_mysql_reference_changes_tau(self, space):
+        tuner_a = DefaultTuner(space, dba_default_config(space))
+        res_dba = build_session(tuner_a, TPCCWorkload(seed=0), space=space,
+                                reference="dba", n_iterations=3, seed=0).run()
+        tuner_b = DefaultTuner(space, dba_default_config(space))
+        res_vendor = build_session(tuner_b, TPCCWorkload(seed=0), space=space,
+                                   reference="mysql", n_iterations=3, seed=0).run()
+        assert (res_vendor.records[0].default_performance
+                < res_dba.records[0].default_performance)
+
+    def test_unknown_reference_raises(self, space):
+        with pytest.raises(ValueError):
+            build_session(DefaultTuner(space), TPCCWorkload(seed=0),
+                          space=space, reference="bogus")
+
+
+class TestEvaluationMetrics:
+    def _result(self, space, n=10):
+        tuner = DefaultTuner(space, dba_default_config(space))
+        return build_session(tuner, TPCCWorkload(seed=1), space=space,
+                             n_iterations=n, seed=1).run()
+
+    def test_safety_stats(self, space):
+        result = self._result(space)
+        stats = safety_stats(result)
+        assert stats.n_unsafe == result.n_unsafe
+        assert 0.0 <= stats.unsafe_fraction <= 1.0
+
+    def test_max_improvement_near_zero_for_default(self, space):
+        result = self._result(space, n=20)
+        assert abs(max_improvement(result)) < 0.15
+
+    def test_search_step_semantics(self, space):
+        result = self._result(space)
+        # target 0 improvement is reached immediately by the default config
+        assert search_step(result, optimum_improvement=0.0) == 0
+        assert search_step(result, optimum_improvement=5.0) is None
+
+    def test_static_stats_row(self, space):
+        result = self._result(space)
+        row = static_stats(result, optimum_improvement=0.5)
+        assert row.tuner == "default"
+
+    def test_cumulative_series_monotone(self, space):
+        result = self._result(space)
+        series = cumulative_series(result)
+        assert len(series) == len(result.records)
+        assert np.all(np.diff(series) >= 0)
+
+
+class TestReporting:
+    def _results(self, space):
+        tuner = DefaultTuner(space, dba_default_config(space))
+        return [build_session(tuner, TPCCWorkload(seed=1), space=space,
+                              n_iterations=4, seed=1).run()]
+
+    def test_safety_table_contains_counts(self, space):
+        results = self._results(space)
+        text = format_safety_table(results, title="t")
+        assert "#Unsafe" in text and "default" in text
+
+    def test_cumulative_table(self, space):
+        text = format_cumulative_table(self._results(space))
+        assert "cumulative" in text
+
+    def test_static_table_renders_never_found(self, space):
+        from repro.harness import StaticStats
+        text = format_static_table([StaticStats("BO", 0.2, None)], "tpcc")
+        assert "\\" in text
+
+    def test_series_formatting(self):
+        text = format_series([1.0, 2.0, 3.0], label="x", every=1)
+        assert text.startswith("x[every 1]")
+
+
+class TestExperimentRegistry:
+    def test_all_tuner_names_constructible(self, space):
+        for name in all_tuner_names():
+            tuner = make_tuner(name, space, seed=0)
+            assert tuner.name == name
+
+    def test_unknown_tuner_raises(self, space):
+        with pytest.raises(ValueError):
+            make_tuner("NotATuner", space)
+
+    def test_run_tuners_shapes(self, space):
+        results = run_tuners(lambda seed: TPCCWorkload(seed=seed),
+                             tuner_names=["MysqlTuner"], space=space,
+                             n_iterations=4, seed=0)
+        assert set(results) == {"MysqlTuner"}
+        assert len(results["MysqlTuner"].records) == 4

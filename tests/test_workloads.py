@@ -1,0 +1,226 @@
+"""Tests for the workload generators (repro.workloads)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.workloads import (
+    AlternatingWorkload,
+    JOBWorkload,
+    QueryClass,
+    RealWorldTrace,
+    TPCCWorkload,
+    TwitterWorkload,
+    YCSBWorkload,
+    build_job_queries,
+    mixture_profile,
+    ycsb_read_ratio_trace,
+)
+
+ALL_WORKLOADS = [TPCCWorkload, TwitterWorkload, YCSBWorkload, JOBWorkload,
+                 RealWorldTrace]
+
+
+class TestMixtureProfile:
+    def test_weights_blend_linearly(self):
+        a = QueryClass("a", ("SELECT 1",), read_fraction=1.0, lock=0.0)
+        b = QueryClass("b", ("INSERT 1",), read_fraction=0.0, lock=1.0)
+        prof = mixture_profile("m", [a, b], np.array([0.25, 0.75]))
+        assert prof.read_ratio == pytest.approx(0.25)
+        assert prof.lock_contention == pytest.approx(0.75)
+
+    def test_zero_weights_raise(self):
+        a = QueryClass("a", ("SELECT 1",), read_fraction=1.0)
+        with pytest.raises(ValueError):
+            mixture_profile("m", [a], np.array([0.0]))
+
+    def test_mismatched_lengths_raise(self):
+        a = QueryClass("a", ("SELECT 1",), read_fraction=1.0)
+        with pytest.raises(ValueError):
+            mixture_profile("m", [a], np.array([0.5, 0.5]))
+
+    def test_clamped_keeps_fields_in_unit_range(self):
+        a = QueryClass("a", ("SELECT 1",), read_fraction=1.0, sort=2.5)
+        prof = mixture_profile("m", [a], np.array([1.0])).clamped()
+        assert prof.sort == 1.0
+
+
+@pytest.mark.parametrize("workload_cls", ALL_WORKLOADS)
+class TestWorkloadInvariants:
+    def test_mix_weights_are_distribution(self, workload_cls):
+        w = workload_cls(seed=1)
+        for it in (0, 10, 137):
+            weights = w.mix_weights(it)
+            assert weights.min() >= 0
+            assert weights.sum() == pytest.approx(1.0)
+
+    def test_mix_weights_deterministic(self, workload_cls):
+        a, b = workload_cls(seed=5), workload_cls(seed=5)
+        assert np.allclose(a.mix_weights(42), b.mix_weights(42))
+
+    def test_profile_fields_in_range(self, workload_cls):
+        prof = workload_cls(seed=2).profile(7)
+        for field in ("read_ratio", "point_read", "range_scan", "sort",
+                      "join", "temp_table", "lock_contention", "log_write"):
+            value = getattr(prof, field)
+            assert 0.0 <= value <= 1.0, field
+
+    def test_snapshot_matches_request(self, workload_cls):
+        snap = workload_cls(seed=2).snapshot(3, n_queries=17)
+        assert len(snap.queries) == 17
+        assert len(snap.rows_examined) == 17
+        assert snap.arrival_rate > 0
+
+    def test_snapshot_deterministic(self, workload_cls):
+        a = workload_cls(seed=9).snapshot(5)
+        b = workload_cls(seed=9).snapshot(5)
+        assert a.queries == b.queries
+
+    def test_snapshot_queries_nonempty_sql(self, workload_cls):
+        snap = workload_cls(seed=2).snapshot(0, n_queries=5)
+        for sql in snap.queries:
+            assert isinstance(sql, str) and len(sql) > 10
+            assert "{id}" not in sql and "{n}" not in sql
+
+
+class TestTPCC:
+    def test_write_heavy(self):
+        prof = TPCCWorkload(seed=0, dynamic=False).profile(0)
+        assert prof.read_ratio < 0.6
+        assert prof.log_write > 0.5
+
+    def test_data_growth(self):
+        w = TPCCWorkload(seed=0, grow_data=True, growth_iters=400)
+        assert w.data_size_gb(0) == pytest.approx(18.0)
+        assert w.data_size_gb(400) == pytest.approx(48.0)
+        assert w.data_size_gb(200) == pytest.approx(33.0)
+
+    def test_static_weights_constant(self):
+        w = TPCCWorkload(seed=0, dynamic=False)
+        assert np.allclose(w.mix_weights(0), w.mix_weights(100))
+
+    def test_dynamic_weights_vary(self):
+        w = TPCCWorkload(seed=0, dynamic=True, period=80)
+        # quarter-period apart: the sine swing is maximally different
+        assert not np.allclose(w.mix_weights(0), w.mix_weights(20), atol=0.02)
+
+    def test_dynamic_read_ratio_oscillates(self):
+        w = TPCCWorkload(seed=0, dynamic=True, period=80)
+        ratios = [w.profile(i).read_ratio for i in range(0, 160, 10)]
+        assert max(ratios) - min(ratios) > 0.05
+
+
+class TestTwitter:
+    def test_read_mostly(self):
+        prof = TwitterWorkload(seed=0, dynamic=False).profile(0)
+        assert prof.read_ratio > 0.8
+
+    def test_skewed(self):
+        assert TwitterWorkload(seed=0).profile(0).skew > 0.7
+
+
+class TestYCSB:
+    def test_default_trace_bounds(self):
+        for it in range(0, 400, 13):
+            r = ycsb_read_ratio_trace(it, seed=0)
+            assert 0.40 <= r <= 1.0
+
+    def test_custom_read_ratio_fn(self):
+        w = YCSBWorkload(seed=0, read_ratio_fn=lambda i: 0.75)
+        prof = w.profile(10)
+        assert prof.read_ratio == pytest.approx(0.75, abs=0.1)
+
+    def test_read_only_extreme(self):
+        w = YCSBWorkload(seed=0, read_ratio_fn=lambda i: 1.0)
+        assert w.profile(0).read_ratio > 0.95
+
+    def test_mix_follows_trace(self):
+        w = YCSBWorkload(seed=0, read_ratio_fn=lambda i: 0.4 if i < 10 else 0.9)
+        assert w.profile(0).read_ratio < w.profile(20).read_ratio
+
+
+class TestJOB:
+    def test_113_query_classes(self):
+        assert len(build_job_queries(113)) == 113
+
+    def test_is_olap_latency_objective(self):
+        w = JOBWorkload(seed=0)
+        assert w.is_olap
+        assert w.base_query_seconds > 0
+
+    def test_active_set_size(self):
+        w = JOBWorkload(seed=0, queries_per_iter=10)
+        assert len(w.active_set(0)) == 10
+        assert len(w.active_set(50)) == 10
+
+    def test_resampling_five_of_ten(self):
+        w = JOBWorkload(seed=0, queries_per_iter=10, resample=5)
+        a = set(w.active_set(3).tolist())
+        b = set(w.active_set(4).tolist())
+        assert len(a & b) == 5
+
+    def test_active_set_cache_consistent(self):
+        w1 = JOBWorkload(seed=0)
+        w2 = JOBWorkload(seed=0)
+        # compute iteration 10 directly vs incrementally
+        _ = [w1.active_set(i) for i in range(11)]
+        assert set(w1.active_set(10).tolist()) == set(w2.active_set(10).tolist())
+
+    def test_queries_are_joins(self):
+        snap = JOBWorkload(seed=0).snapshot(0, n_queries=5)
+        for sql in snap.queries:
+            assert "movie_id" in sql and "SELECT" in sql
+
+    def test_static_mode_constant(self):
+        w = JOBWorkload(seed=0, dynamic=False)
+        assert np.allclose(w.mix_weights(0), w.mix_weights(30))
+
+
+class TestAlternating:
+    def test_period_switching(self):
+        cycle = AlternatingWorkload(TPCCWorkload(seed=0), JOBWorkload(seed=0),
+                                    period=100)
+        assert not cycle.profile(0).is_olap
+        assert cycle.profile(150).is_olap
+        assert not cycle.profile(250).is_olap
+
+    def test_local_iteration_continuity(self):
+        cycle = AlternatingWorkload(TPCCWorkload(seed=0), JOBWorkload(seed=0),
+                                    period=100)
+        # after one full A-B cycle, A resumes from its own iteration 100
+        assert cycle.local_iteration(200) == 100
+        assert cycle.local_iteration(250) == 150
+
+    def test_snapshot_follows_active(self):
+        cycle = AlternatingWorkload(TPCCWorkload(seed=0), JOBWorkload(seed=0),
+                                    period=10)
+        oltp_snap = cycle.snapshot(0, n_queries=5)
+        olap_snap = cycle.snapshot(15, n_queries=5)
+        assert any("customer" in q or "stock" in q or "orders" in q
+                   for q in oltp_snap.queries)
+        assert all("movie_id" in q for q in olap_snap.queries)
+
+
+class TestRealWorld:
+    def test_ratio_within_documented_range(self):
+        trace = RealWorldTrace(seed=0)
+        for it in range(0, 120, 7):
+            assert 3.0 <= trace.read_write_ratio(it) <= 74.0
+
+    def test_arrival_rate_positive_and_bounded(self):
+        trace = RealWorldTrace(seed=0, peak_qps=9000)
+        rates = [trace.arrival_rate(i) for i in range(0, 120, 10)]
+        assert all(r > 0 for r in rates)
+        assert max(rates) < 9000 * 1.5
+
+    def test_arrival_rate_varies_diurnally(self):
+        trace = RealWorldTrace(seed=0)
+        rates = [trace.arrival_rate(i) for i in range(0, 240, 5)]
+        assert max(rates) / min(rates) > 1.5
+
+    def test_profile_read_ratio_tracks_trace(self):
+        trace = RealWorldTrace(seed=0)
+        it_lo = min(range(100), key=trace.read_write_ratio)
+        it_hi = max(range(100), key=trace.read_write_ratio)
+        assert (trace.profile(it_hi).read_ratio
+                > trace.profile(it_lo).read_ratio)
