@@ -1,0 +1,16 @@
+PYTHON ?= python
+export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+
+.PHONY: test perf-test bench bench-baseline
+
+test:            ## tier-1 suite (perf microbenchmarks excluded)
+	$(PYTHON) -m pytest -x -q
+
+perf-test:       ## perf-marked microbenchmark smoke tests only
+	$(PYTHON) -m pytest -m perf -q
+
+bench:           ## refresh BENCH_perf.json ('current' key + speedup)
+	$(PYTHON) -m benchmarks.bench_perf
+
+bench-baseline:  ## record the current tree as the perf baseline
+	$(PYTHON) -m benchmarks.bench_perf --as-baseline

@@ -1,0 +1,1 @@
+"""Figure/table reproduction benchmarks and perf microbenchmarks."""

@@ -1,0 +1,164 @@
+"""Microbenchmark: OnlineTune suggest+observe latency vs. history size.
+
+Times the full per-iteration hot path (suggest + observe) of an
+:class:`~repro.core.OnlineTune` tuner against a static simulated TPC-C
+instance at several history sizes, and writes the results to
+``BENCH_perf.json`` at the repository root.  This is the perf trajectory
+every scaling PR measures itself against (paper Table A1 keeps the same
+overhead sub-second at 400 intervals).
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_perf                 # refresh 'current'
+    PYTHONPATH=src python -m benchmarks.bench_perf --as-baseline   # record 'baseline'
+
+The ``--as-baseline`` run stores its numbers under the ``baseline`` key;
+subsequent plain runs store under ``current`` and report the speedup at
+the largest history size, preserving the recorded baseline.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import platform
+import time
+from pathlib import Path
+from typing import Dict, Iterable, List
+
+import numpy as np
+
+HISTORY_SIZES = (50, 200, 500)
+WINDOW = 20
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_perf.json"
+
+
+def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
+                  window: int = WINDOW, seed: int = 0,
+                  verbose: bool = True) -> Dict[str, object]:
+    """Run one tuning session, timing suggest/observe around each size.
+
+    At each target history size ``h`` the mean wall-clock cost of
+    ``suggest() + observe()`` is averaged over the ``window`` iterations
+    whose history length at suggest time is in ``[h, h + window)``.
+    Clustering is disabled so a single contextual GP sees the entire
+    history — the point is to measure the modelling hot path, not DBSCAN.
+    """
+    from repro.baselines.base import Feedback, SuggestInput
+    from repro.core import OnlineTune, OnlineTuneConfig
+    from repro.harness import build_session
+    from repro.knobs import mysql57_space
+    from repro.workloads import TPCCWorkload
+
+    history_sizes = sorted(int(h) for h in history_sizes)
+    n_iterations = history_sizes[-1] + window
+    space = mysql57_space()
+    cfg = OnlineTuneConfig(use_clustering=False,
+                           max_cluster_size=n_iterations + 1)
+    tuner = OnlineTune(space, config=cfg, seed=seed)
+    session = build_session(tuner, TPCCWorkload(seed=seed, dynamic=False,
+                                                grow_data=False),
+                            space=space, n_iterations=n_iterations, seed=seed)
+    db = session.db
+
+    tuner.start(dict(db.reference_config), db.default_performance(0))
+    suggest_times: List[float] = []
+    observe_times: List[float] = []
+    last_metrics: Dict[str, float] = {}
+    for t in range(n_iterations):
+        profile = db.profile(t)
+        snapshot = db.observe_snapshot(t, n_queries=session.snapshot_queries)
+        tau = db.default_performance(t)
+        inp = SuggestInput(iteration=t, snapshot=snapshot,
+                           metrics=last_metrics, default_performance=tau,
+                           is_olap=profile.is_olap)
+        t0 = time.perf_counter()
+        config = tuner.suggest(inp)
+        t1 = time.perf_counter()
+        result = db.run_interval(t, config)
+        perf = result.objective(profile.is_olap)
+        t2 = time.perf_counter()
+        tuner.observe(Feedback(iteration=t, config=config, performance=perf,
+                               metrics=result.metrics, failed=result.failed,
+                               default_performance=tau))
+        t3 = time.perf_counter()
+        suggest_times.append(t1 - t0)
+        observe_times.append(t3 - t2)
+        last_metrics = result.metrics
+
+    suggest = np.asarray(suggest_times)
+    observe = np.asarray(observe_times)
+    total = suggest + observe
+    by_history: Dict[str, Dict[str, float]] = {}
+    for h in history_sizes:
+        sl = slice(h, h + window)
+        by_history[str(h)] = {
+            "mean_seconds": float(total[sl].mean()),
+            "median_seconds": float(np.median(total[sl])),
+            "suggest_mean_seconds": float(suggest[sl].mean()),
+            "observe_mean_seconds": float(observe[sl].mean()),
+        }
+        if verbose:
+            stats = by_history[str(h)]
+            print(f"history={h:>4}  suggest+observe mean="
+                  f"{1e3 * stats['mean_seconds']:8.2f} ms  "
+                  f"(suggest {1e3 * stats['suggest_mean_seconds']:.2f} ms, "
+                  f"observe {1e3 * stats['observe_mean_seconds']:.2f} ms)")
+    return {
+        "workload": "tpcc-static",
+        "window": window,
+        "seed": seed,
+        "n_iterations": n_iterations,
+        "python": platform.python_version(),
+        "by_history": by_history,
+        "total_session_seconds": float(total.sum()),
+    }
+
+
+def refresh(as_baseline: bool = False, output: Path = OUTPUT_PATH,
+            history_sizes: Iterable[int] = HISTORY_SIZES,
+            window: int = WINDOW, seed: int = 0) -> Dict[str, object]:
+    """Run the benchmark and merge results into the JSON report."""
+    measured = run_benchmark(history_sizes, window, seed)
+    report: Dict[str, object] = {}
+    if output.exists():
+        try:
+            report = json.loads(output.read_text())
+        except json.JSONDecodeError:
+            report = {}
+    key = "baseline" if as_baseline else "current"
+    report[key] = measured
+    baseline = report.get("baseline")
+    current = report.get("current")
+    if baseline and current:
+        largest = str(max(int(h) for h in measured["by_history"]))
+        base = baseline["by_history"].get(largest, {}).get("mean_seconds")
+        cur = current["by_history"].get(largest, {}).get("mean_seconds")
+        if base and cur:
+            report["speedup_at_largest_history"] = {
+                "history": int(largest),
+                "baseline_mean_seconds": base,
+                "current_mean_seconds": cur,
+                "speedup": base / cur,
+            }
+    output.write_text(json.dumps(report, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {output}")
+    return report
+
+
+def main(argv=None) -> None:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--as-baseline", action="store_true",
+                        help="record this run under the 'baseline' key")
+    parser.add_argument("--output", type=Path, default=OUTPUT_PATH)
+    parser.add_argument("--window", type=int, default=WINDOW)
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--sizes", type=int, nargs="+",
+                        default=list(HISTORY_SIZES))
+    args = parser.parse_args(argv)
+    refresh(as_baseline=args.as_baseline, output=args.output,
+            history_sizes=args.sizes, window=args.window, seed=args.seed)
+
+
+if __name__ == "__main__":
+    main()

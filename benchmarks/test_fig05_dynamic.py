@@ -1,27 +1,30 @@
 """Figure 5: cumulative performance + safety on dynamic workloads
-(TPC-C, Twitter, JOB with sine-varying query compositions)."""
+(TPC-C, Twitter, JOB with sine-varying query compositions).
+
+Sessions are independent per tuner, so the driver fans them across a
+:class:`~repro.harness.ParallelRunner` process pool — results are
+bit-identical to the serial loop, just faster on multi-core hosts."""
 
 import pytest
 
-from repro.harness import format_cumulative_table, run_tuners
-from repro.workloads import JOBWorkload, TPCCWorkload, TwitterWorkload
+from repro.harness import format_cumulative_table, run_tuners_parallel
 
 from _common import emit, quick_iters
 
 TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
 
 
-def _run(workload_factory, iters):
-    return run_tuners(workload_factory, tuner_names=TUNERS,
-                      n_iterations=iters, seed=0)
+def _run(workload, workload_kwargs, iters):
+    return run_tuners_parallel(workload, tuner_names=TUNERS,
+                               n_iterations=iters, seed=0,
+                               workload_kwargs=workload_kwargs)
 
 
 @pytest.mark.benchmark(group="fig05")
 def test_fig05a_tpcc(benchmark):
     iters = quick_iters(400, 40)
     results = benchmark.pedantic(
-        _run, args=(lambda seed: TPCCWorkload(seed=seed, growth_iters=iters),
-                    iters),
+        _run, args=("tpcc", {"growth_iters": iters}, iters),
         rounds=1, iterations=1)
     text = format_cumulative_table(list(results.values()),
                                    title=f"fig5(a) dynamic TPC-C, {iters} iters")
@@ -36,7 +39,7 @@ def test_fig05a_tpcc(benchmark):
 def test_fig05b_twitter(benchmark):
     iters = quick_iters(400, 40)
     results = benchmark.pedantic(
-        _run, args=(lambda seed: TwitterWorkload(seed=seed), iters),
+        _run, args=("twitter", None, iters),
         rounds=1, iterations=1)
     text = format_cumulative_table(list(results.values()),
                                    title=f"fig5(b) dynamic Twitter, {iters} iters")
@@ -48,7 +51,7 @@ def test_fig05b_twitter(benchmark):
 def test_fig05c_job(benchmark):
     iters = quick_iters(400, 30)
     results = benchmark.pedantic(
-        _run, args=(lambda seed: JOBWorkload(seed=seed), iters),
+        _run, args=("job", None, iters),
         rounds=1, iterations=1)
     text = format_cumulative_table(list(results.values()),
                                    title=f"fig5(c) dynamic JOB (lower cumulative "

@@ -1,19 +1,21 @@
 """Figure 18 + Table 1: search efficiency on static workloads — Max
 Improvement and Search Step (first iteration within 10% of the estimated
-optimum) for every tuner on TPC-C, Twitter, and JOB."""
+optimum) for every tuner on TPC-C, Twitter, and JOB.
+
+Per-tuner sessions are independent and fan out across the
+:class:`~repro.harness.ParallelRunner` process pool."""
 
 import numpy as np
 import pytest
 
 from repro.dbms import SimulatedMySQL
 from repro.harness import (
-    build_session,
+    WORKLOAD_FACTORIES,
     format_static_table,
-    make_tuner,
+    run_tuners_parallel,
     static_stats,
 )
 from repro.knobs import MIB, dba_default_config, mysql57_space
-from repro.workloads import JOBWorkload, TPCCWorkload, TwitterWorkload
 
 from _common import emit, quick_iters
 
@@ -48,28 +50,26 @@ def _estimated_optimum(space, workload):
     return (best - tau) / abs(tau)
 
 
-def _run(workload_factory, iters):
+def _run(workload, workload_kwargs, iters):
     space = mysql57_space()
-    optimum = _estimated_optimum(space, workload_factory(0))
-    rows = []
-    for name in TUNERS:
-        tuner = make_tuner(name, space, seed=0)
-        result = build_session(tuner, workload_factory(0), space=space,
-                               n_iterations=iters, seed=0).run()
-        rows.append(static_stats(result, optimum))
+    optimum = _estimated_optimum(
+        space, WORKLOAD_FACTORIES[workload](seed=0, **workload_kwargs))
+    results = run_tuners_parallel(workload, tuner_names=TUNERS,
+                                  n_iterations=iters, seed=0,
+                                  workload_kwargs=workload_kwargs)
+    rows = [static_stats(results[name], optimum) for name in TUNERS]
     return rows, optimum
 
 
 @pytest.mark.benchmark(group="table1")
-@pytest.mark.parametrize("label,factory,full_iters", [
-    ("tpcc", lambda seed: TPCCWorkload(seed=seed, dynamic=False,
-                                       grow_data=False), 200),
-    ("twitter", lambda seed: TwitterWorkload(seed=seed, dynamic=False), 200),
-    ("job", lambda seed: JOBWorkload(seed=seed, dynamic=False), 200),
+@pytest.mark.parametrize("label,workload_kwargs,full_iters", [
+    ("tpcc", {"dynamic": False, "grow_data": False}, 200),
+    ("twitter", {"dynamic": False}, 200),
+    ("job", {"dynamic": False}, 200),
 ])
-def test_table1_static(benchmark, label, factory, full_iters):
+def test_table1_static(benchmark, label, workload_kwargs, full_iters):
     iters = quick_iters(full_iters, 35)
-    rows, optimum = benchmark.pedantic(_run, args=(factory, iters),
+    rows, optimum = benchmark.pedantic(_run, args=(label, workload_kwargs, iters),
                                        rounds=1, iterations=1)
     text = (f"estimated optimum improvement: {100 * optimum:+.1f}%\n"
             + format_static_table(rows, workload=label))

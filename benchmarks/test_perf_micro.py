@@ -1,0 +1,33 @@
+"""Perf-marked smoke test for the suggest/observe microbenchmark.
+
+Excluded from the tier-1 run via the default ``-m "not perf"`` (see
+pytest.ini); run explicitly with ``pytest -m perf`` or refresh the full
+report with ``make bench``.
+"""
+
+import json
+
+import pytest
+
+from bench_perf import refresh, run_benchmark
+
+
+@pytest.mark.perf
+def test_bench_perf_small_history(tmp_path):
+    measured = run_benchmark(history_sizes=[10, 20], window=5, verbose=False)
+    assert set(measured["by_history"]) == {"10", "20"}
+    for stats in measured["by_history"].values():
+        assert stats["mean_seconds"] > 0
+        assert stats["suggest_mean_seconds"] > 0
+
+
+@pytest.mark.perf
+def test_refresh_preserves_baseline(tmp_path):
+    out = tmp_path / "BENCH_perf.json"
+    refresh(as_baseline=True, output=out, history_sizes=[10], window=3)
+    report = json.loads(out.read_text())
+    assert "baseline" in report
+    refresh(as_baseline=False, output=out, history_sizes=[10], window=3)
+    report = json.loads(out.read_text())
+    assert "baseline" in report and "current" in report
+    assert report["speedup_at_largest_history"]["history"] == 10

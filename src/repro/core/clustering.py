@@ -6,6 +6,14 @@ per-iteration cost stays O(P^3)); an SVM learns the decision boundary used
 to route unseen contexts to a model.  Re-clustering is triggered when the
 normalized mutual information between the maintained clustering and a
 freshly simulated one drops below ``nmi_threshold`` (context shift).
+
+Per-cluster index lists and best-observation indices are maintained
+incrementally on append (no O(n) scans), and when a cluster is dirty only
+because observations were appended — no re-clustering, no truncation, no
+hyperparameter re-optimization due under the doubling schedule — the GP
+absorbs them through :meth:`repro.gp.contextual.ContextualGP.update`
+(rank-1 Cholesky updates, O(n^2) per append) instead of a full O(n^3)
+refit.
 """
 
 from __future__ import annotations
@@ -26,14 +34,23 @@ __all__ = ["ClusteredModels"]
 
 
 class ClusteredModels:
-    """Maintains per-cluster contextual GPs and an SVM model selector."""
+    """Maintains per-cluster contextual GPs and an SVM model selector.
+
+    Parameters
+    ----------
+    verify_incremental:
+        Debug switch: after every incremental model update, refit a
+        scratch model on the same data and assert the posteriors agree.
+        Expensive — meant for tests, not production loops.
+    """
 
     def __init__(self, config_dim: int, context_dim: int,
                  kernel_factory: Optional[Callable[[], Kernel]] = None,
                  eps: float = 0.6, min_samples: int = 4,
                  max_cluster_size: int = 200, nmi_threshold: float = 0.5,
                  recluster_every: int = 20, beta: float = 2.0,
-                 enabled: bool = True, seed: int = 0) -> None:
+                 enabled: bool = True, seed: int = 0,
+                 verify_incremental: bool = False) -> None:
         self.config_dim = int(config_dim)
         self.context_dim = int(context_dim)
         self.kernel_factory = kernel_factory
@@ -45,14 +62,22 @@ class ClusteredModels:
         self.beta = float(beta)
         self.enabled = enabled    # False => single monolithic model (ablation)
         self.seed = int(seed)
+        self.verify_incremental = bool(verify_incremental)
 
         self.labels: List[int] = []          # cluster label per observation
+        self._labels_ref: List[int] = self.labels   # detects replacement
         self.models: Dict[int, ContextualGP] = {}
         self._dirty: Dict[int, bool] = {}
         self._next_optimize: Dict[int, int] = {}
+        self._indices: Dict[int, List[int]] = {}   # per-cluster obs indices
+        self._indexed_count = 0                    # len(labels) when indexed
+        self._best: Dict[int, int] = {}            # per-cluster best obs index
+        self._fitted: Dict[int, List[int]] = {}    # indices inside each model
         self._svm: Optional[SVMClassifier] = None
         self._scaler = StandardScaler()
         self.recluster_count = 0
+        self.incremental_updates = 0
+        self.full_refits = 0
         self._since_check = 0
 
     # -- bookkeeping -------------------------------------------------------
@@ -65,8 +90,39 @@ class ClusteredModels:
         return ContextualGP(self.config_dim, self.context_dim,
                             kernel=kernel, beta=self.beta)
 
+    def _sync_indices(self) -> None:
+        """Rebuild the per-cluster index lists if ``labels`` was mutated
+        externally (tests/ablations assign it directly); appends through
+        :meth:`add_observation` keep them in sync incrementally.  Detects
+        list replacement and length changes — in-place relabelling of
+        individual entries is not detectable and not supported.
+        """
+        if (self._indexed_count == len(self.labels)
+                and self._labels_ref is self.labels):
+            return
+        self._reindex()
+        self._best = {}   # stale after an external relabel; fall back to global
+
+    def _reindex(self) -> None:
+        self._indices = {}
+        for i, label in enumerate(self.labels):
+            self._indices.setdefault(label, []).append(i)
+        self._indexed_count = len(self.labels)
+        self._labels_ref = self.labels
+
     def cluster_indices(self, label: int) -> List[int]:
-        return [i for i, l in enumerate(self.labels) if l == label]
+        self._sync_indices()
+        return list(self._indices.get(label, ()))
+
+    def best_index(self, label: int, repo: DataRepository) -> Optional[int]:
+        """Cached per-cluster best-observation index (O(1) per query).
+
+        Falls back to the repository's global best when the cluster is
+        unknown or holds no non-failed observation.
+        """
+        self._sync_indices()   # drops stale caches after an external relabel
+        best = self._best.get(label)
+        return best if best is not None else repo.best_index()
 
     # -- model selection (step 2 of the workflow) ----------------------------
     def select(self, context: np.ndarray) -> int:
@@ -74,7 +130,10 @@ class ClusteredModels:
         if not self.labels:
             return 0
         if not self.enabled or self._svm is None or self.n_clusters <= 1:
-            return int(self.labels[-1]) if self.n_clusters <= 1 else 0
+            # the SVM may be absent even with several clusters (e.g. right
+            # after a degenerate relearn); route to the most recent label,
+            # which is guaranteed to exist — label 0 may not
+            return int(self.labels[-1])
         scaled = self._scaler.transform(np.atleast_2d(context))
         return int(self._svm.predict(scaled)[0])
 
@@ -88,23 +147,57 @@ class ClusteredModels:
         return self.models[label]
 
     def _fit_cluster(self, label: int, repo: DataRepository) -> None:
-        indices = self.cluster_indices(label)
+        self._sync_indices()
+        indices = self._indices.get(label, [])
         if not indices:
             self._dirty[label] = False
             return
-        if len(indices) > self.max_cluster_size:
-            indices = indices[-self.max_cluster_size:]
-        configs = repo.configs(indices)
-        contexts = repo.contexts(indices)
-        y = repo.performances(indices)
+        window = indices[-self.max_cluster_size:] if \
+            len(indices) > self.max_cluster_size else indices
         # hyperparameter optimization is the expensive part; re-run it on a
-        # doubling schedule of cluster sizes rather than every iteration
+        # doubling schedule of *fitted* (capped-window) sizes rather than
+        # every iteration — once the threshold outgrows max_cluster_size,
+        # hyperopt stops, exactly as before this refactor
         threshold = self._next_optimize.get(label, 5)
-        optimize = len(indices) >= threshold
-        if optimize:
-            self._next_optimize[label] = max(2 * len(indices), threshold * 2)
-        self.models[label].fit(configs, contexts, y, optimize=optimize)
+        optimize = len(window) >= threshold
+        model = self.models[label]
+        fitted = self._fitted.get(label)
+        if (not optimize and fitted
+                and model.n_observations == len(fitted)
+                and len(window) > len(fitted)
+                and window[:len(fitted)] == fitted):
+            # appended-only dirtiness with hyperopt skipped: rank-1 updates
+            for i in window[len(fitted):]:
+                model.update(repo.config_at(i), repo.context_at(i),
+                             repo.performance_at(i))
+                self.incremental_updates += 1
+            if self.verify_incremental:
+                self._assert_matches_full_fit(label, repo, window)
+        else:
+            if optimize:
+                self._next_optimize[label] = max(2 * len(window), threshold * 2)
+            model.fit(repo.configs(window), repo.contexts(window),
+                      repo.performances(window), optimize=optimize)
+            self.full_refits += 1
+        self._fitted[label] = list(window)
         self._dirty[label] = False
+
+    def _assert_matches_full_fit(self, label: int, repo: DataRepository,
+                                 window: List[int]) -> None:
+        scratch = self._new_model()
+        model = self.models[label]
+        scratch.gp.kernel.theta = model.gp.kernel.theta
+        scratch.gp.noise = model.gp.noise
+        scratch.fit(repo.configs(window), repo.contexts(window),
+                    repo.performances(window), optimize=False)
+        probe = np.linspace(0.1, 0.9, 3 * self.config_dim).reshape(3, -1)
+        ctx = repo.context_at(window[-1])
+        m_inc, s_inc = model.predict(probe, ctx)
+        m_full, s_full = scratch.predict(probe, ctx)
+        assert np.allclose(m_inc, m_full, atol=1e-6), \
+            "incremental update diverged from full refit (mean)"
+        assert np.allclose(s_inc, s_full, atol=1e-6), \
+            "incremental update diverged from full refit (std)"
 
     # -- observation ingestion -----------------------------------------------
     def add_observation(self, context: np.ndarray, repo: DataRepository) -> int:
@@ -113,7 +206,21 @@ class ClusteredModels:
         Call *after* appending the observation to the repository.
         """
         label = self.select(context) if self.labels else 0
+        obs_index = len(repo) - 1
+        self._sync_indices()
         self.labels.append(label)
+        self._indices.setdefault(label, []).append(obs_index)
+        self._indexed_count = len(self.labels)
+        best = self._best.get(label)
+        if best is None:
+            # cache miss (new cluster, or caches dropped after an external
+            # relabel): recompute over all members, not just the newcomer
+            best = repo.best_index(self._indices[label])
+            if best is not None:
+                self._best[label] = best
+        elif (not repo.failed_at(obs_index)
+                and repo.improvement_at(obs_index) > repo.improvement_at(best)):
+            self._best[label] = obs_index
         self._dirty[label] = True
         self._since_check += 1
         if self.enabled and self._since_check >= self.recluster_every:
@@ -144,6 +251,8 @@ class ClusteredModels:
         self.models = {}
         self._dirty = {label: True for label in set(self.labels)}
         self._next_optimize = {}
+        self._fitted = {}
+        self._rebuild_index_caches(repo)
         contexts = repo.contexts()
         self._scaler.fit(contexts)
         if len(set(self.labels)) > 1:
@@ -152,3 +261,14 @@ class ClusteredModels:
         else:
             self._svm = None
         self.recluster_count += 1
+
+    def _rebuild_index_caches(self, repo: DataRepository) -> None:
+        self._reindex()
+        improv = repo.improvements()
+        failed = repo.failed_flags()
+        self._best = {}
+        for label, idx in self._indices.items():
+            arr = np.asarray(idx, dtype=np.intp)
+            ok = arr[~failed[arr]]
+            if ok.size:
+                self._best[label] = int(ok[np.argmax(improv[ok])])

@@ -3,16 +3,25 @@
 Holds the full tuning history ``{<c_i, theta_i, y_i>}`` plus bookkeeping
 (safety outcome, improvement score) that the clustering, subspace, and
 visualization components consume.
+
+Storage is *columnar*: contexts/configs/performances/improvements live in
+preallocated, geometrically-grown numpy buffers, so the array views the
+models consume every iteration are zero-copy slices instead of per-call
+re-materializations of Python object lists, and the global best index is
+maintained incrementally in O(1) per append.  :class:`Observation` remains
+the row-level exchange type; ``repo[i]`` reconstructs one on demand.
 """
 
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence
+from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
 __all__ = ["Observation", "DataRepository"]
+
+_INITIAL_CAPACITY = 64
 
 
 @dataclass
@@ -37,57 +46,180 @@ class Observation:
 
 
 class DataRepository:
-    """Append-only history with array views for model fitting."""
+    """Append-only columnar history with zero-copy array views.
 
-    def __init__(self) -> None:
-        self._observations: List[Observation] = []
+    Parameters
+    ----------
+    context_dim, config_dim:
+        Feature dimensions, when known up front.  Passing them lets the
+        empty repository report correctly-shaped ``(0, dim)`` views so
+        downstream ``np.vstack``/scaler code needs no special-casing.
+    """
+
+    def __init__(self, context_dim: Optional[int] = None,
+                 config_dim: Optional[int] = None) -> None:
+        self._n = 0
+        self._context_dim = None if context_dim is None else int(context_dim)
+        self._config_dim = None if config_dim is None else int(config_dim)
+        self._contexts: Optional[np.ndarray] = None
+        self._configs: Optional[np.ndarray] = None
+        self._perf = np.empty(_INITIAL_CAPACITY)
+        self._tau = np.empty(_INITIAL_CAPACITY)
+        self._improv = np.empty(_INITIAL_CAPACITY)
+        self._failed = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self._iter = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._best: Optional[int] = None    # cached global argmax (non-failed)
+        if self._context_dim is not None:
+            self._contexts = np.empty((_INITIAL_CAPACITY, self._context_dim))
+        if self._config_dim is not None:
+            self._configs = np.empty((_INITIAL_CAPACITY, self._config_dim))
 
     def __len__(self) -> int:
-        return len(self._observations)
+        return self._n
 
-    def __iter__(self):
-        return iter(self._observations)
+    def __iter__(self) -> Iterator[Observation]:
+        return (self[i] for i in range(self._n))
 
     def __getitem__(self, idx):
-        return self._observations[idx]
+        if isinstance(idx, slice):
+            return [self[i] for i in range(*idx.indices(self._n))]
+        i = int(idx)
+        if i < 0:
+            i += self._n
+        if not 0 <= i < self._n:
+            raise IndexError(f"observation index {idx} out of range")
+        return Observation(
+            iteration=int(self._iter[i]),
+            context=self._contexts[i].copy(),
+            config_vec=self._configs[i].copy(),
+            performance=float(self._perf[i]),
+            default_performance=float(self._tau[i]),
+            failed=bool(self._failed[i]),
+        )
+
+    # -- appends -----------------------------------------------------------
+    def _grow(self, capacity: int) -> None:
+        def grown(buf: np.ndarray) -> np.ndarray:
+            shape = (capacity,) + buf.shape[1:]
+            out = np.zeros(shape, dtype=buf.dtype) if buf.dtype == bool \
+                else np.empty(shape, dtype=buf.dtype)
+            out[:self._n] = buf[:self._n]
+            return out
+
+        self._perf = grown(self._perf)
+        self._tau = grown(self._tau)
+        self._improv = grown(self._improv)
+        self._failed = grown(self._failed)
+        self._iter = grown(self._iter)
+        if self._contexts is not None:
+            self._contexts = grown(self._contexts)
+        if self._configs is not None:
+            self._configs = grown(self._configs)
 
     def add(self, obs: Observation) -> None:
-        self._observations.append(obs)
+        context = np.asarray(obs.context, dtype=float).ravel()
+        config = np.asarray(obs.config_vec, dtype=float).ravel()
+        if self._context_dim is None:
+            self._context_dim = context.shape[0]
+            self._contexts = np.empty((max(_INITIAL_CAPACITY, self._perf.shape[0]),
+                                       self._context_dim))
+        if self._config_dim is None:
+            self._config_dim = config.shape[0]
+            self._configs = np.empty((max(_INITIAL_CAPACITY, self._perf.shape[0]),
+                                      self._config_dim))
+        if context.shape[0] != self._context_dim:
+            raise ValueError(f"context dim {context.shape[0]} != {self._context_dim}")
+        if config.shape[0] != self._config_dim:
+            raise ValueError(f"config dim {config.shape[0]} != {self._config_dim}")
+        n = self._n
+        if n >= self._perf.shape[0]:
+            self._grow(2 * self._perf.shape[0])
+        self._contexts[n] = context
+        self._configs[n] = config
+        self._perf[n] = obs.performance
+        self._tau[n] = obs.default_performance
+        self._improv[n] = obs.improvement
+        self._failed[n] = obs.failed
+        self._iter[n] = obs.iteration
+        self._n = n + 1
+        if not obs.failed and (self._best is None
+                               or self._improv[n] > self._improv[self._best]):
+            self._best = n
 
     @property
     def observations(self) -> List[Observation]:
-        return list(self._observations)
+        return [self[i] for i in range(self._n)]
+
+    # -- row accessors (cheap, view-based) ---------------------------------
+    def context_at(self, i: int) -> np.ndarray:
+        return self._contexts[i]
+
+    def config_at(self, i: int) -> np.ndarray:
+        return self._configs[i]
+
+    def performance_at(self, i: int) -> float:
+        return float(self._perf[i])
+
+    def improvement_at(self, i: int) -> float:
+        return float(self._improv[i])
+
+    def failed_at(self, i: int) -> bool:
+        return bool(self._failed[i])
+
+    def failed_flags(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        return self._column(self._failed, indices)
 
     # -- array views -------------------------------------------------------
+    def _normalize_indices(self, indices: Sequence[int]) -> np.ndarray:
+        """Validate and wrap indices (plain fancy-indexing into the capacity
+        buffers would silently read uninitialized slots)."""
+        idx = np.asarray(indices, dtype=np.intp)
+        if idx.size and (idx.min() < -self._n or idx.max() >= self._n):
+            raise IndexError(f"observation indices out of range for "
+                             f"repository of length {self._n}")
+        return np.where(idx < 0, idx + self._n, idx)
+
+    def _column(self, buf: Optional[np.ndarray],
+                indices: Optional[Sequence[int]]) -> np.ndarray:
+        if indices is None:
+            return buf[:self._n]
+        return buf[self._normalize_indices(indices)]
+
     def contexts(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
-        obs = self._select(indices)
-        return np.array([o.context for o in obs]) if obs else np.empty((0, 0))
+        if self._contexts is None:
+            if indices is not None:
+                self._normalize_indices(indices)   # raises unless empty
+            return np.empty((0, self._context_dim or 0))
+        return self._column(self._contexts, indices)
 
     def configs(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
-        obs = self._select(indices)
-        return np.array([o.config_vec for o in obs]) if obs else np.empty((0, 0))
+        if self._configs is None:
+            if indices is not None:
+                self._normalize_indices(indices)   # raises unless empty
+            return np.empty((0, self._config_dim or 0))
+        return self._column(self._configs, indices)
 
     def performances(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
-        obs = self._select(indices)
-        return np.array([o.performance for o in obs])
+        return self._column(self._perf, indices)
 
     def improvements(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
-        obs = self._select(indices)
-        return np.array([o.improvement for o in obs])
-
-    def _select(self, indices: Optional[Sequence[int]]) -> List[Observation]:
-        if indices is None:
-            return self._observations
-        return [self._observations[i] for i in indices]
+        return self._column(self._improv, indices)
 
     def best_index(self, indices: Optional[Sequence[int]] = None) -> Optional[int]:
         """Index (into the full history) of the best *safe-leaning* point.
 
         Performance is compared by improvement over the context's own
         default, which keeps scores comparable across shifting contexts.
+        The global query (``indices=None``) is O(1) off the incrementally
+        maintained cache; subset queries are one vectorized masked argmax.
         """
-        pool = range(len(self._observations)) if indices is None else indices
-        pool = [i for i in pool if not self._observations[i].failed]
-        if not pool:
+        if indices is None:
+            return self._best
+        idx = self._normalize_indices(indices)
+        if idx.size == 0:
             return None
-        return max(pool, key=lambda i: self._observations[i].improvement)
+        ok = ~self._failed[idx]
+        if not ok.any():
+            return None
+        pool = idx[ok]
+        return int(pool[np.argmax(self._improv[pool])])

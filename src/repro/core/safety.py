@@ -89,8 +89,8 @@ class SafetyAssessor:
 
         whitebox = np.ones(n, dtype=bool)
         if self.use_whitebox and rule_ctx is not None:
-            for i in range(n):
-                config = self.space.from_unit(candidates[i])
+            configs = self.space.from_unit_batch(candidates)
+            for i, config in enumerate(configs):
                 whitebox[i] = self.rulebook.satisfies(config, rule_ctx)
 
         return SafetyAssessment(

@@ -72,7 +72,8 @@ class OnlineTune(BaseTuner):
         self.memory_bytes = memory_bytes
         self.vcpus = vcpus
 
-        self.repo = DataRepository()
+        self.repo = DataRepository(context_dim=self.featurizer.dim,
+                                   config_dim=space.dim)
         self.models = ClusteredModels(
             config_dim=space.dim, context_dim=self.featurizer.dim,
             kernel_factory=lambda: additive_contextual_kernel(
@@ -105,6 +106,13 @@ class OnlineTune(BaseTuner):
             self._initial_vec = self.space.default_vector()
         return self._initial_vec
 
+    def _best_config_vec(self, label: int) -> Optional[np.ndarray]:
+        """Best evaluated configuration for the cluster (global fallback
+        handled by the cache); None when nothing has been evaluated."""
+        best_idx = self.models.best_index(label, self.repo)
+        return (self.repo.config_at(best_idx).copy()
+                if best_idx is not None else None)
+
     def _subspace_for(self, label: int) -> Subspace:
         cfg = self.config
         if label not in self.subspaces:
@@ -119,11 +127,8 @@ class OnlineTune(BaseTuner):
                 pass  # non-MySQL spaces simply have no prior
             # centre on the cluster's best known configuration, falling back
             # to the global best, then the initial safe configuration
-            best_idx = self.repo.best_index(self.models.cluster_indices(label))
-            if best_idx is None:
-                best_idx = self.repo.best_index()
-            center = (self.repo[best_idx].config_vec if best_idx is not None
-                      else self._default_vec())
+            best = self._best_config_vec(label)
+            center = best if best is not None else self._default_vec()
             sub.initialize(center)
             self.subspaces[label] = sub
         return self.subspaces[label]
@@ -156,11 +161,8 @@ class OnlineTune(BaseTuner):
         if not last.safe and cfg.use_safety:
             label = self.models.select(context)
             self._pending_label = label
-            best_idx = self.repo.best_index(self.models.cluster_indices(label))
-            if best_idx is None:
-                best_idx = self.repo.best_index()
-            vec = (self.repo[best_idx].config_vec if best_idx is not None
-                   else self._default_vec())
+            best = self._best_config_vec(label)
+            vec = best if best is not None else self._default_vec()
             self._pending_vec = vec
             self._pending_override = False
             subspace = self._subspace_for(label)
@@ -213,11 +215,8 @@ class OnlineTune(BaseTuner):
             # and switch the subspace type (the paper's switching rule)
             if cfg.use_subspace:
                 subspace.exhausted()
-            best_idx = self.repo.best_index(self.models.cluster_indices(label))
-            if best_idx is None:
-                best_idx = self.repo.best_index()
-            vec = (self.repo[best_idx].config_vec if best_idx is not None
-                   else self._default_vec())
+            best = self._best_config_vec(label)
+            vec = best if best is not None else self._default_vec()
             self._pending_override = False
         else:
             vec = assessment.candidates[choice]
@@ -266,11 +265,7 @@ class OnlineTune(BaseTuner):
             improvement = obs.improvement
             prev = self._last_improvement
             success = prev is not None and improvement > prev and not feedback.failed
-            best_idx = self.repo.best_index(self.models.cluster_indices(label))
-            if best_idx is None:
-                best_idx = self.repo.best_index()
-            new_center = (self.repo[best_idx].config_vec
-                          if best_idx is not None else None)
+            new_center = self._best_config_vec(label)
             subspace.update(success, improvement, new_center=new_center)
             if (len(self.repo) % cfg.importance_every == 0
                     and len(self.repo) >= 8):

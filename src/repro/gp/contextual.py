@@ -63,6 +63,20 @@ class ContextualGP:
         self.gp.fit(X, y, optimize=optimize)
         return self
 
+    def update(self, config: np.ndarray, context: np.ndarray,
+               y: float) -> "ContextualGP":
+        """Incrementally absorb one observation (rank-1 Cholesky update).
+
+        O(n^2) instead of the O(n^3) a full :meth:`fit` pays; kernel
+        hyperparameters are kept fixed, so callers re-optimize on their
+        own schedule via :meth:`fit`.
+        """
+        X = self._join(config, context)
+        if X.shape[0] != 1:
+            raise ValueError("update() accepts exactly one observation")
+        self.gp.add_point(X[0], float(y))
+        return self
+
     # -- prediction ------------------------------------------------------
     def predict(self, configs: np.ndarray, context: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
         """Posterior mean and std for candidate configs at one context."""

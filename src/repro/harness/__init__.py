@@ -10,12 +10,14 @@ from .evaluation import (
     static_stats,
 )
 from .experiments import (
+    SPACE_FACTORIES,
     WORKLOAD_FACTORIES,
     all_tuner_names,
     build_session,
     default_iterations,
     make_tuner,
     run_tuners,
+    run_tuners_parallel,
 )
 from .reporting import (
     format_cumulative_table,
@@ -23,12 +25,20 @@ from .reporting import (
     format_series,
     format_static_table,
 )
-from .runner import IterationRecord, SessionResult, TuningSession
+from .runner import (
+    IterationRecord,
+    ParallelRunner,
+    SessionResult,
+    SessionSpec,
+    TuningSession,
+)
 
 __all__ = [
     "TuningSession",
     "SessionResult",
     "IterationRecord",
+    "SessionSpec",
+    "ParallelRunner",
     "SafetyStats",
     "StaticStats",
     "safety_stats",
@@ -40,8 +50,10 @@ __all__ = [
     "all_tuner_names",
     "build_session",
     "run_tuners",
+    "run_tuners_parallel",
     "default_iterations",
     "WORKLOAD_FACTORIES",
+    "SPACE_FACTORIES",
     "format_safety_table",
     "format_static_table",
     "format_series",

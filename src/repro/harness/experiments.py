@@ -39,7 +39,7 @@ from ..workloads import (
     Workload,
     YCSBWorkload,
 )
-from .runner import SessionResult, TuningSession
+from .runner import ParallelRunner, SessionResult, SessionSpec, TuningSession
 
 __all__ = [
     "default_iterations",
@@ -47,7 +47,9 @@ __all__ = [
     "all_tuner_names",
     "build_session",
     "run_tuners",
+    "run_tuners_parallel",
     "WORKLOAD_FACTORIES",
+    "SPACE_FACTORIES",
 ]
 
 TUNER_NAMES = ("OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner")
@@ -58,6 +60,11 @@ WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
     "ycsb": YCSBWorkload,
     "job": JOBWorkload,
     "realworld": RealWorldTrace,
+}
+
+SPACE_FACTORIES: Dict[str, Callable[[], KnobSpace]] = {
+    "mysql57": mysql57_space,
+    "case_study": case_study_space,
 }
 
 
@@ -144,3 +151,36 @@ def run_tuners(workload_factory: Callable[[int], Workload],
                                 interval_seconds=interval_seconds, seed=seed)
         results[name] = session.run()
     return results
+
+
+def run_tuners_parallel(workload: str,
+                        tuner_names: Optional[List[str]] = None,
+                        n_iterations: int = 60, seed: int = 0,
+                        reference: str = "dba",
+                        interval_seconds: float = 180.0,
+                        space: str = "mysql57",
+                        workload_kwargs: Optional[Dict[str, object]] = None,
+                        onlinetune_config: Optional[OnlineTuneConfig] = None,
+                        max_workers: Optional[int] = None) -> Dict[str, SessionResult]:
+    """Parallel counterpart of :func:`run_tuners`.
+
+    Fans the independent (tuner x workload x seed) sessions across a
+    :class:`~repro.harness.runner.ParallelRunner` process pool.  Results
+    are bit-identical to :func:`run_tuners` for the same arguments — each
+    session is rebuilt from its spec inside the worker with the same
+    deterministic seeding — just wall-clock faster on multi-core hosts.
+    Workloads and spaces are referenced by registry name
+    (``WORKLOAD_FACTORIES`` / ``SPACE_FACTORIES``) so specs stay picklable.
+    """
+    if workload not in WORKLOAD_FACTORIES:
+        raise ValueError(f"unknown workload {workload!r}; "
+                         f"choose from {sorted(WORKLOAD_FACTORIES)}")
+    names = list(tuner_names or all_tuner_names())
+    kwargs = tuple(sorted((workload_kwargs or {}).items()))
+    specs = [SessionSpec(tuner=name, workload=workload, seed=seed,
+                         n_iterations=n_iterations, reference=reference,
+                         interval_seconds=interval_seconds, space=space,
+                         workload_kwargs=kwargs,
+                         onlinetune_config=onlinetune_config)
+             for name in names]
+    return ParallelRunner(max_workers=max_workers).run_named(specs)

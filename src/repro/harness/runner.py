@@ -9,16 +9,20 @@ back to the tuner.
 
 from __future__ import annotations
 
+import os
 import time
+from concurrent.futures import ProcessPoolExecutor
 from dataclasses import dataclass, field
-from typing import Dict, List, Optional
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
 
 import numpy as np
 
 from ..baselines.base import BaseTuner, Feedback, SuggestInput
+from ..core.config import OnlineTuneConfig
 from ..dbms.engine import SimulatedMySQL
 
-__all__ = ["IterationRecord", "SessionResult", "TuningSession"]
+__all__ = ["IterationRecord", "SessionResult", "TuningSession",
+           "SessionSpec", "ParallelRunner"]
 
 #: relative slack below tau before a recommendation is counted unsafe;
 #: absorbs measurement noise exactly like a production SLA guardband.
@@ -156,3 +160,85 @@ class TuningSession:
                 config=dict(config) if self.record_configs else {},
             ))
         return SessionResult(tuner.name, records, is_olap=any_olap)
+
+
+@dataclass(frozen=True)
+class SessionSpec:
+    """A fully-serializable description of one (tuner x workload x seed)
+    tuning session.
+
+    Everything a worker process needs to *rebuild* the session from
+    scratch — tuners hold closures (kernel factories) that do not pickle,
+    so the spec ships names and parameters instead of live objects.  Two
+    runs of the same spec are bit-identical: every source of randomness is
+    derived from ``seed``.
+    """
+
+    tuner: str
+    workload: str                    # key into experiments.WORKLOAD_FACTORIES
+    seed: int = 0
+    n_iterations: int = 60
+    reference: str = "dba"
+    interval_seconds: float = 180.0
+    noise_std: float = 0.02
+    space: str = "mysql57"           # key into experiments.SPACE_FACTORIES
+    workload_kwargs: Tuple[Tuple[str, object], ...] = ()
+    onlinetune_config: Optional[OnlineTuneConfig] = None
+
+
+def run_session_spec(spec: SessionSpec) -> SessionResult:
+    """Build and run one session from its spec (top-level: picklable)."""
+    from .experiments import (
+        SPACE_FACTORIES,
+        WORKLOAD_FACTORIES,
+        build_session,
+        make_tuner,
+    )
+    space = SPACE_FACTORIES[spec.space]()
+    tuner = make_tuner(spec.tuner, space, seed=spec.seed,
+                       onlinetune_config=spec.onlinetune_config)
+    workload = WORKLOAD_FACTORIES[spec.workload](
+        seed=spec.seed, **dict(spec.workload_kwargs))
+    session = build_session(tuner, workload, space=space,
+                            reference=spec.reference,
+                            n_iterations=spec.n_iterations,
+                            interval_seconds=spec.interval_seconds,
+                            seed=spec.seed, noise_std=spec.noise_std)
+    return session.run()
+
+
+class ParallelRunner:
+    """Fan independent tuning sessions across a process pool.
+
+    Sessions share no state and are rebuilt inside each worker from their
+    :class:`SessionSpec`, so results are deterministic — bit-identical to
+    running the same specs serially — and returned in spec order.
+
+    Parameters
+    ----------
+    max_workers:
+        Pool size; defaults to ``REPRO_MAX_WORKERS`` or the CPU count.
+        ``1`` runs serially in-process (no pool, no pickling).
+    """
+
+    def __init__(self, max_workers: Optional[int] = None) -> None:
+        if max_workers is None:
+            env = os.environ.get("REPRO_MAX_WORKERS")
+            max_workers = int(env) if env else (os.cpu_count() or 1)
+        self.max_workers = max(1, int(max_workers))
+
+    def run(self, specs: Iterable[SessionSpec]) -> List[SessionResult]:
+        specs = list(specs)
+        if self.max_workers == 1 or len(specs) <= 1:
+            return [run_session_spec(spec) for spec in specs]
+        workers = min(self.max_workers, len(specs))
+        with ProcessPoolExecutor(max_workers=workers) as pool:
+            return list(pool.map(run_session_spec, specs))
+
+    def run_named(self, specs: Sequence[SessionSpec]) -> Dict[str, SessionResult]:
+        """Run specs and key the results by tuner name (names must be
+        unique across the batch)."""
+        names = [spec.tuner for spec in specs]
+        if len(set(names)) != len(names):
+            raise ValueError("duplicate tuner names; use run() instead")
+        return dict(zip(names, self.run(specs)))

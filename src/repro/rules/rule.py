@@ -147,7 +147,9 @@ class RuleBook:
                 and not r.check(config, ctx)]
 
     def satisfies(self, config: Configuration, ctx: RuleContext) -> bool:
-        return not self.violations(config, ctx)
+        # short-circuits on the first violation (violations() enumerates all)
+        return all(r.ignored or r is self._overridden or r.check(config, ctx)
+                   for r in self.rules)
 
     # -- conflict protocol -------------------------------------------------
     def register_conflict(self, rule: Rule) -> None:

@@ -110,6 +110,104 @@ class TestDataRepository:
         assert obs.safe
 
 
+class TestColumnarRepository:
+    def test_empty_views_report_known_dims(self):
+        repo = DataRepository(context_dim=5, config_dim=3)
+        assert repo.contexts().shape == (0, 5)
+        assert repo.configs().shape == (0, 3)
+        assert repo.performances().shape == (0,)
+        # downstream vstack works without special-casing
+        stacked = np.vstack([repo.contexts(), np.zeros((2, 5))])
+        assert stacked.shape == (2, 5)
+
+    def test_empty_views_without_dims_stay_compatible(self):
+        repo = DataRepository()
+        assert repo.contexts().shape == (0, 0)
+        assert repo.configs().shape == (0, 0)
+
+    def test_growth_beyond_initial_capacity(self):
+        repo = DataRepository()
+        for i in range(200):   # crosses the 64/128 growth boundaries
+            repo.add(_obs(i, [float(i), 0.0], [0.5, 0.5, 0.5], perf=float(i)))
+        assert len(repo) == 200
+        assert repo.contexts().shape == (200, 2)
+        assert repo.contexts()[150, 0] == 150.0
+        assert repo.performances()[199] == 199.0
+
+    def test_views_match_observation_rows(self):
+        rng = np.random.default_rng(0)
+        repo = DataRepository()
+        rows = [(_obs(i, rng.random(3), rng.random(2), perf=float(i)))
+                for i in range(10)]
+        for obs in rows:
+            repo.add(obs)
+        np.testing.assert_array_equal(repo.contexts(),
+                                      np.array([o.context for o in rows]))
+        np.testing.assert_array_equal(repo.configs(),
+                                      np.array([o.config_vec for o in rows]))
+        np.testing.assert_array_equal(
+            repo.improvements(), np.array([o.improvement for o in rows]))
+
+    def test_getitem_negative_and_slice(self):
+        repo = DataRepository()
+        for i in range(5):
+            repo.add(_obs(i, [float(i)], [0.1 * i], perf=float(i)))
+        assert repo[-1].iteration == 4
+        assert [o.iteration for o in repo[1:4]] == [1, 2, 3]
+        with pytest.raises(IndexError):
+            repo[5]
+
+    def test_cached_best_matches_bruteforce(self):
+        rng = np.random.default_rng(1)
+        repo = DataRepository()
+        for i in range(120):
+            repo.add(_obs(i, [rng.random()], [rng.random()],
+                          perf=float(rng.normal(100, 20)),
+                          failed=bool(rng.random() < 0.2)))
+        brute = max((i for i in range(len(repo)) if not repo[i].failed),
+                    key=lambda i: repo[i].improvement)
+        assert repo.best_index() == brute
+        subset = list(range(10, 90, 7))
+        brute_sub = max((i for i in subset if not repo[i].failed),
+                        key=lambda i: repo[i].improvement)
+        assert repo.best_index(subset) == brute_sub
+
+    def test_row_accessors(self):
+        repo = DataRepository()
+        repo.add(_obs(0, [1.0, 2.0], [0.3], perf=110.0, tau=100.0))
+        np.testing.assert_array_equal(repo.context_at(0), [1.0, 2.0])
+        np.testing.assert_array_equal(repo.config_at(0), [0.3])
+        assert repo.performance_at(0) == 110.0
+        assert repo.improvement_at(0) == pytest.approx(0.1)
+        assert not repo.failed_at(0)
+        np.testing.assert_array_equal(repo.failed_flags(), [False])
+
+    def test_dim_mismatch_rejected(self):
+        repo = DataRepository()
+        repo.add(_obs(0, [1.0, 2.0], [0.3], perf=1.0))
+        with pytest.raises(ValueError):
+            repo.add(_obs(1, [1.0, 2.0, 3.0], [0.3], perf=1.0))
+
+    def test_views_support_negative_and_reject_out_of_range(self):
+        repo = DataRepository()
+        for i in range(3):
+            repo.add(_obs(i, [float(i)], [0.1 * i], perf=float(i)))
+        assert repo.performances([-1]).tolist() == [2.0]
+        assert repo.best_index([-1, -2]) == 2
+        with pytest.raises(IndexError):
+            repo.performances([3])
+        with pytest.raises(IndexError):
+            repo.contexts([-4])
+
+    def test_empty_repo_rejects_indexed_views_consistently(self):
+        repo = DataRepository()
+        for view in (repo.contexts, repo.configs, repo.performances,
+                     repo.improvements):
+            with pytest.raises(IndexError):
+                view([0])
+        assert repo.contexts([]).shape[0] == 0
+
+
 class TestClusteredModels:
     def _repo_two_contexts(self, n=30):
         rng = np.random.default_rng(0)
@@ -182,6 +280,45 @@ class TestClusteredModels:
         for obs in repo:
             models.add_observation(obs.context, repo)
         assert models.n_clusters == 1
+
+    def test_select_without_svm_routes_to_existing_label(self):
+        """With the SVM absent and multiple clusters, contexts must route
+        to a label that exists — label 0 may be gone after a relearn."""
+        models = ClusteredModels(config_dim=3, context_dim=2, seed=0)
+        models.labels = [1, 1, 2, 2, 2]      # no label 0 anywhere
+        models._svm = None
+        assert models.n_clusters == 2
+        label = models.select(np.array([0.5, 0.5]))
+        assert label in set(models.labels)
+        assert label == 2                    # most recent existing label
+
+    def test_best_cache_recomputed_after_external_relabel(self):
+        """An external labels replacement drops the caches; the next append
+        must recompute the cluster best over *all* members, not seed the
+        cache with the newcomer."""
+        repo = DataRepository()
+        repo.add(_obs(0, [0.0], [0.1], perf=150.0))    # improvement 0.5
+        repo.add(_obs(1, [0.0], [0.2], perf=140.0))    # improvement 0.4
+        models = ClusteredModels(config_dim=1, context_dim=1, enabled=False,
+                                 seed=0)
+        models.labels = [5, 5]                         # external relabel
+        repo.add(_obs(2, [0.0], [0.3], perf=101.0))    # improvement 0.01
+        models.add_observation(np.array([0.0]), repo)
+        assert models.best_index(5, repo) == 0         # true cluster best
+
+    def test_incremental_index_caches_track_appends(self):
+        rng = np.random.default_rng(3)
+        repo = DataRepository()
+        models = ClusteredModels(config_dim=3, context_dim=2, enabled=False,
+                                 seed=0)
+        for i in range(12):
+            obs = _obs(i, rng.normal(0, 0.1, 2), rng.random(3),
+                       perf=100.0 + i)
+            repo.add(obs)
+            models.add_observation(obs.context, repo)
+        assert models.cluster_indices(0) == list(range(12))
+        # last append has the highest improvement -> cached best tracks it
+        assert models.best_index(0, repo) == 11
 
 
 class TestSubspace:

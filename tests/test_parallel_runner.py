@@ -1,0 +1,84 @@
+"""Determinism and plumbing tests for the parallel experiment runner."""
+
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.harness import (
+    ParallelRunner,
+    SessionSpec,
+    run_tuners,
+    run_tuners_parallel,
+)
+from repro.knobs import case_study_space
+from repro.workloads import TPCCWorkload
+
+ITERS = 6
+
+
+def _specs(tuners=("BO", "MysqlTuner")):
+    return [SessionSpec(tuner=name, workload="tpcc", seed=7,
+                        n_iterations=ITERS, space="case_study",
+                        workload_kwargs=(("dynamic", False),
+                                         ("grow_data", False)))
+            for name in tuners]
+
+
+def _assert_identical(a, b):
+    assert a.tuner_name == b.tuner_name
+    assert len(a.records) == len(b.records)
+    for ra, rb in zip(a.records, b.records):
+        # bit-identical trajectories; wall-clock timing is the only
+        # field allowed to differ between processes
+        assert ra.performance == rb.performance
+        assert ra.default_performance == rb.default_performance
+        assert ra.throughput == rb.throughput
+        assert ra.latency_p99 == rb.latency_p99
+        assert ra.exec_seconds == rb.exec_seconds
+        assert ra.failed == rb.failed
+        assert ra.unsafe == rb.unsafe
+
+
+class TestParallelRunner:
+    def test_pool_results_bit_identical_to_serial(self):
+        specs = _specs()
+        serial = ParallelRunner(max_workers=1).run(specs)
+        pooled = ParallelRunner(max_workers=2).run(specs)
+        assert len(serial) == len(pooled) == len(specs)
+        for a, b in zip(serial, pooled):
+            _assert_identical(a, b)
+
+    def test_matches_legacy_serial_loop(self):
+        space = case_study_space()
+        legacy = run_tuners(
+            lambda seed: TPCCWorkload(seed=seed, dynamic=False,
+                                      grow_data=False),
+            tuner_names=["BO", "MysqlTuner"], space=space,
+            n_iterations=ITERS, seed=7)
+        parallel = run_tuners_parallel(
+            "tpcc", tuner_names=["BO", "MysqlTuner"], space="case_study",
+            n_iterations=ITERS, seed=7,
+            workload_kwargs={"dynamic": False, "grow_data": False},
+            max_workers=2)
+        assert set(legacy) == set(parallel)
+        for name in legacy:
+            _assert_identical(legacy[name], parallel[name])
+
+    def test_results_keyed_and_ordered_by_spec(self):
+        specs = _specs(("MysqlTuner", "BO"))
+        named = ParallelRunner(max_workers=1).run_named(specs)
+        assert list(named) == ["MysqlTuner", "BO"]
+
+    def test_run_named_rejects_duplicate_tuners(self):
+        with pytest.raises(ValueError):
+            ParallelRunner(max_workers=1).run_named(_specs(("BO", "BO")))
+
+    def test_unknown_workload_rejected(self):
+        with pytest.raises(ValueError):
+            run_tuners_parallel("no-such-workload", tuner_names=["BO"],
+                                n_iterations=2)
+
+    def test_spec_is_picklable(self):
+        spec = _specs()[0]
+        assert pickle.loads(pickle.dumps(spec)) == spec
