@@ -1,10 +1,13 @@
 PYTHON ?= python
 export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf-test bench bench-baseline
+.PHONY: test perf-test bench bench-baseline service-demo
 
 test:            ## tier-1 suite (perf microbenchmarks excluded)
 	$(PYTHON) -m pytest -x -q
+
+service-demo:    ## tuning-as-a-service demo (batch tenants, crash/resume, warm start)
+	$(PYTHON) examples/service_demo.py
 
 perf-test:       ## perf-marked microbenchmark smoke tests only
 	$(PYTHON) -m pytest -m perf -q

@@ -86,6 +86,13 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
         observe_times.append(t3 - t2)
         last_metrics = result.metrics
 
+    checkpoint = _checkpoint_latency(tuner)
+    if verbose:
+        print(f"checkpoint @ history {n_iterations}: "
+              f"save {1e3 * checkpoint['save_seconds']:.2f} ms, "
+              f"load {1e3 * checkpoint['load_seconds']:.2f} ms, "
+              f"{checkpoint['bytes'] / 1024:.0f} KiB")
+
     suggest = np.asarray(suggest_times)
     observe = np.asarray(observe_times)
     total = suggest + observe
@@ -111,7 +118,35 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
         "n_iterations": n_iterations,
         "python": platform.python_version(),
         "by_history": by_history,
+        "checkpoint": checkpoint,
         "total_session_seconds": float(total.sum()),
+    }
+
+
+def _checkpoint_latency(tuner, repeats: int = 5) -> Dict[str, float]:
+    """Median save/load wall-clock of a full-state checkpoint of ``tuner``
+    (called at the end of the session, i.e. at the largest history)."""
+    import tempfile
+    from pathlib import Path
+
+    from repro.core import OnlineTune
+
+    with tempfile.TemporaryDirectory(prefix="repro-bench-ckpt-") as tmp:
+        path = Path(tmp) / "bench.ckpt"
+        saves, loads = [], []
+        for _ in range(repeats):
+            t0 = time.perf_counter()
+            tuner.checkpoint(path)
+            saves.append(time.perf_counter() - t0)
+            t0 = time.perf_counter()
+            OnlineTune.resume(path)
+            loads.append(time.perf_counter() - t0)
+        size = path.stat().st_size
+    return {
+        "history": len(tuner.repo),
+        "save_seconds": float(np.median(saves)),
+        "load_seconds": float(np.median(loads)),
+        "bytes": int(size),
     }
 
 

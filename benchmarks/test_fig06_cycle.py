@@ -1,11 +1,15 @@
 """Figures 6(a)/7(a): the transactional-analytical daily cycle
-(TPC-C alternating with JOB)."""
+(TPC-C alternating with JOB).
+
+Sessions are independent per tuner, so the driver fans them across a
+:class:`~repro.harness.ParallelRunner` process pool via the registered
+``oltp_olap_cycle`` workload factory — bit-identical to the serial loop,
+just faster on multi-core hosts."""
 
 import numpy as np
 import pytest
 
-from repro.harness import format_cumulative_table, make_tuner, build_session
-from repro.workloads import AlternatingWorkload, JOBWorkload, TPCCWorkload
+from repro.harness import ParallelRunner, SessionSpec, format_cumulative_table
 
 from _common import emit, quick_iters
 
@@ -15,20 +19,13 @@ TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
 def _run():
     iters = quick_iters(400, 48)
     period = max(iters // 4, 6)
-    results = {}
-    for name in TUNERS:
-        tuner = make_tuner(name, tuner_space(), seed=0)
-        workload = AlternatingWorkload(
-            TPCCWorkload(seed=0, growth_iters=iters),
-            JOBWorkload(seed=0), period=period)
-        results[name] = build_session(tuner, workload, space=tuner.space,
-                                      n_iterations=iters, seed=0).run()
+    specs = [SessionSpec(tuner=name, workload="oltp_olap_cycle", seed=0,
+                         n_iterations=iters,
+                         workload_kwargs=(("period", period),
+                                          ("growth_iters", iters)))
+             for name in TUNERS]
+    results = ParallelRunner().run_named(specs)
     return results, iters, period
-
-
-def tuner_space():
-    from repro.knobs import mysql57_space
-    return mysql57_space()
 
 
 @pytest.mark.benchmark(group="fig06")

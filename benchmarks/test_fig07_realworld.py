@@ -1,9 +1,12 @@
-"""Figures 6(b)/7(b): tuning against the real-world diurnal trace."""
+"""Figures 6(b)/7(b): tuning against the real-world diurnal trace.
+
+Independent per-tuner sessions fan across the
+:class:`~repro.harness.ParallelRunner` process pool (bit-identical to
+the serial loop)."""
 
 import pytest
 
-from repro.harness import format_cumulative_table, run_tuners
-from repro.workloads import RealWorldTrace
+from repro.harness import format_cumulative_table, run_tuners_parallel
 
 from _common import emit, quick_iters
 
@@ -14,8 +17,8 @@ TUNERS = ["OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner"]
 def test_fig07_realworld(benchmark):
     iters = quick_iters(120, 40)
     results = benchmark.pedantic(
-        run_tuners,
-        args=(lambda seed: RealWorldTrace(seed=seed),),
+        run_tuners_parallel,
+        args=("realworld",),
         kwargs={"tuner_names": TUNERS, "n_iterations": iters, "seed": 0},
         rounds=1, iterations=1)
     text = format_cumulative_table(

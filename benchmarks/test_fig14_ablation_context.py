@@ -1,12 +1,14 @@
 """Figure 14: ablation of the context-space design — remove the workload
-feature, the data feature, or the clustering/model-selection strategy."""
+feature, the data feature, or the clustering/model-selection strategy.
+
+Each labeled variant is an independent OnlineTune session, so the driver
+fans them across the :class:`~repro.harness.ParallelRunner` pool via
+labeled :class:`~repro.harness.SessionSpec`\\ s."""
 
 import pytest
 
-from repro.core import OnlineTune, OnlineTuneConfig
-from repro.harness import build_session, format_cumulative_table
-from repro.knobs import mysql57_space
-from repro.workloads import JOBWorkload, TPCCWorkload
+from repro.core import OnlineTuneConfig
+from repro.harness import ParallelRunner, SessionSpec, format_cumulative_table
 
 from _common import emit, quick_iters
 
@@ -18,23 +20,20 @@ VARIANTS = {
 }
 
 
-def _run(workload_factory, iters):
-    results = {}
-    space = mysql57_space()
-    for label, cfg in VARIANTS.items():
-        tuner = OnlineTune(space, config=cfg, seed=0)
-        tuner.name = label
-        results[label] = build_session(tuner, workload_factory(0), space=space,
-                                       n_iterations=iters, seed=0).run()
-    return results
+def _run(workload, workload_kwargs, iters):
+    specs = [SessionSpec(tuner="OnlineTune", label=label, workload=workload,
+                         seed=0, n_iterations=iters, offset_seed=False,
+                         workload_kwargs=tuple(sorted(workload_kwargs.items())),
+                         onlinetune_config=cfg)
+             for label, cfg in VARIANTS.items()]
+    return ParallelRunner().run_named(specs)
 
 
 @pytest.mark.benchmark(group="fig14")
 def test_fig14a_tpcc(benchmark):
     iters = quick_iters(400, 35)
     results = benchmark.pedantic(
-        _run, args=(lambda seed: TPCCWorkload(seed=seed, growth_iters=iters),
-                    iters),
+        _run, args=("tpcc", {"growth_iters": iters}, iters),
         rounds=1, iterations=1)
     emit("fig14a_ablation_context_tpcc",
          format_cumulative_table(list(results.values()),
@@ -46,7 +45,7 @@ def test_fig14a_tpcc(benchmark):
 def test_fig14b_job(benchmark):
     iters = quick_iters(400, 25)
     results = benchmark.pedantic(
-        _run, args=(lambda seed: JOBWorkload(seed=seed), iters),
+        _run, args=("job", {}, iters),
         rounds=1, iterations=1)
     emit("fig14b_ablation_context_job",
          format_cumulative_table(list(results.values()),

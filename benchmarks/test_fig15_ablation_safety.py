@@ -1,12 +1,13 @@
 """Figure 15: ablation of the safe-exploration design — remove the white
-box, the black box, the subspace restriction, or all safety machinery."""
+box, the black box, the subspace restriction, or all safety machinery.
+
+Labeled variant sessions run on the
+:class:`~repro.harness.ParallelRunner` process pool."""
 
 import pytest
 
-from repro.core import OnlineTune, OnlineTuneConfig
-from repro.harness import build_session, format_cumulative_table
-from repro.knobs import mysql57_space
-from repro.workloads import JOBWorkload, TwitterWorkload
+from repro.core import OnlineTuneConfig
+from repro.harness import ParallelRunner, SessionSpec, format_cumulative_table
 
 from _common import emit, quick_iters
 
@@ -19,22 +20,18 @@ VARIANTS = {
 }
 
 
-def _run(workload_factory, iters):
-    results = {}
-    space = mysql57_space()
-    for label, cfg in VARIANTS.items():
-        tuner = OnlineTune(space, config=cfg, seed=0)
-        tuner.name = label
-        results[label] = build_session(tuner, workload_factory(0), space=space,
-                                       n_iterations=iters, seed=0).run()
-    return results
+def _run(workload, iters):
+    specs = [SessionSpec(tuner="OnlineTune", label=label, workload=workload,
+                         seed=0, n_iterations=iters, offset_seed=False, onlinetune_config=cfg)
+             for label, cfg in VARIANTS.items()]
+    return ParallelRunner().run_named(specs)
 
 
 @pytest.mark.benchmark(group="fig15")
 def test_fig15a_twitter(benchmark):
     iters = quick_iters(400, 35)
     results = benchmark.pedantic(
-        _run, args=(lambda seed: TwitterWorkload(seed=seed), iters),
+        _run, args=("twitter", iters),
         rounds=1, iterations=1)
     emit("fig15a_ablation_safety_twitter",
          format_cumulative_table(list(results.values()),
@@ -47,7 +44,7 @@ def test_fig15a_twitter(benchmark):
 def test_fig15b_job(benchmark):
     iters = quick_iters(400, 25)
     results = benchmark.pedantic(
-        _run, args=(lambda seed: JOBWorkload(seed=seed), iters),
+        _run, args=("job", iters),
         rounds=1, iterations=1)
     emit("fig15b_ablation_safety_job",
          format_cumulative_table(list(results.values()),

@@ -1,12 +1,12 @@
 """Figure 16: sensitivity to the tuning-interval size (5 s ... 12 min) on
-Twitter.  Shorter intervals adapt faster but suffer measurement noise."""
+Twitter.  Shorter intervals adapt faster but suffer measurement noise.
+
+Each interval size is an independent OnlineTune session, fanned across
+the :class:`~repro.harness.ParallelRunner` process pool."""
 
 import pytest
 
-from repro.core import OnlineTune
-from repro.harness import build_session
-from repro.knobs import mysql57_space
-from repro.workloads import TwitterWorkload
+from repro.harness import ParallelRunner, SessionSpec
 
 from _common import emit, quick_iters
 
@@ -15,19 +15,25 @@ INTERVALS = {"I-5S": 5.0, "I-1M": 60.0, "I-3M": 180.0, "I-6M": 360.0,
 
 
 def _run(total_minutes):
-    space = mysql57_space()
-    lines = [f"fig16 Twitter, fixed wall-clock budget {total_minutes} min"]
-    stats = {}
+    specs = []
     for label, seconds in INTERVALS.items():
         iters = max(int(total_minutes * 60 / seconds), 8)
-        tuner = OnlineTune(space, seed=0)
-        result = build_session(tuner, TwitterWorkload(seed=0), space=space,
-                               n_iterations=iters, seed=0,
-                               interval_seconds=seconds).run()
+        specs.append(SessionSpec(tuner="OnlineTune", label=label,
+                                 workload="twitter", seed=0,
+                                 n_iterations=iters,
+                                 interval_seconds=seconds,
+                                 offset_seed=False))
+    results = ParallelRunner().run_named(specs)
+    lines = [f"fig16 Twitter, fixed wall-clock budget {total_minutes} min"]
+    stats = {}
+    for spec in specs:
+        label, seconds = spec.label, spec.interval_seconds
+        result = results[label]
         cum = result.cumulative_improvement() * seconds  # txns gained
-        lines.append(f"{label:<6} iters={iters:4d} cum_improv_txns={cum:.3e} "
+        lines.append(f"{label:<6} iters={spec.n_iterations:4d} "
+                     f"cum_improv_txns={cum:.3e} "
                      f"#Unsafe={result.n_unsafe} #Failure={result.n_failures}")
-        stats[label] = (cum, result.n_unsafe, iters)
+        stats[label] = (cum, result.n_unsafe, spec.n_iterations)
     return "\n".join(lines), stats
 
 

@@ -1,27 +1,24 @@
 """Figure 17: starting from the inferior MySQL vendor default instead of
-the DBA default (128 MB vs 12 GB buffer pool)."""
+the DBA default (128 MB vs 12 GB buffer pool).
 
-import numpy as np
+The two reference-start sessions are independent and run on the
+:class:`~repro.harness.ParallelRunner` process pool."""
+
 import pytest
 
-from repro.core import OnlineTune
-from repro.harness import build_session
-from repro.knobs import mysql57_space
-from repro.workloads import YCSBWorkload
+from repro.harness import ParallelRunner, SessionSpec
 
 from _common import emit, quick_iters
 
 
 def _run():
-    space = mysql57_space()
     iters = quick_iters(400, 60)
-    results = {}
-    for label, reference in (("MySQL-default-start", "mysql"),
-                             ("DBA-default-start", "dba")):
-        tuner = OnlineTune(space, seed=0)
-        results[label] = build_session(tuner, YCSBWorkload(seed=0),
-                                       space=space, reference=reference,
-                                       n_iterations=iters, seed=0).run()
+    specs = [SessionSpec(tuner="OnlineTune", label=label, workload="ycsb",
+                         seed=0, n_iterations=iters, reference=reference,
+                         offset_seed=False)
+             for label, reference in (("MySQL-default-start", "mysql"),
+                                      ("DBA-default-start", "dba"))]
+    results = ParallelRunner().run_named(specs)
     lines = [f"fig17 YCSB, {iters} iters (improvement is vs each run's own "
              f"starting default)"]
     quarter = max(iters // 4, 1)

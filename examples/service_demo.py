@@ -1,0 +1,26 @@
+"""Tuning-as-a-service demo: durable, multi-tenant, knowledge-sharing.
+
+Run from the repository root::
+
+    PYTHONPATH=src python examples/service_demo.py
+
+Shows the three service-layer capabilities end to end:
+
+1. **Batched multi-tenant tuning** — eight tenants tuned concurrently on
+   the process pool, each persisted to its own checkpoint namespace.
+2. **Crash recovery** — an interactive tenant checkpointed mid-session,
+   "crashed", resumed from disk, and proven to emit the identical next
+   suggestion.
+3. **Cross-session knowledge transfer** — a brand-new tenant warm-started
+   from its nearest indexed neighbors before its first suggestion.
+
+All heavy lifting lives in :mod:`repro.service.cli`; this wrapper keeps
+the example runnable with zero arguments.
+"""
+
+import sys
+
+from repro.service.cli import main
+
+if __name__ == "__main__":
+    sys.exit(main(sys.argv[1:]))

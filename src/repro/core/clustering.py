@@ -87,8 +87,11 @@ class ClusteredModels:
 
     def _new_model(self) -> ContextualGP:
         kernel = self.kernel_factory() if self.kernel_factory else None
+        # cluster models refit on the doubling schedule, the case the
+        # bounded warm hyperopt budget is designed for
         return ContextualGP(self.config_dim, self.context_dim,
-                            kernel=kernel, beta=self.beta)
+                            kernel=kernel, beta=self.beta,
+                            warm_start_refits=True)
 
     def _sync_indices(self) -> None:
         """Rebuild the per-cluster index lists if ``labels`` was mutated

@@ -65,6 +65,26 @@ class ContextFeaturizer:
             d += DATA_FEATURE_DIM
         return max(d, 1)
 
+    @property
+    def comparable_mask(self) -> np.ndarray:
+        """Which context dimensions are comparable *across* featurizers.
+
+        The arrival rate and the optimizer data features have fixed
+        semantics; the PCA-compacted query-embedding components live in
+        each featurizer's own learned space (per-tenant LSTM + PCA) and
+        must not be compared between tuners — the service knowledge base
+        uses this mask for cross-session signature distances.
+        """
+        parts: List[np.ndarray] = []
+        if self.use_workload:
+            parts.append(np.array([True]))
+            parts.append(np.zeros(self.embedding_components, dtype=bool))
+        if self.use_data:
+            parts.append(np.ones(DATA_FEATURE_DIM, dtype=bool))
+        if not parts:
+            return np.ones(1, dtype=bool)
+        return np.concatenate(parts)
+
     # -- training -----------------------------------------------------------
     def _keyword_histogram(self, queries: Sequence[str]) -> np.ndarray:
         """Fallback composition feature before the LSTM is trained."""

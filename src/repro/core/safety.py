@@ -89,9 +89,11 @@ class SafetyAssessor:
 
         whitebox = np.ones(n, dtype=bool)
         if self.use_whitebox and rule_ctx is not None:
-            configs = self.space.from_unit_batch(candidates)
-            for i, config in enumerate(configs):
-                whitebox[i] = self.rulebook.satisfies(config, rule_ctx)
+            # columnar fast path: one array op per rule instead of
+            # rules x candidates Python dispatches; row-identical to
+            # calling rulebook.satisfies per decoded candidate
+            table = self.space.decode_columns(candidates)
+            whitebox = self.rulebook.satisfies_batch(table, rule_ctx, n)
 
         return SafetyAssessment(
             candidates=candidates,

@@ -12,12 +12,12 @@ from __future__ import annotations
 
 import time
 from dataclasses import dataclass, field
-from typing import Dict, Optional
+from typing import Dict, Iterable, Optional
 
 import numpy as np
 
 from ..baselines.base import BaseTuner, Feedback, SuggestInput
-from ..gp.kernels import additive_contextual_kernel
+from ..gp.kernels import AdditiveKernelFactory
 from ..knobs.knob import Configuration, KnobSpace
 from ..knobs.mysql_knobs import INSTANCE_MEMORY_BYTES, INSTANCE_VCPUS
 from ..rules.rule import RuleBook, RuleContext
@@ -76,8 +76,8 @@ class OnlineTune(BaseTuner):
                                    config_dim=space.dim)
         self.models = ClusteredModels(
             config_dim=space.dim, context_dim=self.featurizer.dim,
-            kernel_factory=lambda: additive_contextual_kernel(
-                space.dim, self.featurizer.dim),
+            kernel_factory=AdditiveKernelFactory(space.dim,
+                                                 self.featurizer.dim),
             eps=cfg.dbscan_eps, min_samples=cfg.dbscan_min_samples,
             max_cluster_size=cfg.max_cluster_size,
             nmi_threshold=cfg.nmi_threshold,
@@ -100,6 +100,59 @@ class OnlineTune(BaseTuner):
     def start(self, initial_config: Configuration,
               initial_performance: float) -> None:
         self._initial_vec = self.space.to_unit(initial_config)
+
+    # -- durability (service layer) -----------------------------------------
+    def checkpoint(self, path, metadata: Optional[Dict[str, object]] = None):
+        """Serialize the complete tuner state to a versioned checkpoint.
+
+        Everything that shapes future suggestions is captured — the
+        columnar repository, per-cluster GP models (Cholesky factors
+        included), subspace and rule-book state, the featurizer (trained
+        embedder + PCA), pending-iteration scratch state, and the RNG —
+        so :meth:`resume` continues the session bit-identically.
+        """
+        from ..service.checkpoint import save_checkpoint
+        meta = {
+            "tuner_class": type(self).__name__,
+            "n_observations": len(self.repo),
+            "config_dim": self.space.dim,
+            "context_dim": self.featurizer.dim,
+            "seed": self.seed,
+        }
+        if metadata:
+            meta.update(metadata)
+        return save_checkpoint(path, self, metadata=meta)
+
+    @classmethod
+    def resume(cls, path) -> "OnlineTune":
+        """Rehydrate a tuner from :meth:`checkpoint` output.
+
+        The returned instance emits exactly the suggestions the original
+        would have produced had the process never stopped.
+        """
+        from ..service.checkpoint import CheckpointError, load_checkpoint
+        tuner, _meta = load_checkpoint(path)
+        if not isinstance(tuner, cls):
+            raise CheckpointError(
+                f"checkpoint holds a {type(tuner).__name__}, not a {cls.__name__}")
+        return tuner
+
+    def seed_observations(self, observations: Iterable[Observation]) -> int:
+        """Warm-start: ingest transferred observations before tuning starts.
+
+        Used by the service knowledge base to seed a new tenant from its
+        nearest-neighbor workloads.  Must be called before the first
+        :meth:`suggest`; seeded history skips the cold-start default
+        recommendation and gives the safety model a head start.
+        """
+        if len(self.repo) > 0:
+            raise RuntimeError("seed_observations() must run before tuning starts")
+        count = 0
+        for obs in observations:
+            self.repo.add(obs)
+            self.models.add_observation(obs.context, self.repo)
+            count += 1
+        return count
 
     def _default_vec(self) -> np.ndarray:
         if self._initial_vec is None:

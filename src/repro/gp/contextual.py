@@ -30,15 +30,19 @@ class ContextualGP:
         Joint kernel; defaults to the paper's additive Matérn+linear kernel.
     beta:
         Confidence multiplier for the bounds (Srinivas et al. style).
+    warm_start_refits:
+        Forwarded to :class:`~repro.gp.gpr.GaussianProcess`: bounded
+        warm hyperparameter refits for doubling-schedule callers.
     """
 
     def __init__(self, config_dim: int, context_dim: int,
                  kernel: Optional[Kernel] = None, noise: float = 1e-2,
-                 beta: float = 2.0) -> None:
+                 beta: float = 2.0, warm_start_refits: bool = False) -> None:
         self.config_dim = int(config_dim)
         self.context_dim = int(context_dim)
         kernel = kernel or additive_contextual_kernel(config_dim, context_dim)
-        self.gp = GaussianProcess(kernel=kernel, noise=noise)
+        self.gp = GaussianProcess(kernel=kernel, noise=noise,
+                                  warm_start_refits=warm_start_refits)
         self.beta = float(beta)
 
     # -- data handling --------------------------------------------------

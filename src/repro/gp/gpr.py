@@ -39,6 +39,25 @@ _REFACTOR_EVERY = 128
 #: refactorization takes over
 _MIN_PIVOT_RATIO = 1e-10
 
+#: L-BFGS budget for a *cold* hyperparameter optimization (no previous
+#: optimum) and for a *warm* refit started from the last optimum.  Under
+#: the doubling schedule successive refits move hyperparameters very
+#: little, so the warm budget can be a fraction of the cold one.
+_COLD_MAXITER = 60
+_WARM_MAXITER = 25
+
+#: the bounded warm budget only applies at fits of at least this many
+#: observations: below it each likelihood evaluation is cheap and early
+#: refits still move hyperparameters a lot (the search is effectively
+#: re-shaping the model), so small refits keep the full budget
+_WARM_MIN_N = 96
+
+#: warm refits additionally stop when one L-BFGS step improves the
+#: negative log marginal likelihood by less than this relative amount —
+#: the "bounded by marginal-likelihood improvement" rule (scipy's ftol:
+#: stop when (f_k - f_{k+1}) <= ftol * max(|f_k|, |f_{k+1}|, 1)).
+_WARM_FTOL = 1e-6
+
 
 class GaussianProcess:
     """GP regression model.
@@ -57,16 +76,25 @@ class GaussianProcess:
         Full refactorizations are forced after this many incremental
         appends so floating-point drift in the updated factor stays
         bounded.
+    warm_start_refits:
+        Opt in to the bounded warm-refit budget: once hyperparameters
+        have been optimized, later large (``n >= 96``) refits run a
+        short improvement-gated L-BFGS from the previous optimum instead
+        of the full search.  Off by default so baseline tuners that
+        refit frequently keep their original search behavior; the
+        clustered doubling-schedule path enables it.
     """
 
     def __init__(self, kernel: Optional[Kernel] = None, noise: float = 1e-2,
                  normalize_y: bool = True, optimize_noise: bool = True,
-                 refactor_every: int = _REFACTOR_EVERY) -> None:
+                 refactor_every: int = _REFACTOR_EVERY,
+                 warm_start_refits: bool = False) -> None:
         self.kernel = kernel or Matern52Kernel()
         self.noise = float(noise)
         self.normalize_y = normalize_y
         self.optimize_noise = optimize_noise
         self.refactor_every = int(refactor_every)
+        self.warm_start_refits = bool(warm_start_refits)
         self._n = 0
         self._dim: Optional[int] = None
         self._Xbuf: Optional[np.ndarray] = None     # raw inputs
@@ -79,6 +107,9 @@ class GaussianProcess:
         self._alpha: Optional[np.ndarray] = None
         self._diag_add = self.noise + 2.0 * _JITTER  # diagonal used in _Lbuf
         self._appends_since_refactor = 0
+        self.last_opt_warm = False
+        self.last_opt_nit = 0
+        self.hyperopt_count = 0
 
     # -- columnar views ------------------------------------------------------
     @property
@@ -135,6 +166,25 @@ class GaussianProcess:
         Lbuf[:self._n, :self._n] = self._Lbuf[:self._n, :self._n]
         Vbuf[:self._n, :self._n] = self._Vbuf[:self._n, :self._n]
         self._Xbuf, self._ybuf, self._Lbuf, self._Vbuf = Xbuf, ybuf, Lbuf, Vbuf
+
+    # -- serialization -------------------------------------------------------
+    def __getstate__(self):
+        """Pickle with capacity buffers trimmed to their logical size.
+
+        The geometric buffers can be 2x oversized in each dimension
+        (4x bytes for the square factors); everything past ``_n`` is
+        uninitialized scratch.  All math runs on ``[:n]`` views, so a
+        resumed model is numerically indistinguishable — it just
+        re-grows capacity on its next append.
+        """
+        state = self.__dict__.copy()
+        n = self._n
+        if self._Xbuf is not None and n < self._Xbuf.shape[0]:
+            state["_Xbuf"] = self._Xbuf[:n].copy()
+            state["_ybuf"] = self._ybuf[:n].copy()
+            state["_Lbuf"] = self._Lbuf[:n, :n].copy()
+            state["_Vbuf"] = self._Vbuf[:n, :n].copy()
+        return state
 
     # -- fitting -----------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray, optimize: bool = True,
@@ -212,17 +262,35 @@ class GaussianProcess:
     def _optimize_hyperparameters(self, restarts: int, seed: int) -> None:
         rng = np.random.default_rng(seed)
         bounds = self._bounds()
-        starts = [self._pack()]
+        current = self._pack()
+        # warm start: fit() leaves the kernel at the last optimum, so on
+        # a doubling-schedule refit ``current`` already is the previous
+        # optimum — an excellent x0 that needs far fewer
+        # (improvement-bounded) iterations.  Only large fits get the
+        # bounded budget — they are the O(n^3) refits worth saving;
+        # small ones keep the full search
+        warm = (self.warm_start_refits and self.hyperopt_count > 0
+                and self._n >= _WARM_MIN_N)
+        starts = [current]
         for _ in range(max(0, restarts - 1)):
             starts.append(np.array([rng.uniform(lo, hi) for lo, hi in bounds]))
-        best_val, best_packed = np.inf, self._pack()
-        for start in starts:
+        best_val, best_packed = np.inf, current
+        nit = 0
+        for i, start in enumerate(starts):
+            if warm and i == 0:
+                options = {"maxiter": _WARM_MAXITER, "ftol": _WARM_FTOL}
+            else:
+                options = {"maxiter": _COLD_MAXITER}
             result = minimize(self._neg_log_marginal, start, jac=True,
                               bounds=bounds, method="L-BFGS-B",
-                              options={"maxiter": 60})
+                              options=options)
+            nit += int(result.nit)
             if result.fun < best_val:
                 best_val, best_packed = float(result.fun), result.x
         self._unpack(best_packed)
+        self.last_opt_warm = warm
+        self.last_opt_nit = nit
+        self.hyperopt_count += 1
 
     def _factorize(self) -> None:
         X = self._X

@@ -27,6 +27,7 @@ __all__ = [
     "ColumnSliceKernel",
     "additive_contextual_kernel",
     "product_contextual_kernel",
+    "AdditiveKernelFactory",
     "ProductKernel",
 ]
 
@@ -301,6 +302,22 @@ def additive_contextual_kernel(config_dim: int, context_dim: int) -> Kernel:
     context_part = ColumnSliceKernel(LinearKernel(),
                                      slice(config_dim, config_dim + context_dim))
     return SumKernel([config_part, context_part])
+
+
+class AdditiveKernelFactory:
+    """Picklable zero-argument factory for the paper's additive kernel.
+
+    :class:`~repro.core.clustering.ClusteredModels` needs a fresh kernel
+    per cluster model; a lambda closure would make the whole tuner
+    unpicklable, which the checkpoint/service layer depends on.
+    """
+
+    def __init__(self, config_dim: int, context_dim: int) -> None:
+        self.config_dim = int(config_dim)
+        self.context_dim = int(context_dim)
+
+    def __call__(self) -> Kernel:
+        return additive_contextual_kernel(self.config_dim, self.context_dim)
 
 
 def product_contextual_kernel(config_dim: int, context_dim: int) -> Kernel:

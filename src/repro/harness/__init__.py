@@ -28,9 +28,13 @@ from .reporting import (
 from .runner import (
     IterationRecord,
     ParallelRunner,
+    SessionOutcome,
     SessionResult,
     SessionSpec,
     TuningSession,
+    build_session_from_spec,
+    run_session_spec,
+    run_session_spec_detailed,
 )
 
 __all__ = [
@@ -38,7 +42,11 @@ __all__ = [
     "SessionResult",
     "IterationRecord",
     "SessionSpec",
+    "SessionOutcome",
     "ParallelRunner",
+    "build_session_from_spec",
+    "run_session_spec",
+    "run_session_spec_detailed",
     "SafetyStats",
     "StaticStats",
     "safety_stats",

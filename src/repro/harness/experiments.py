@@ -54,12 +54,26 @@ __all__ = [
 
 TUNER_NAMES = ("OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner")
 
+
+def oltp_olap_cycle(seed: int = 0, period: int = 100,
+                    growth_iters: int = 400) -> Workload:
+    """The Figure 6(a) daily cycle: TPC-C alternating with JOB.
+
+    Registered as a factory so :class:`SessionSpec`-driven (parallel)
+    runs can reference it by name.
+    """
+    return AlternatingWorkload(
+        TPCCWorkload(seed=seed, growth_iters=growth_iters),
+        JOBWorkload(seed=seed), period=period)
+
+
 WORKLOAD_FACTORIES: Dict[str, Callable[..., Workload]] = {
     "tpcc": TPCCWorkload,
     "twitter": TwitterWorkload,
     "ycsb": YCSBWorkload,
     "job": JOBWorkload,
     "realworld": RealWorldTrace,
+    "oltp_olap_cycle": oltp_olap_cycle,
 }
 
 SPACE_FACTORIES: Dict[str, Callable[[], KnobSpace]] = {
@@ -78,14 +92,18 @@ def all_tuner_names() -> List[str]:
 
 
 def make_tuner(name: str, space: KnobSpace, seed: int = 0,
-               onlinetune_config: Optional[OnlineTuneConfig] = None) -> BaseTuner:
+               onlinetune_config: Optional[OnlineTuneConfig] = None,
+               offset_seed: bool = True) -> BaseTuner:
     """Factory for the paper's tuners by name.
 
     The seed is offset per tuner name so tuners sharing internals (e.g.
     BO and ResTune both sample random acquisition candidates) do not
     produce identical trajectories under the same experiment seed.
+    Single-tuner drivers (the ablation/sensitivity figures) pass
+    ``offset_seed=False`` to use the experiment seed verbatim.
     """
-    seed = seed + sum(ord(c) for c in name) * 1009
+    if offset_seed:
+        seed = seed + sum(ord(c) for c in name) * 1009
     if name == "OnlineTune":
         return OnlineTune(space, config=onlinetune_config, seed=seed)
     if name == "BO":

@@ -22,7 +22,9 @@ from ..core.config import OnlineTuneConfig
 from ..dbms.engine import SimulatedMySQL
 
 __all__ = ["IterationRecord", "SessionResult", "TuningSession",
-           "SessionSpec", "ParallelRunner"]
+           "SessionSpec", "SessionOutcome", "ParallelRunner",
+           "build_session_from_spec", "run_session_spec",
+           "run_session_spec_detailed"]
 
 #: relative slack below tau before a recommendation is counted unsafe;
 #: absorbs measurement noise exactly like a production SLA guardband.
@@ -184,10 +186,21 @@ class SessionSpec:
     space: str = "mysql57"           # key into experiments.SPACE_FACTORIES
     workload_kwargs: Tuple[Tuple[str, object], ...] = ()
     onlinetune_config: Optional[OnlineTuneConfig] = None
+    label: Optional[str] = None      # result key / display name; the
+                                     # ablation drivers run several
+                                     # OnlineTune variants side by side
+    offset_seed: bool = True         # False: use the seed verbatim
+                                     # (single-tuner figure drivers)
+
+    @property
+    def name(self) -> str:
+        return self.label or self.tuner
 
 
-def run_session_spec(spec: SessionSpec) -> SessionResult:
-    """Build and run one session from its spec (top-level: picklable)."""
+def build_session_from_spec(spec: SessionSpec) -> TuningSession:
+    """Rebuild the fully-wired session a spec describes (top-level:
+    picklable, and the single construction path serial and pooled runs
+    share — which is what makes them bit-identical)."""
     from .experiments import (
         SPACE_FACTORIES,
         WORKLOAD_FACTORIES,
@@ -196,15 +209,44 @@ def run_session_spec(spec: SessionSpec) -> SessionResult:
     )
     space = SPACE_FACTORIES[spec.space]()
     tuner = make_tuner(spec.tuner, space, seed=spec.seed,
-                       onlinetune_config=spec.onlinetune_config)
+                       onlinetune_config=spec.onlinetune_config,
+                       offset_seed=spec.offset_seed)
+    if spec.label:
+        tuner.name = spec.label
     workload = WORKLOAD_FACTORIES[spec.workload](
         seed=spec.seed, **dict(spec.workload_kwargs))
-    session = build_session(tuner, workload, space=space,
-                            reference=spec.reference,
-                            n_iterations=spec.n_iterations,
-                            interval_seconds=spec.interval_seconds,
-                            seed=spec.seed, noise_std=spec.noise_std)
-    return session.run()
+    return build_session(tuner, workload, space=space,
+                         reference=spec.reference,
+                         n_iterations=spec.n_iterations,
+                         interval_seconds=spec.interval_seconds,
+                         seed=spec.seed, noise_std=spec.noise_std)
+
+
+def run_session_spec(spec: SessionSpec) -> SessionResult:
+    """Build and run one session from its spec (top-level: picklable)."""
+    return build_session_from_spec(spec).run()
+
+
+@dataclass
+class SessionOutcome:
+    """A session's result plus the tuner's final state.
+
+    The service layer's batched stepping uses this to persist each
+    tenant's post-session tuner as a checkpoint: the tuner rides back
+    from the worker process by pickle, exactly the bytes a checkpoint
+    would hold.
+    """
+
+    spec: SessionSpec
+    result: SessionResult
+    tuner: BaseTuner
+
+
+def run_session_spec_detailed(spec: SessionSpec) -> SessionOutcome:
+    """Like :func:`run_session_spec` but also returns the final tuner."""
+    session = build_session_from_spec(spec)
+    result = session.run()
+    return SessionOutcome(spec=spec, result=result, tuner=session.tuner)
 
 
 class ParallelRunner:
@@ -227,18 +269,30 @@ class ParallelRunner:
             max_workers = int(env) if env else (os.cpu_count() or 1)
         self.max_workers = max(1, int(max_workers))
 
-    def run(self, specs: Iterable[SessionSpec]) -> List[SessionResult]:
-        specs = list(specs)
+    def _map(self, fn, specs: List[SessionSpec]) -> List:
         if self.max_workers == 1 or len(specs) <= 1:
-            return [run_session_spec(spec) for spec in specs]
+            return [fn(spec) for spec in specs]
         workers = min(self.max_workers, len(specs))
         with ProcessPoolExecutor(max_workers=workers) as pool:
-            return list(pool.map(run_session_spec, specs))
+            return list(pool.map(fn, specs))
+
+    def run(self, specs: Iterable[SessionSpec]) -> List[SessionResult]:
+        return self._map(run_session_spec, list(specs))
+
+    def run_detailed(self, specs: Iterable[SessionSpec]) -> List[SessionOutcome]:
+        """Run specs returning results *and* final tuner states.
+
+        Heavier than :meth:`run` (each tuner's full model state is
+        pickled back from its worker); used by the service layer to
+        checkpoint tenants after a batch step.
+        """
+        return self._map(run_session_spec_detailed, list(specs))
 
     def run_named(self, specs: Sequence[SessionSpec]) -> Dict[str, SessionResult]:
-        """Run specs and key the results by tuner name (names must be
-        unique across the batch)."""
-        names = [spec.tuner for spec in specs]
+        """Run specs and key the results by label (or tuner name when no
+        label is set); keys must be unique across the batch."""
+        names = [spec.name for spec in specs]
         if len(set(names)) != len(names):
-            raise ValueError("duplicate tuner names; use run() instead")
+            raise ValueError("duplicate session names; label the specs or "
+                             "use run() instead")
         return dict(zip(names, self.run(specs)))

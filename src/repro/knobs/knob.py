@@ -255,20 +255,20 @@ class KnobSpace:
                 f"vector shape {vector.shape} does not match space dim {len(self.knobs)}")
         return {knob.name: knob.from_unit(u) for knob, u in zip(self.knobs, vector)}
 
-    def from_unit_batch(self, vectors: np.ndarray) -> List[Configuration]:
-        """Vectorized :meth:`from_unit` over a batch of unit vectors.
+    def decode_columns(self, vectors: np.ndarray) -> Dict[str, object]:
+        """Columnar decode: knob name -> column of concrete values.
 
-        Decodes each knob's column with numpy in one shot instead of one
-        Python ``math`` call per (candidate, knob) pair — the difference
-        between O(n*m) interpreter dispatches and O(m) array ops on the
-        candidate-assessment hot path.
+        Numeric knobs decode to numpy arrays (``int64``/``float64``);
+        enum and custom knobs decode to plain lists of their concrete
+        objects.  This is the table the vectorized white-box rules
+        consume — one array op per knob instead of one Python call per
+        (candidate, knob) pair.
         """
         vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
         if vectors.shape[1] != len(self.knobs):
             raise ValueError(
                 f"batch shape {vectors.shape} does not match space dim {len(self.knobs)}")
-        n = vectors.shape[0]
-        columns: List[List[object]] = []
+        columns: Dict[str, object] = {}
         for i, knob in enumerate(self.knobs):
             u = np.clip(vectors[:, i], 0.0, 1.0)
             if isinstance(knob, (IntegerKnob, FloatKnob)):
@@ -279,17 +279,33 @@ class KnobSpace:
                     raw = knob.low + u * (knob.high - knob.low)
                 if isinstance(knob, IntegerKnob):
                     vals = np.clip(np.rint(raw), knob.low, knob.high)
-                    columns.append(vals.astype(np.int64).tolist())
+                    columns[knob.name] = vals.astype(np.int64)
                 else:
-                    columns.append(np.clip(raw, knob.low, knob.high).tolist())
+                    columns[knob.name] = np.clip(raw, knob.low, knob.high)
             elif isinstance(knob, EnumKnob):
                 idx = np.rint(u * (len(knob.choices) - 1)).astype(np.int64)
                 choices = knob.choices
-                columns.append([choices[j] for j in idx.tolist()])
+                columns[knob.name] = [choices[j] for j in idx.tolist()]
             else:
-                columns.append([knob.from_unit(v) for v in u])
+                columns[knob.name] = [knob.from_unit(v) for v in u]
+        return columns
+
+    def from_unit_batch(self, vectors: np.ndarray) -> List[Configuration]:
+        """Vectorized :meth:`from_unit` over a batch of unit vectors.
+
+        Decodes each knob's column with numpy in one shot (see
+        :meth:`decode_columns`) and re-assembles per-candidate dicts of
+        plain Python values.
+        """
+        vectors = np.atleast_2d(np.asarray(vectors, dtype=float))
+        columns = self.decode_columns(vectors)
+        n = vectors.shape[0]
+        rows: List[List[object]] = []
+        for knob in self.knobs:
+            col = columns[knob.name]
+            rows.append(col.tolist() if isinstance(col, np.ndarray) else col)
         names = self.names
-        return [dict(zip(names, row)) for row in zip(*columns)] if n else []
+        return [dict(zip(names, row)) for row in zip(*rows)] if n else []
 
     def clip_config(self, config: Mapping[str, object]) -> Configuration:
         return {k.name: k.clip(config.get(k.name, k.default)) for k in self.knobs}

@@ -63,6 +63,21 @@ class Dense:
     def params(self) -> List[np.ndarray]:
         return [self.W, self.b]
 
+    # activation closures are rebuilt from the name so layers (and the
+    # tuners built on them) stay picklable for checkpoints / process
+    # pools; the forward-pass caches are scratch and not worth shipping
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state.pop("_act", None)
+        state.pop("_dact", None)
+        state["_x"] = None
+        state["_a"] = None
+        return state
+
+    def __setstate__(self, state) -> None:
+        self.__dict__.update(state)
+        self._act, self._dact = _activation(self.activation)
+
 
 class Adam:
     """Adam optimizer over a flat list of parameter arrays."""

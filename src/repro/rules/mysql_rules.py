@@ -18,11 +18,23 @@ from __future__ import annotations
 
 from typing import Optional, Tuple
 
+import numpy as np
+
 from ..knobs.knob import Configuration, KnobSpace
 from ..knobs.mysql_knobs import GIB, MIB
-from .rule import RangeRule, RuleBook, RuleContext
+from .rule import CandidateTable, RangeRule, RuleBook, RuleContext
 
 __all__ = ["mysql_rulebook", "suggest_config", "total_memory_demand"]
+
+
+def _col(table: CandidateTable, name: str, default: float = 0.0):
+    """A knob column as float64 (scalar ``default`` when absent).
+
+    Mirrors ``float(config.get(name, default))`` in the scalar bound
+    functions; int64 -> float64 conversion is exact for knob magnitudes.
+    """
+    col = table.get(name)
+    return default if col is None else np.asarray(col, dtype=float)
 
 
 def total_memory_demand(config: Configuration, ctx: RuleContext) -> float:
@@ -101,6 +113,72 @@ def _max_connections_bound(config: Configuration, ctx: RuleContext) -> Tuple[flo
     return (float(demand), float("inf"))
 
 
+# -- vectorized twins (columnar candidate tables) ---------------------------
+# Each mirrors its scalar bound function operation-for-operation (same
+# order of float additions and the same branch structure) so the batch
+# mask is bit-identical to evaluating the scalar rule per candidate.
+
+def _total_memory_demand_batch(table: CandidateTable, ctx: RuleContext):
+    sessions = 64 if not ctx.is_olap else 16
+    per_session = (_col(table, "sort_buffer_size")
+                   + _col(table, "join_buffer_size")
+                   + _col(table, "read_buffer_size")
+                   + _col(table, "read_rnd_buffer_size"))
+    heap = np.maximum(_col(table, "max_heap_table_size"),
+                      _col(table, "tmp_table_size"))
+    return (_col(table, "innodb_buffer_pool_size")
+            + _col(table, "innodb_log_buffer_size")
+            + sessions * per_session + heap)
+
+
+def _buffer_pool_bound_batch(table: CandidateTable, ctx: RuleContext):
+    return (0.0, 0.80 * ctx.memory_bytes, None)
+
+
+def _memory_cap_bound_batch(table: CandidateTable, ctx: RuleContext):
+    other = (_total_memory_demand_batch(table, ctx)
+             - _col(table, "innodb_buffer_pool_size"))
+    headroom = 0.92 * ctx.memory_bytes - other
+    return (0.0, np.maximum(headroom, 128 * MIB), None)
+
+
+def _thread_concurrency_bound_batch(table: CandidateTable, ctx: RuleContext):
+    value = _col(table, "innodb_thread_concurrency")
+    active = np.asarray(value != 0)   # 0 = unlimited, always acceptable
+    return (ctx.vcpus / 2.0, float("inf"), active)
+
+
+def _session_buffer_bound_batch(table: CandidateTable, ctx: RuleContext):
+    return (32 * 1024, 16 * MIB, None)
+
+
+def _join_buffer_bound_batch(table: CandidateTable, ctx: RuleContext):
+    joins_without_index = ctx.metrics.get("joins_without_index_per_day", 0.0)
+    if joins_without_index > 250.0:
+        return (1 * MIB, 64 * MIB, None)
+    return (128 * 1024, 8 * MIB, None)
+
+
+def _tmp_heap_parity_batch(table: CandidateTable, ctx: RuleContext):
+    heap = _col(table, "max_heap_table_size", default=16 * MIB)
+    return (heap / 4.0, heap * 4.0, None)
+
+
+def _log_buffer_bound_batch(table: CandidateTable, ctx: RuleContext):
+    if ctx.metrics.get("qps_insert", 0.0) + ctx.metrics.get("qps_update", 0.0) > 100.0:
+        return (16 * MIB, float("inf"), None)
+    return None
+
+
+def _dirty_pct_bound_batch(table: CandidateTable, ctx: RuleContext):
+    return (10.0, 95.0, None)
+
+
+def _max_connections_bound_batch(table: CandidateTable, ctx: RuleContext):
+    demand = 16 if ctx.is_olap else 64
+    return (float(demand), float("inf"), None)
+
+
 def mysql_rulebook() -> RuleBook:
     """The default white-box rule set consulted by OnlineTune."""
     return RuleBook([
@@ -108,27 +186,36 @@ def mysql_rulebook() -> RuleBook:
         # instance, so their conflict/relax thresholds are effectively "never"
         RangeRule("buffer_pool_le_80pct_ram", "innodb_buffer_pool_size",
                   _buffer_pool_bound, credibility=5, relax_factor=1.1,
-                  conflict_threshold=10 ** 6, relax_threshold=10 ** 6),
+                  conflict_threshold=10 ** 6, relax_threshold=10 ** 6,
+                  batch_bounds_fn=_buffer_pool_bound_batch),
         RangeRule("total_memory_within_ram", "innodb_buffer_pool_size",
                   _memory_cap_bound, credibility=5, relax_factor=1.05,
-                  conflict_threshold=10 ** 6, relax_threshold=10 ** 6),
+                  conflict_threshold=10 ** 6, relax_threshold=10 ** 6,
+                  batch_bounds_fn=_memory_cap_bound_batch),
         RangeRule("thread_concurrency_floor", "innodb_thread_concurrency",
                   _thread_concurrency_bound, credibility=4, relax_factor=1.5,
-                  conflict_threshold=8, relax_threshold=5),
+                  conflict_threshold=8, relax_threshold=5,
+                  batch_bounds_fn=_thread_concurrency_bound_batch),
         RangeRule("sort_buffer_sane", "sort_buffer_size",
                   _session_buffer_bound, credibility=2, relax_factor=2.0,
-                  conflict_threshold=2, relax_threshold=2),
+                  conflict_threshold=2, relax_threshold=2,
+                  batch_bounds_fn=_session_buffer_bound_batch),
         RangeRule("join_buffer_conditional", "join_buffer_size",
                   _join_buffer_bound, credibility=2, relax_factor=2.0,
-                  conflict_threshold=2, relax_threshold=2),
+                  conflict_threshold=2, relax_threshold=2,
+                  batch_bounds_fn=_join_buffer_bound_batch),
         RangeRule("tmp_heap_parity", "tmp_table_size",
-                  _tmp_heap_parity, credibility=2, relax_factor=2.0),
+                  _tmp_heap_parity, credibility=2, relax_factor=2.0,
+                  batch_bounds_fn=_tmp_heap_parity_batch),
         RangeRule("log_buffer_write_heavy", "innodb_log_buffer_size",
-                  _log_buffer_bound, credibility=3, relax_factor=2.0),
+                  _log_buffer_bound, credibility=3, relax_factor=2.0,
+                  batch_bounds_fn=_log_buffer_bound_batch),
         RangeRule("dirty_pct_sane", "innodb_max_dirty_pages_pct",
-                  _dirty_pct_bound, credibility=3, relax_factor=1.2),
+                  _dirty_pct_bound, credibility=3, relax_factor=1.2,
+                  batch_bounds_fn=_dirty_pct_bound_batch),
         RangeRule("max_connections_floor", "max_connections",
-                  _max_connections_bound, credibility=4, relax_factor=1.5),
+                  _max_connections_bound, credibility=4, relax_factor=1.5,
+                  batch_bounds_fn=_max_connections_bound_batch),
     ])
 
 

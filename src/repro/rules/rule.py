@@ -19,11 +19,26 @@ carries two counters:
 from __future__ import annotations
 
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..knobs.knob import Configuration, KnobSpace
 
-__all__ = ["RuleContext", "Rule", "RangeRule", "RuleBook"]
+__all__ = ["RuleContext", "Rule", "RangeRule", "RuleBook", "CandidateTable"]
+
+CandidateTable = Mapping[str, Sequence]
+"""Columnar candidate batch: knob name -> column of concrete values
+(see :meth:`repro.knobs.KnobSpace.decode_columns`)."""
+
+
+def _table_rows(table: CandidateTable, n: int) -> List[Configuration]:
+    """Materialize per-candidate config dicts from a columnar table
+    (generic fallback for rules without a vectorized implementation)."""
+    names = list(table)
+    columns = [table[name] for name in names]
+    return [{name: col[i] for name, col in zip(names, columns)}
+            for i in range(n)]
 
 
 @dataclass
@@ -70,6 +85,23 @@ class Rule:
             return True
         return low <= value <= high
 
+    def check_batch(self, table: CandidateTable, ctx: RuleContext, n: int,
+                    rows: Optional[Callable[[], List[Configuration]]] = None
+                    ) -> np.ndarray:
+        """Boolean satisfies-mask over a columnar candidate batch.
+
+        The base implementation reconstructs rows and defers to
+        :meth:`check` — identical semantics, no speedup; subclasses
+        with array-friendly bounds override it.  ``rows`` is an optional
+        zero-arg supplier of the materialized row dicts so a rule book
+        with several fallback rules builds them once, not per rule.
+        """
+        if self.ignored:
+            return np.ones(n, dtype=bool)
+        materialized = rows() if rows is not None else _table_rows(table, n)
+        return np.fromiter((self.check(row, ctx) for row in materialized),
+                           dtype=bool, count=n)
+
     def relax(self) -> None:
         """Widen the rule; default marks it ignored after enough relaxing."""
         self.relaxations += 1
@@ -84,15 +116,26 @@ class RangeRule(Rule):
     """A rule whose bounds come from a callable of (config, ctx).
 
     ``relax_factor`` widens the returned range multiplicatively each time
-    the rule is relaxed (e.g. 0.5 halves the lower bound and doubles the
-    upper bound).
+    the rule is relaxed (e.g. 2.0 halves the lower bound and doubles the
+    upper bound per relaxation; factors must be > 1 to widen).
+
+    ``batch_bounds_fn`` is the optional vectorized twin of ``bounds_fn``:
+    it receives the columnar candidate table and returns ``None`` (rule
+    inactive for the whole batch) or ``(low, high, active)`` where
+    ``low``/``high`` are scalars or per-candidate arrays and ``active``
+    is an optional boolean mask of candidates the rule applies to
+    (``None`` = all).  It must agree with ``bounds_fn`` row by row.
     """
 
     def __init__(self, name: str, knob: str,
                  bounds_fn: Callable[[Configuration, RuleContext], Optional[Tuple[float, float]]],
-                 relax_factor: float = 2.0, **kwargs) -> None:
+                 relax_factor: float = 2.0,
+                 batch_bounds_fn: Optional[Callable[[CandidateTable, RuleContext],
+                                                    Optional[Tuple]]] = None,
+                 **kwargs) -> None:
         super().__init__(name, knob, **kwargs)
         self._bounds_fn = bounds_fn
+        self._batch_bounds_fn = batch_bounds_fn
         self.relax_factor = float(relax_factor)
 
     def allowed_range(self, config: Configuration,
@@ -107,6 +150,32 @@ class RangeRule(Rule):
         if high < float("inf"):
             high = high * widen
         return (low, high)
+
+    def check_batch(self, table: CandidateTable, ctx: RuleContext, n: int,
+                    rows: Optional[Callable[[], List[Configuration]]] = None
+                    ) -> np.ndarray:
+        if self.ignored or self.knob not in table:
+            return np.ones(n, dtype=bool)
+        if self._batch_bounds_fn is None:
+            return super().check_batch(table, ctx, n, rows=rows)
+        out = self._batch_bounds_fn(table, ctx)
+        if out is None:
+            return np.ones(n, dtype=bool)
+        low, high, active = out
+        # widening: dividing/multiplying leaves +-inf in place, so the
+        # unconditional array form matches the scalar path exactly
+        widen = self.relax_factor ** self.relaxations
+        low = low / widen
+        high = high * widen
+        try:
+            values = np.asarray(table[self.knob], dtype=float)
+        except (TypeError, ValueError):
+            return np.ones(n, dtype=bool)   # non-numeric knob: scalar path
+                                            # would raise and accept too
+        ok = (low <= values) & (values <= high)
+        if active is not None:
+            ok |= ~np.asarray(active, dtype=bool)
+        return ok
 
     def relax(self) -> None:
         self.relaxations += 1
@@ -150,6 +219,32 @@ class RuleBook:
         # short-circuits on the first violation (violations() enumerates all)
         return all(r.ignored or r is self._overridden or r.check(config, ctx)
                    for r in self.rules)
+
+    def satisfies_batch(self, table: CandidateTable, ctx: RuleContext,
+                        n: Optional[int] = None) -> np.ndarray:
+        """Vectorized :meth:`satisfies` over a columnar candidate batch.
+
+        One array op per rule instead of rules x candidates Python
+        dispatches; row ``i`` of the mask equals
+        ``satisfies(candidate_i, ctx)`` exactly.
+        """
+        if n is None:
+            first = next(iter(table.values()), ())
+            n = len(first)
+        cache: List[List[Configuration]] = []
+
+        def rows() -> List[Configuration]:
+            # rules without a vectorized twin share one materialization
+            if not cache:
+                cache.append(_table_rows(table, n))
+            return cache[0]
+
+        mask = np.ones(n, dtype=bool)
+        for rule in self.rules:
+            if rule.ignored or rule is self._overridden:
+                continue
+            mask &= rule.check_batch(table, ctx, n, rows=rows)
+        return mask
 
     # -- conflict protocol -------------------------------------------------
     def register_conflict(self, rule: Rule) -> None:

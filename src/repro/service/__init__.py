@@ -1,0 +1,41 @@
+"""Tuning-as-a-service layer.
+
+Turns the in-process tuner into a durable, multi-tenant service:
+
+* :mod:`~repro.service.checkpoint` — a versioned, checksummed on-disk
+  envelope for full tuner state; save/load round-trips are bit-identical.
+* :mod:`~repro.service.store` — per-tenant checkpoint namespaces with
+  sequence numbering and latest-checkpoint lookup.
+* :mod:`~repro.service.knowledge` — a knowledge base indexing persisted
+  repositories by workload-context signature; warm-starts new tenants
+  from their nearest neighbors.
+* :mod:`~repro.service.service` — :class:`TuningService`: many concurrent
+  tenant sessions behind a ``create/suggest/observe/checkpoint/resume/
+  close`` API, an LRU of hydrated sessions backed by the store, and
+  batched session stepping on the :class:`~repro.harness.ParallelRunner`.
+"""
+
+from .checkpoint import (
+    CHECKPOINT_VERSION,
+    CheckpointError,
+    load_checkpoint,
+    read_metadata,
+    save_checkpoint,
+)
+from .knowledge import KnowledgeBase, KnowledgeEntry, repository_signature
+from .service import TenantSpec, TuningService
+from .store import CheckpointStore
+
+__all__ = [
+    "CHECKPOINT_VERSION",
+    "CheckpointError",
+    "save_checkpoint",
+    "load_checkpoint",
+    "read_metadata",
+    "CheckpointStore",
+    "KnowledgeBase",
+    "KnowledgeEntry",
+    "repository_signature",
+    "TuningService",
+    "TenantSpec",
+]

@@ -1,0 +1,160 @@
+"""Versioned on-disk checkpoint envelope.
+
+Layout (all integers little-endian)::
+
+    bytes 0..8    magic  b"REPROCKP"
+    bytes 8..12   uint32 format version
+    bytes 12..16  uint32 header length H
+    bytes 16..16+H  header JSON (utf-8):
+        {"payload_bytes": int, "payload_sha256": hex, "metadata": {...}}
+    bytes 16+H..  payload (pickle protocol >= 4)
+
+The pickle payload is what makes resumption *bit-identical*: numpy
+buffers (repository columns, Cholesky factors), ``np.random.Generator``
+states, and intra-object aliasing (e.g. the rule book's overridden-rule
+reference) all round-trip exactly.  The envelope adds what pickle lacks:
+a magic/version gate so stale formats are rejected instead of
+mis-deserialized, and a SHA-256 payload digest so torn or corrupted
+writes fail loudly.  Writes are atomic (temp file + ``os.replace``).
+"""
+
+from __future__ import annotations
+
+import hashlib
+import json
+import os
+import pickle
+import struct
+import tempfile
+from pathlib import Path
+from typing import Any, Dict, Optional, Tuple
+
+__all__ = ["CHECKPOINT_VERSION", "CheckpointError", "save_checkpoint",
+           "load_checkpoint", "read_metadata"]
+
+MAGIC = b"REPROCKP"
+CHECKPOINT_VERSION = 1
+_HEAD = struct.Struct("<II")  # version, header length
+
+
+class CheckpointError(RuntimeError):
+    """A checkpoint is missing, corrupt, or from an unsupported version."""
+
+
+def _fsync_dir(directory: Path) -> None:
+    """Flush a directory entry so a completed rename survives power loss."""
+    try:
+        fd = os.open(directory, os.O_RDONLY)
+    except OSError:
+        return   # platform without directory fds (e.g. Windows)
+    try:
+        os.fsync(fd)
+    except OSError:
+        pass
+    finally:
+        os.close(fd)
+
+
+def save_checkpoint(path, payload: Any,
+                    metadata: Optional[Dict[str, object]] = None) -> Path:
+    """Atomically write ``payload`` to ``path`` in the envelope format."""
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    blob = pickle.dumps(payload, protocol=4)
+    header = json.dumps({
+        "payload_bytes": len(blob),
+        "payload_sha256": hashlib.sha256(blob).hexdigest(),
+        "metadata": dict(metadata or {}),
+    }, sort_keys=True).encode("utf-8")
+    fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
+                                    prefix=path.name, suffix=".tmp")
+    try:
+        with os.fdopen(fd, "wb") as fh:
+            fh.write(MAGIC)
+            fh.write(_HEAD.pack(CHECKPOINT_VERSION, len(header)))
+            fh.write(header)
+            fh.write(blob)
+            fh.flush()
+            os.fsync(fh.fileno())
+        os.replace(tmp_name, path)
+        _fsync_dir(path.parent)   # make the rename itself crash-durable
+    except BaseException:
+        try:
+            os.unlink(tmp_name)
+        except OSError:
+            pass
+        raise
+    return path
+
+
+def _parse_header(path: Path, raw: bytes) -> Tuple[Dict[str, object], int]:
+    """Parse magic/version/header from the file prefix; returns
+    (header, payload offset)."""
+    if len(raw) < len(MAGIC) + _HEAD.size or not raw.startswith(MAGIC):
+        raise CheckpointError(f"{path} is not a repro checkpoint (bad magic)")
+    version, header_len = _HEAD.unpack_from(raw, len(MAGIC))
+    if version != CHECKPOINT_VERSION:
+        raise CheckpointError(
+            f"{path} uses checkpoint format v{version}; this build reads "
+            f"only v{CHECKPOINT_VERSION}")
+    start = len(MAGIC) + _HEAD.size
+    header_bytes = raw[start: start + header_len]
+    if len(header_bytes) != header_len:
+        raise CheckpointError(f"{path} is truncated (incomplete header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise CheckpointError(f"{path} has a corrupt header: {exc}") from exc
+    return header, start + header_len
+
+
+def _read_envelope(path) -> Tuple[Dict[str, object], bytes]:
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    header, offset = _parse_header(path, raw)
+    blob = raw[offset:]
+    expected = header.get("payload_bytes")
+    if expected != len(blob):
+        raise CheckpointError(
+            f"{path} is truncated: payload {len(blob)} bytes, header "
+            f"declares {expected}")
+    digest = hashlib.sha256(blob).hexdigest()
+    if digest != header.get("payload_sha256"):
+        raise CheckpointError(f"{path} failed its integrity check "
+                              f"(payload checksum mismatch)")
+    return header, blob
+
+
+def read_metadata(path) -> Dict[str, object]:
+    """Return a checkpoint's metadata without reading/unpickling the payload.
+
+    Only the fixed-offset header is read and validated (cheap even for
+    multi-MB checkpoints); payload integrity is checked on
+    :func:`load_checkpoint`.
+    """
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            prefix = fh.read(len(MAGIC) + _HEAD.size)
+            if len(prefix) == len(MAGIC) + _HEAD.size \
+                    and prefix.startswith(MAGIC):
+                _version, header_len = _HEAD.unpack_from(prefix, len(MAGIC))
+                prefix += fh.read(header_len)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    header, _offset = _parse_header(path, prefix)
+    return dict(header.get("metadata", {}))
+
+
+def load_checkpoint(path) -> Tuple[Any, Dict[str, object]]:
+    """Load ``(payload, metadata)`` from a checkpoint, validating integrity."""
+    header, blob = _read_envelope(path)
+    try:
+        payload = pickle.loads(blob)
+    except Exception as exc:  # noqa: BLE001 - any unpickling failure is fatal
+        raise CheckpointError(
+            f"{path} payload failed to deserialize: {exc}") from exc
+    return payload, dict(header.get("metadata", {}))

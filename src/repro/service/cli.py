@@ -1,0 +1,149 @@
+"""CLI demo: the service layer end to end.
+
+::
+
+    PYTHONPATH=src python -m repro.service.cli --tenants 8 --iterations 20
+
+The demo (1) batch-tunes N tenants across the process pool, persisting
+and indexing every session, (2) drives one interactive tenant through
+the suggest/observe API, checkpoints it mid-session, "crashes" it, and
+proves the resumed session emits the identical next suggestion, and
+(3) warm-starts a brand-new tenant from its nearest indexed neighbors.
+"""
+
+from __future__ import annotations
+
+import argparse
+import tempfile
+from pathlib import Path
+from typing import Dict, Optional
+
+from ..baselines.base import Feedback, SuggestInput
+from ..harness.runner import SessionSpec
+from .service import TenantSpec, TuningService
+
+WORKLOAD_CYCLE = ("tpcc", "twitter", "ycsb", "realworld")
+
+
+def _interactive_step(service: TuningService, tenant: str, db, t: int,
+                      last_metrics: Dict[str, float]):
+    """One suggest/observe interval against a simulated instance."""
+    profile = db.profile(t)
+    snapshot = db.observe_snapshot(t)
+    tau = db.default_performance(t)
+    inp = SuggestInput(iteration=t, snapshot=snapshot, metrics=last_metrics,
+                       default_performance=tau, is_olap=profile.is_olap)
+    config = service.suggest(tenant, inp)
+    result = db.run_interval(t, config)
+    perf = result.objective(profile.is_olap)
+    service.observe(tenant, Feedback(
+        iteration=t, config=config, performance=perf, metrics=result.metrics,
+        failed=result.failed, default_performance=tau))
+    return config, perf, result.metrics
+
+
+def _fresh_tenant_id(service: TuningService, base: str) -> str:
+    """First unused ``base``/``base-N`` id, so reruns against a kept
+    ``--root`` provision new tenants instead of crashing on create()."""
+    existing = set(service.tenants())
+    if base not in existing:
+        return base
+    n = 2
+    while f"{base}-{n}" in existing:
+        n += 1
+    return f"{base}-{n}"
+
+
+def _build_db(seed: int):
+    from ..dbms import PerformanceModel, SimulatedMySQL
+    from ..harness.experiments import WORKLOAD_FACTORIES
+    from ..knobs import dba_default_config, mysql57_space
+    space = mysql57_space()
+    return SimulatedMySQL(space, WORKLOAD_FACTORIES["tpcc"](seed=seed),
+                          reference_config=dba_default_config(space),
+                          model=PerformanceModel(noise_std=0.02), seed=seed)
+
+
+def main(argv=None, root: Optional[Path] = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=8,
+                        help="batch tenants to tune concurrently")
+    parser.add_argument("--iterations", type=int, default=20,
+                        help="tuning intervals per batch session")
+    parser.add_argument("--root", type=Path, default=root,
+                        help="service state directory (default: temp dir)")
+    parser.add_argument("--max-live", type=int, default=4,
+                        help="hydrated-session LRU capacity")
+    args = parser.parse_args(argv)
+
+    ephemeral = args.root is None
+    if ephemeral:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-service-")
+        args.root = Path(tmp.name)
+    service = TuningService(args.root, max_live_sessions=args.max_live)
+
+    # 1. batched stepping: one full session per tenant on the process pool
+    specs = {
+        f"tenant-{i:02d}": SessionSpec(
+            tuner="OnlineTune", workload=WORKLOAD_CYCLE[i % len(WORKLOAD_CYCLE)],
+            seed=i, n_iterations=args.iterations)
+        for i in range(args.tenants)
+    }
+    print(f"[1/3] batch-tuning {len(specs)} tenants "
+          f"({args.iterations} intervals each) ...")
+    results = service.run_batch(specs)
+    for tenant, result in results.items():
+        print(f"  {tenant}  workload={specs[tenant].workload:<9} "
+              f"cum_improv={result.cumulative_improvement():+10.4g}  "
+              f"#unsafe={result.n_unsafe}  #failure={result.n_failures}")
+    print(f"  knowledge base now indexes {len(service.knowledge)} sessions")
+
+    # 2. interactive tenant: checkpoint mid-session, crash, resume
+    print("[2/3] interactive tenant with mid-session crash/recovery ...")
+    tenant = _fresh_tenant_id(service, "interactive")
+    service.create(tenant, TenantSpec(seed=99))
+    db = _build_db(seed=99)
+    last: Dict[str, float] = {}
+    for t in range(8):
+        _cfg, _perf, last = _interactive_step(service, tenant, db, t, last)
+    ckpt = service.checkpoint(tenant)
+    print(f"  checkpointed after 8 intervals -> {ckpt.name} "
+          f"({ckpt.stat().st_size / 1024:.0f} KiB)")
+    survivor = service.suggest(tenant, _probe_input(db, 8, last))
+    service.resume(tenant)                  # discard, rehydrate from disk
+    resumed = service.suggest(tenant, _probe_input(db, 8, last))
+    match = survivor == resumed
+    print(f"  post-resume suggestion identical to uninterrupted: {match}")
+
+    # 3. knowledge transfer: warm-start a new tenant from its neighbors
+    print("[3/3] warm-starting a new tenant from the knowledge base ...")
+    probe_db = _build_db(seed=123)
+    newcomer_id = _fresh_tenant_id(service, "newcomer")
+    newcomer = service.create(
+        newcomer_id, TenantSpec(seed=123), warm_start_neighbors=2,
+        probe_snapshot=probe_db.observe_snapshot(0))
+    print(f"  newcomer starts with {len(newcomer.repo)} transferred "
+          f"observations (vs 0 cold)")
+    db2 = _build_db(seed=123)
+    _cfg, perf, _ = _interactive_step(service, newcomer_id, db2, 0, {})
+    tau = db2.default_performance(0)
+    print(f"  first interval: perf={perf:.0f} vs tau={tau:.0f} "
+          f"({100 * (perf - tau) / abs(tau):+.1f}%)")
+    if ephemeral:
+        print("service state was in a temporary directory (deleted on "
+              "exit); pass --root DIR to keep it")
+    else:
+        print(f"service state in {args.root}")
+    return 0 if match else 1
+
+
+def _probe_input(db, t: int, last_metrics: Dict[str, float]) -> SuggestInput:
+    profile = db.profile(t)
+    return SuggestInput(iteration=t, snapshot=db.observe_snapshot(t),
+                        metrics=last_metrics,
+                        default_performance=db.default_performance(t),
+                        is_olap=profile.is_olap)
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

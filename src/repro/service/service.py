@@ -1,0 +1,253 @@
+"""Multi-tenant tuning service.
+
+:class:`TuningService` hosts many concurrent tenant sessions behind a
+``create / suggest / observe / checkpoint / resume / close`` API:
+
+* **Isolation** — each tenant owns an independent tuner and a private
+  checkpoint namespace; tenant ids are validated so no tenant can
+  address another's state.  A hosted session produces exactly the
+  suggestions an isolated in-process run would.
+* **Durability** — any tenant can be checkpointed at any point and
+  resumed bit-identically, in this process or another one.
+* **Elasticity** — only ``max_live_sessions`` tuners stay hydrated; the
+  least-recently-used session is transparently checkpointed and evicted,
+  then rehydrated from the store on its next call.
+* **Batched stepping** — :meth:`run_batch` fans whole tenant sessions
+  across the :class:`~repro.harness.ParallelRunner` process pool and
+  persists each returned tuner as that tenant's checkpoint.
+* **Knowledge transfer** — closed sessions are indexed by workload
+  signature; new tenants can warm-start from their nearest neighbors.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Mapping, Optional
+
+from ..baselines.base import Feedback, SuggestInput
+from ..core.config import OnlineTuneConfig
+from ..core.tuner import OnlineTune
+from ..harness.runner import ParallelRunner, SessionResult, SessionSpec
+from ..workloads.base import WorkloadSnapshot
+from .checkpoint import CheckpointError
+from .knowledge import KnowledgeBase
+from .store import CheckpointStore
+
+__all__ = ["TenantSpec", "TuningService"]
+
+
+@dataclass(frozen=True)
+class TenantSpec:
+    """What a tenant provisions: a knob space and tuner configuration."""
+
+    space: str = "mysql57"           # key into experiments.SPACE_FACTORIES
+    seed: int = 0
+    onlinetune_config: Optional[OnlineTuneConfig] = None
+    memory_bytes: Optional[int] = None
+    vcpus: Optional[int] = None
+
+
+@dataclass
+class _LiveSession:
+    tuner: OnlineTune
+    dirty_steps: int = 0     # suggest/observe calls since the last save
+    observed: int = 0        # completed intervals since the last save
+
+
+class TuningService:
+    """Serve many tenant tuning sessions from one process.
+
+    Parameters
+    ----------
+    root:
+        Directory for the checkpoint store and the knowledge index.
+    max_live_sessions:
+        How many tuners stay hydrated in memory; beyond this the LRU
+        session is checkpointed to the store and evicted.
+    checkpoint_every:
+        Automatic durability cadence: a live session is checkpointed
+        after this many ``observe`` calls (0 disables auto-checkpoints;
+        explicit :meth:`checkpoint` and eviction still persist state).
+    runner:
+        The process-pool runner :meth:`run_batch` fans sessions across.
+    """
+
+    def __init__(self, root, max_live_sessions: int = 8,
+                 checkpoint_every: int = 0,
+                 runner: Optional[ParallelRunner] = None) -> None:
+        self.store = CheckpointStore(root)
+        self.knowledge = KnowledgeBase(Path(root) / "knowledge.json")
+        self.max_live_sessions = max(1, int(max_live_sessions))
+        self.checkpoint_every = max(0, int(checkpoint_every))
+        self.runner = runner or ParallelRunner()
+        self._live: "OrderedDict[str, _LiveSession]" = OrderedDict()
+
+    # -- bookkeeping -------------------------------------------------------
+    def live_tenants(self) -> List[str]:
+        return list(self._live)
+
+    def tenants(self) -> List[str]:
+        known = set(self.store.tenants()) | set(self._live)
+        return sorted(known)
+
+    def _admit(self, tenant_id: str, session: _LiveSession) -> None:
+        while len(self._live) >= self.max_live_sessions:
+            victim, _ = next(iter(self._live.items()))
+            self._evict(victim)
+        self._live[tenant_id] = session
+
+    def _evict(self, tenant_id: str) -> None:
+        session = self._live.pop(tenant_id)
+        # a clean session (no suggest/observe since its last save) is
+        # already durable; rewriting it would grow the store on every
+        # rehydrate/evict cycle of read-mostly traffic
+        if session.dirty_steps:
+            self._save(tenant_id, session)
+
+    def _save(self, tenant_id: str, session: _LiveSession) -> Path:
+        path = self.store.save(
+            tenant_id, session.tuner,
+            metadata={"tuner_class": type(session.tuner).__name__,
+                      "n_observations": len(session.tuner.repo)})
+        session.dirty_steps = 0
+        session.observed = 0
+        return path
+
+    def _session(self, tenant_id: str) -> _LiveSession:
+        """The tenant's hydrated session, rehydrating from the store on a
+        miss (the LRU may have evicted it)."""
+        self.store.validate_tenant_id(tenant_id)
+        session = self._live.get(tenant_id)
+        if session is not None:
+            self._live.move_to_end(tenant_id)
+            return session
+        path = self.store.latest_path(tenant_id)
+        if path is None:
+            raise KeyError(f"unknown tenant {tenant_id!r}: call create() first")
+        tuner, _meta = self.store.load(path)
+        if not isinstance(tuner, OnlineTune):
+            raise CheckpointError(
+                f"tenant {tenant_id!r} checkpoint does not hold a tuner")
+        session = _LiveSession(tuner=tuner)
+        self._admit(tenant_id, session)
+        return session
+
+    # -- lifecycle API --------------------------------------------------------
+    def create(self, tenant_id: str, spec: Optional[TenantSpec] = None,
+               warm_start_neighbors: int = 0,
+               probe_snapshot: Optional[WorkloadSnapshot] = None) -> OnlineTune:
+        """Provision a new tenant session.
+
+        With ``warm_start_neighbors > 0`` and a ``probe_snapshot`` of the
+        tenant's workload, the knowledge base seeds the fresh repository
+        from the nearest indexed sessions before the first suggest.
+        """
+        self.store.validate_tenant_id(tenant_id)
+        if tenant_id in self._live or self.store.latest_path(tenant_id):
+            raise ValueError(f"tenant {tenant_id!r} already exists")
+        spec = spec or TenantSpec()
+        from ..harness.experiments import SPACE_FACTORIES
+        space = SPACE_FACTORIES[spec.space]()
+        kwargs = {}
+        if spec.memory_bytes is not None:
+            kwargs["memory_bytes"] = spec.memory_bytes
+        if spec.vcpus is not None:
+            kwargs["vcpus"] = spec.vcpus
+        tuner = OnlineTune(space, config=spec.onlinetune_config,
+                           seed=spec.seed, **kwargs)
+        if warm_start_neighbors > 0 and probe_snapshot is not None:
+            # featurize the probe on a scratch copy so the live
+            # featurizer's warm-up state is untouched (isolation: a
+            # warm-started tenant still featurizes its own stream from zero)
+            import copy
+            probe_context = copy.deepcopy(tuner.featurizer).featurize(
+                probe_snapshot)
+            self.knowledge.warm_start(tuner, probe_context,
+                                      k=warm_start_neighbors,
+                                      exclude=(tenant_id,))
+        session = _LiveSession(tuner=tuner)
+        self._admit(tenant_id, session)
+        self._save(tenant_id, session)   # durable from birth
+        return tuner
+
+    def suggest(self, tenant_id: str, inp: SuggestInput):
+        """Next configuration for one tenant interval."""
+        session = self._session(tenant_id)
+        config = session.tuner.suggest(inp)
+        session.dirty_steps += 1     # rng/pending state advanced
+        return config
+
+    def observe(self, tenant_id: str, feedback: Feedback) -> None:
+        """Report a tenant interval's outcome."""
+        session = self._session(tenant_id)
+        session.tuner.observe(feedback)
+        session.dirty_steps += 1
+        session.observed += 1
+        if self.checkpoint_every and session.observed >= self.checkpoint_every:
+            self._save(tenant_id, session)
+
+    def checkpoint(self, tenant_id: str) -> Path:
+        """Persist the tenant's current state; returns the checkpoint path."""
+        return self._save(tenant_id, self._session(tenant_id))
+
+    def resume(self, tenant_id: str) -> OnlineTune:
+        """Force-rehydrate a tenant from its latest checkpoint.
+
+        Discards any un-checkpointed in-memory progress — the explicit
+        crash-recovery path.  Normal callers never need this; the LRU
+        rehydrates transparently.
+        """
+        self.store.validate_tenant_id(tenant_id)
+        self._live.pop(tenant_id, None)
+        return self._session(tenant_id).tuner
+
+    def close(self, tenant_id: str, register_knowledge: bool = True) -> Path:
+        """Final-checkpoint a tenant, index it, and release its memory."""
+        session = self._session(tenant_id)
+        # a clean session is already durable — don't append a duplicate
+        # checkpoint on every close/reopen cycle (mirrors _evict)
+        if session.dirty_steps:
+            path = self._save(tenant_id, session)
+        else:
+            path = self.store.latest_path(tenant_id)
+        if register_knowledge:
+            self.knowledge.register(tenant_id, session.tuner, path)
+        self._live.pop(tenant_id, None)
+        return path
+
+    # -- batched stepping ------------------------------------------------------
+    def run_batch(self, specs: Mapping[str, SessionSpec],
+                  register_knowledge: bool = True) -> Dict[str, SessionResult]:
+        """Run one full session per tenant across the process pool.
+
+        Each tenant's final tuner state is persisted as its checkpoint
+        (and indexed in the knowledge base), so batch tenants are
+        immediately resumable and queryable like interactive ones.
+        """
+        tenant_ids = list(specs)
+        for tenant_id in tenant_ids:
+            self.store.validate_tenant_id(tenant_id)
+        outcomes = self.runner.run_detailed([specs[t] for t in tenant_ids])
+        results: Dict[str, SessionResult] = {}
+        for tenant_id, outcome in zip(tenant_ids, outcomes):
+            results[tenant_id] = outcome.result
+            # drop any stale hydrated session: the batch-trained state is
+            # now the tenant's truth and must not be shadowed (or later
+            # re-checkpointed over) by a pre-batch tuner
+            self._live.pop(tenant_id, None)
+            meta_n = (len(outcome.tuner.repo)
+                      if isinstance(outcome.tuner, OnlineTune)
+                      else outcome.spec.n_iterations)
+            path = self.store.save(
+                tenant_id, outcome.tuner,
+                metadata={"tuner_class": type(outcome.tuner).__name__,
+                          "n_observations": meta_n,
+                          "spec": {"tuner": outcome.spec.tuner,
+                                   "workload": outcome.spec.workload,
+                                   "seed": outcome.spec.seed,
+                                   "n_iterations": outcome.spec.n_iterations}})
+            if register_knowledge and isinstance(outcome.tuner, OnlineTune):
+                self.knowledge.register(tenant_id, outcome.tuner, path)
+        return results

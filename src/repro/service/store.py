@@ -1,0 +1,108 @@
+"""Per-tenant checkpoint namespaces on top of the envelope format.
+
+Directory layout::
+
+    <root>/
+      tenants/
+        <tenant-id>/
+          ckpt-000001.ckpt
+          ckpt-000002.ckpt
+          ...
+
+Checkpoints are sequence-numbered; the highest number is "latest".
+Tenant ids are validated against a conservative charset so one tenant
+can never address another tenant's files (path-traversal isolation).
+"""
+
+from __future__ import annotations
+
+import re
+from pathlib import Path
+from typing import Any, Dict, List, Optional, Tuple
+
+from .checkpoint import (
+    CheckpointError,
+    load_checkpoint,
+    read_metadata,
+    save_checkpoint,
+)
+
+__all__ = ["CheckpointStore"]
+
+_TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
+_CKPT_RE = re.compile(r"^ckpt-(\d{6,})\.ckpt$")   # %06d pads, never truncates
+
+
+class CheckpointStore:
+    """Durable, namespaced checkpoint storage for many tenants."""
+
+    def __init__(self, root) -> None:
+        self.root = Path(root)
+        (self.root / "tenants").mkdir(parents=True, exist_ok=True)
+
+    # -- namespacing -------------------------------------------------------
+    @staticmethod
+    def validate_tenant_id(tenant_id: str) -> str:
+        if not isinstance(tenant_id, str) or not _TENANT_RE.match(tenant_id):
+            raise ValueError(
+                f"invalid tenant id {tenant_id!r}: use 1-64 chars of "
+                f"[A-Za-z0-9._-], starting with an alphanumeric")
+        return tenant_id
+
+    def tenant_dir(self, tenant_id: str) -> Path:
+        return self.root / "tenants" / self.validate_tenant_id(tenant_id)
+
+    def tenants(self) -> List[str]:
+        base = self.root / "tenants"
+        return sorted(p.name for p in base.iterdir() if p.is_dir())
+
+    # -- checkpoints ---------------------------------------------------------
+    def list(self, tenant_id: str) -> List[Path]:
+        """All checkpoints for a tenant, oldest first."""
+        tdir = self.tenant_dir(tenant_id)
+        if not tdir.is_dir():
+            return []
+        found = []
+        for p in tdir.iterdir():
+            m = _CKPT_RE.match(p.name)
+            if m:
+                found.append((int(m.group(1)), p))
+        return [p for _, p in sorted(found)]
+
+    def latest_path(self, tenant_id: str) -> Optional[Path]:
+        existing = self.list(tenant_id)
+        return existing[-1] if existing else None
+
+    def save(self, tenant_id: str, payload: Any,
+             metadata: Optional[Dict[str, object]] = None) -> Path:
+        """Write the next sequence-numbered checkpoint for the tenant."""
+        existing = self.list(tenant_id)
+        if existing:
+            seq = int(_CKPT_RE.match(existing[-1].name).group(1)) + 1
+        else:
+            seq = 1
+        meta = {"tenant": tenant_id, "sequence": seq}
+        meta.update(metadata or {})
+        path = self.tenant_dir(tenant_id) / f"ckpt-{seq:06d}.ckpt"
+        return save_checkpoint(path, payload, metadata=meta)
+
+    def load(self, path) -> Tuple[Any, Dict[str, object]]:
+        return load_checkpoint(path)
+
+    def load_latest(self, tenant_id: str) -> Tuple[Any, Dict[str, object]]:
+        path = self.latest_path(tenant_id)
+        if path is None:
+            raise CheckpointError(f"tenant {tenant_id!r} has no checkpoint")
+        return load_checkpoint(path)
+
+    def metadata(self, tenant_id: str) -> List[Dict[str, object]]:
+        return [read_metadata(p) for p in self.list(tenant_id)]
+
+    def prune(self, tenant_id: str, keep: int = 3) -> int:
+        """Delete all but the newest ``keep`` checkpoints; returns count."""
+        if keep < 1:
+            raise ValueError("keep must be >= 1")
+        victims = self.list(tenant_id)[:-keep]
+        for path in victims:
+            path.unlink()
+        return len(victims)

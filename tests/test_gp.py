@@ -271,3 +271,67 @@ class TestAcquisitions:
         pof = probability_of_feasibility(np.array([mu]), np.array([sigma]),
                                          threshold=mu)
         assert pof[0] == pytest.approx(0.5, abs=1e-9)
+
+
+class TestWarmStartHyperopt:
+    """Large doubling-schedule refits warm-start L-BFGS from the last
+    optimum with a bounded budget; small refits keep the full search."""
+
+    def _data(self, rng, n=192, d=3):
+        X = rng.random((n, d))
+        y = np.sin(3.0 * X[:, 0]) + 0.5 * X[:, 1] + 0.05 * rng.normal(size=n)
+        return X, y
+
+    def test_first_fit_is_cold_then_warm(self, rng):
+        X, y = self._data(rng)
+        gp = GaussianProcess(kernel=Matern52Kernel(), warm_start_refits=True)
+        gp.fit(X[:96], y[:96], optimize=True)
+        assert gp.hyperopt_count == 1 and not gp.last_opt_warm
+        gp.fit(X, y, optimize=True)             # the 2x refit
+        assert gp.hyperopt_count == 2 and gp.last_opt_warm
+        # warm refits are iteration-bounded (the satellite's point)
+        assert gp.last_opt_nit <= 25
+
+    def test_small_refits_keep_full_budget(self, rng):
+        # below the size gate each likelihood evaluation is cheap and
+        # hyperparameters still move a lot: no bounded budget
+        X, y = self._data(rng, n=48)
+        gp = GaussianProcess(kernel=Matern52Kernel(), warm_start_refits=True)
+        gp.fit(X[:24], y[:24], optimize=True)
+        gp.fit(X, y, optimize=True)
+        assert not gp.last_opt_warm
+
+    def test_bounded_warm_refit_matches_unbounded(self, rng):
+        # bounding the warm refit's iterations must not degrade the
+        # optimum the unbounded (pre-warm-start) refit reaches from the
+        # same x0 — the previous optimum, which fit() keeps in the kernel
+        X, y = self._data(rng)
+        warm = GaussianProcess(kernel=Matern52Kernel(), warm_start_refits=True)
+        warm.fit(X[:96], y[:96], optimize=True)
+        warm.fit(X, y, optimize=True)
+        legacy = GaussianProcess(kernel=Matern52Kernel())
+        legacy.fit(X[:96], y[:96], optimize=True)
+        legacy.hyperopt_count = 0       # force the old cold-budget path
+        legacy.fit(X, y, optimize=True)
+        lml_warm = warm.log_marginal_likelihood()
+        lml_legacy = legacy.log_marginal_likelihood()
+        assert lml_warm >= lml_legacy - 0.01 * abs(lml_legacy) - 0.1
+        assert warm.last_opt_nit <= legacy.last_opt_nit + 1
+
+    def test_optimum_survives_pickle(self, rng):
+        import pickle
+        X, y = self._data(rng, n=96)
+        gp = GaussianProcess(kernel=Matern52Kernel(), warm_start_refits=True)
+        gp.fit(X, y, optimize=True)
+        clone = pickle.loads(pickle.dumps(gp))
+        clone.fit(X, y, optimize=True)
+        assert clone.last_opt_warm
+
+    def test_baseline_gps_keep_full_budget_by_default(self, rng):
+        # warm bounding is opt-in: a default GP (as the BO/ResTune
+        # baselines build) never switches to the short search
+        X, y = self._data(rng)
+        gp = GaussianProcess(kernel=Matern52Kernel())
+        gp.fit(X[:96], y[:96], optimize=True)
+        gp.fit(X, y, optimize=True)
+        assert not gp.last_opt_warm

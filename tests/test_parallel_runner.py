@@ -82,3 +82,24 @@ class TestParallelRunner:
     def test_spec_is_picklable(self):
         spec = _specs()[0]
         assert pickle.loads(pickle.dumps(spec)) == spec
+
+    def test_labeled_variants_keyed_by_label(self):
+        from repro.core import OnlineTuneConfig
+        specs = [
+            SessionSpec(tuner="OnlineTune", label="full", workload="tpcc",
+                        seed=7, n_iterations=ITERS, space="case_study",
+                        workload_kwargs=(("dynamic", False),
+                                         ("grow_data", False))),
+            SessionSpec(tuner="OnlineTune", label="-w/o-cluster",
+                        workload="tpcc", seed=7, n_iterations=ITERS,
+                        space="case_study",
+                        workload_kwargs=(("dynamic", False),
+                                         ("grow_data", False)),
+                        onlinetune_config=OnlineTuneConfig(use_clustering=False)),
+        ]
+        serial = ParallelRunner(max_workers=1).run_named(specs)
+        pooled = ParallelRunner(max_workers=2).run_named(specs)
+        assert list(serial) == ["full", "-w/o-cluster"]
+        assert serial["full"].tuner_name == "full"
+        for name in serial:
+            _assert_identical(serial[name], pooled[name])

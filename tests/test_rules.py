@@ -220,3 +220,65 @@ class TestSuggestConfig:
         ctx.metrics = {"buffer_pool_hit_rate": 0.5}
         suggestion = suggest_config(space, current, ctx)
         assert suggestion["innodb_buffer_pool_size"] <= 0.8 * ctx.memory_bytes
+
+
+class TestVectorizedRules:
+    """satisfies_batch over a columnar table == satisfies per decoded row."""
+
+    def _random_assessment(self, space, rng, trial):
+        rulebook = mysql_rulebook()
+        for rule in rulebook.rules:
+            rule.relaxations = int(rng.integers(0, 3))
+            rule.ignored = bool(rng.random() < 0.15)
+        if rng.random() < 0.5:
+            rulebook._overridden = rulebook.rules[
+                int(rng.integers(len(rulebook.rules)))]
+        rctx = RuleContext(
+            memory_bytes=INSTANCE_MEMORY_BYTES, vcpus=INSTANCE_VCPUS,
+            metrics={"joins_without_index_per_day": float(rng.integers(0, 500)),
+                     "qps_insert": float(rng.integers(0, 200)),
+                     "qps_update": float(rng.integers(0, 200))},
+            is_olap=bool(rng.random() < 0.5))
+        candidates = rng.random((60, space.dim))
+        return rulebook, rctx, candidates
+
+    def test_batch_mask_identical_to_scalar(self, space):
+        import numpy as np
+        rng = np.random.default_rng(7)
+        for trial in range(5):
+            rulebook, rctx, candidates = self._random_assessment(
+                space, rng, trial)
+            table = space.decode_columns(candidates)
+            batch = rulebook.satisfies_batch(table, rctx, len(candidates))
+            scalar = [rulebook.satisfies(config, rctx)
+                      for config in space.from_unit_batch(candidates)]
+            assert batch.tolist() == scalar
+
+    def test_batch_mask_identical_on_reduced_space(self, ctx):
+        import numpy as np
+        from repro.knobs import case_study_space
+        small = case_study_space()
+        rng = np.random.default_rng(11)
+        rulebook = mysql_rulebook()
+        candidates = rng.random((40, small.dim))
+        table = small.decode_columns(candidates)
+        batch = rulebook.satisfies_batch(table, ctx, len(candidates))
+        scalar = [rulebook.satisfies(config, ctx)
+                  for config in small.from_unit_batch(candidates)]
+        assert batch.tolist() == scalar
+
+    def test_generic_fallback_matches_check(self, ctx):
+        import numpy as np
+        # a rule without a vectorized twin goes through the row fallback
+        rule = RangeRule("custom", "innodb_buffer_pool_size",
+                         lambda config, c: (GIB, 8 * GIB))
+        book = RuleBook([rule])
+        rng = np.random.default_rng(3)
+        space = mysql57_space()
+        candidates = rng.random((25, space.dim))
+        table = space.decode_columns(candidates)
+        batch = book.satisfies_batch(table, ctx, 25)
+        scalar = [book.satisfies(config, ctx)
+                  for config in space.from_unit_batch(candidates)]
+        assert batch.tolist() == scalar
+        assert not all(scalar)   # the tight range actually rejects some
