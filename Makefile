@@ -1,10 +1,18 @@
 PYTHON ?= python
-export PYTHONPATH := src$(if $(PYTHONPATH),:$(PYTHONPATH))
+export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test perf-test bench bench-baseline service-demo
+.PHONY: test test-service perf-test bench bench-baseline service-demo
 
-test:            ## tier-1 suite (perf microbenchmarks excluded)
+test:            ## tier-1 suite (perf microbenchmarks + slow stress excluded)
 	$(PYTHON) -m pytest -x -q
+
+test-service:    ## service/durability suites incl. the slow multi-process stress tests, stateless under a tmpdir
+	cd $$(mktemp -d repro-service-tests-XXXXXX -p $${TMPDIR:-/tmp}) && \
+	$(PYTHON) -m pytest -p no:cacheprovider -q -m "not perf" \
+		$(CURDIR)/tests/test_service.py \
+		$(CURDIR)/tests/test_service_faults.py \
+		$(CURDIR)/tests/test_service_concurrency.py \
+		$(CURDIR)/tests/test_golden_trajectories.py
 
 service-demo:    ## tuning-as-a-service demo (batch tenants, crash/resume, warm start)
 	$(PYTHON) examples/service_demo.py

@@ -61,6 +61,16 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
                             space=space, n_iterations=n_iterations, seed=seed)
     db = session.db
 
+    import tempfile
+
+    from repro.service import CheckpointStore
+
+    delta_base = history_sizes[-1]       # chain the last `window` intervals
+    delta_dir = tempfile.TemporaryDirectory(prefix="repro-bench-delta-")
+    store = CheckpointStore(delta_dir.name)
+    append_times: List[float] = []
+    append_bytes: List[int] = []
+
     tuner.start(dict(db.reference_config), db.default_performance(0))
     suggest_times: List[float] = []
     observe_times: List[float] = []
@@ -78,20 +88,45 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
         result = db.run_interval(t, config)
         perf = result.objective(profile.is_olap)
         t2 = time.perf_counter()
-        tuner.observe(Feedback(iteration=t, config=config, performance=perf,
-                               metrics=result.metrics, failed=result.failed,
-                               default_performance=tau))
+        feedback = Feedback(iteration=t, config=config, performance=perf,
+                            metrics=result.metrics, failed=result.failed,
+                            default_performance=tau)
+        tuner.observe(feedback)
         t3 = time.perf_counter()
         suggest_times.append(t1 - t0)
         observe_times.append(t3 - t2)
         last_metrics = result.metrics
+        # delta-durability cost at steady state: base snapshot at the
+        # largest history size, then one framed+fsynced record per interval
+        if t + 1 == delta_base:
+            store.save("bench", tuner,
+                       metadata={"n_observations": len(tuner.repo)})
+        elif t + 1 > delta_base:
+            t4 = time.perf_counter()
+            store.save_delta("bench", {"input": inp, "feedback": feedback},
+                             position=len(tuner.repo))
+            append_times.append(time.perf_counter() - t4)
+    store.close()
+    append_bytes = [p.stat().st_size
+                    for _, kind, p in store.artifacts("bench")
+                    if kind == "segment"]
 
     checkpoint = _checkpoint_latency(tuner)
+    delta = _delta_replay_latency(store, append_times, append_bytes,
+                                  checkpoint, delta_base)
+    delta_dir.cleanup()
     if verbose:
         print(f"checkpoint @ history {n_iterations}: "
               f"save {1e3 * checkpoint['save_seconds']:.2f} ms, "
               f"load {1e3 * checkpoint['load_seconds']:.2f} ms, "
               f"{checkpoint['bytes'] / 1024:.0f} KiB")
+        print(f"delta @ history {delta_base}: append "
+              f"{1e3 * delta['append_median_seconds']:.2f} ms / "
+              f"{delta['append_mean_bytes'] / 1024:.1f} KiB per interval, "
+              f"replay({delta['replay_records']}) "
+              f"{1e3 * delta['replay_seconds']:.1f} ms, write cost "
+              f"/{delta['write_cost_reduction_bytes']:.0f} (bytes) "
+              f"/{delta['write_cost_reduction_seconds']:.0f} (latency)")
 
     suggest = np.asarray(suggest_times)
     observe = np.asarray(observe_times)
@@ -119,6 +154,7 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
         "python": platform.python_version(),
         "by_history": by_history,
         "checkpoint": checkpoint,
+        "checkpoint_delta": delta,
         "total_session_seconds": float(total.sum()),
     }
 
@@ -147,6 +183,41 @@ def _checkpoint_latency(tuner, repeats: int = 5) -> Dict[str, float]:
         "save_seconds": float(np.median(saves)),
         "load_seconds": float(np.median(loads)),
         "bytes": int(size),
+    }
+
+
+def _delta_replay_latency(store, append_times: List[float],
+                          append_bytes: List[int], checkpoint: Dict[str, float],
+                          delta_base: int, repeats: int = 3) -> Dict[str, float]:
+    """Delta-durability cost block: per-interval append cost at steady
+    state (history ~``delta_base``) and snapshot+segment replay latency,
+    with the write-cost reduction vs a full-envelope checkpoint."""
+    from repro.core import OnlineTune
+
+    replays = []
+    n_records = 0
+    for _ in range(repeats):
+        t0 = time.perf_counter()
+        tuner, _meta, records = store.load_latest_chain("bench")
+        assert isinstance(tuner, OnlineTune)
+        n_records = tuner.replay(records)
+        replays.append(time.perf_counter() - t0)
+    mean_bytes = (sum(append_bytes) / max(1, len(append_times)))
+    mean_seconds = float(np.mean(append_times)) if append_times else 0.0
+    return {
+        "history": int(delta_base),
+        "append_mean_seconds": mean_seconds,
+        "append_median_seconds": (float(np.median(append_times))
+                                  if append_times else 0.0),
+        "append_mean_bytes": float(mean_bytes),
+        "replay_records": int(n_records),
+        "replay_seconds": float(np.median(replays)),
+        "snapshot_bytes": int(checkpoint["bytes"]),
+        "write_cost_reduction_bytes": (float(checkpoint["bytes"] / mean_bytes)
+                                       if mean_bytes else 0.0),
+        "write_cost_reduction_seconds": (
+            float(checkpoint["save_seconds"] / mean_seconds)
+            if mean_seconds else 0.0),
     }
 
 

@@ -4,7 +4,7 @@ from .candidates import select_candidate
 from .clustering import ClusteredModels
 from .config import OnlineTuneConfig
 from .context import ContextFeaturizer
-from .repository import DataRepository, Observation
+from .repository import DataRepository, Observation, transfer_decay
 from .safety import SafetyAssessment, SafetyAssessor
 from .subspace import Subspace
 from .tuner import IterationTrace, OnlineTune
@@ -16,6 +16,7 @@ __all__ = [
     "ContextFeaturizer",
     "DataRepository",
     "Observation",
+    "transfer_decay",
     "ClusteredModels",
     "Subspace",
     "SafetyAssessor",

@@ -28,9 +28,14 @@ from ..ml.dbscan import DBSCAN, assign_noise_to_nearest
 from ..ml.mutual_info import normalized_mutual_information
 from ..ml.scaler import StandardScaler
 from ..ml.svm import SVMClassifier
-from .repository import DataRepository
+from .repository import DataRepository, transfer_decay
 
 __all__ = ["ClusteredModels"]
+
+#: effective transfer weights are floored here before inversion so a very
+#: distant (or fully decayed) donor inflates noise by at most 1/floor
+#: instead of producing a numerically degenerate diagonal
+_MIN_TRANSFER_WEIGHT = 1e-3
 
 
 class ClusteredModels:
@@ -50,6 +55,7 @@ class ClusteredModels:
                  max_cluster_size: int = 200, nmi_threshold: float = 0.5,
                  recluster_every: int = 20, beta: float = 2.0,
                  enabled: bool = True, seed: int = 0,
+                 transfer_half_life: int = 50,
                  verify_incremental: bool = False) -> None:
         self.config_dim = int(config_dim)
         self.context_dim = int(context_dim)
@@ -62,6 +68,7 @@ class ClusteredModels:
         self.beta = float(beta)
         self.enabled = enabled    # False => single monolithic model (ablation)
         self.seed = int(seed)
+        self.transfer_half_life = int(transfer_half_life)
         self.verify_incremental = bool(verify_incremental)
 
         self.labels: List[int] = []          # cluster label per observation
@@ -180,10 +187,35 @@ class ClusteredModels:
             if optimize:
                 self._next_optimize[label] = max(2 * len(window), threshold * 2)
             model.fit(repo.configs(window), repo.contexts(window),
-                      repo.performances(window), optimize=optimize)
+                      repo.performances(window), optimize=optimize,
+                      noise_scale=self._transfer_noise_scale(repo, window))
             self.full_refits += 1
         self._fitted[label] = list(window)
         self._dirty[label] = False
+
+    def _transfer_noise_scale(self, repo: DataRepository,
+                              window: List[int]) -> Optional[np.ndarray]:
+        """Per-point GP noise factors down-weighting transferred history.
+
+        A transferred observation with signature-distance weight ``w``
+        contributes with effective weight ``w * decay(n_native)`` — its
+        observation noise is inflated by the reciprocal, so distant donors
+        start out muted and *all* donors fade as the tenant's own history
+        accumulates.  Native observations keep unit scale, and a window
+        with no transferred rows returns None (the exact homoscedastic
+        fast path, bit-identical to pre-transfer behavior).  Decay is
+        re-evaluated at every (cheap or hyperopt) refit; the rank-1
+        append path between refits keeps the factors of the last fit.
+        """
+        flags = repo.transferred_flags(window)
+        if not flags.any():
+            return None
+        effective = repo.weights(window) * transfer_decay(
+            repo.n_native, self.transfer_half_life)
+        effective = np.clip(effective, _MIN_TRANSFER_WEIGHT, 1.0)
+        scale = np.ones(len(window))
+        scale[flags] = 1.0 / effective[flags]
+        return scale
 
     def _assert_matches_full_fit(self, label: int, repo: DataRepository,
                                  window: List[int]) -> None:
@@ -192,7 +224,8 @@ class ClusteredModels:
         scratch.gp.kernel.theta = model.gp.kernel.theta
         scratch.gp.noise = model.gp.noise
         scratch.fit(repo.configs(window), repo.contexts(window),
-                    repo.performances(window), optimize=False)
+                    repo.performances(window), optimize=False,
+                    noise_scale=model.gp._noise_scale)
         probe = np.linspace(0.1, 0.9, 3 * self.config_dim).reshape(3, -1)
         ctx = repo.context_at(window[-1])
         m_inc, s_inc = model.predict(probe, ctx)

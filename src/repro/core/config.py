@@ -45,6 +45,11 @@ class OnlineTuneConfig:
     # fANOVA importance refresh cadence (iterations)
     importance_every: int = 25
 
+    # knowledge-transfer decay half-life: transferred observations count
+    # at half their signature-distance weight once this many native
+    # intervals have been observed (see repro.core.transfer_decay)
+    transfer_half_life: int = 50
+
     # ablation switches
     use_workload_context: bool = True
     use_data_context: bool = True

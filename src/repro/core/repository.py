@@ -19,7 +19,7 @@ from typing import Iterator, List, Optional, Sequence
 
 import numpy as np
 
-__all__ = ["Observation", "DataRepository"]
+__all__ = ["Observation", "DataRepository", "transfer_decay"]
 
 _INITIAL_CAPACITY = 64
 
@@ -34,6 +34,8 @@ class Observation:
     performance: float             # measured objective y_i (maximize)
     default_performance: float     # tau at that iteration
     failed: bool = False
+    weight: float = 1.0            # transfer weight (1.0 for native data)
+    transferred: bool = False      # seeded from another session's history
 
     @property
     def safe(self) -> bool:
@@ -43,6 +45,21 @@ class Observation:
     def improvement(self) -> float:
         tau = self.default_performance
         return (self.performance - tau) / max(abs(tau), 1e-9)
+
+
+def transfer_decay(n_native: int, half_life: int) -> float:
+    """How much transferred history still counts after ``n_native``
+    natively observed intervals.
+
+    ``half_life / (half_life + n_native)``: exactly 1.0 with no native
+    history (a freshly seeded tenant trusts its donors fully — PR 2
+    behavior), halved once native observations reach the half-life, and
+    monotonically decaying towards zero as the tenant's own history takes
+    over (cf. ResTune's meta-learning weights).
+    """
+    if half_life <= 0:
+        return 1.0 if n_native == 0 else 0.0
+    return float(half_life) / (float(half_life) + max(0, int(n_native)))
 
 
 class DataRepository:
@@ -68,6 +85,9 @@ class DataRepository:
         self._improv = np.empty(_INITIAL_CAPACITY)
         self._failed = np.zeros(_INITIAL_CAPACITY, dtype=bool)
         self._iter = np.empty(_INITIAL_CAPACITY, dtype=np.int64)
+        self._weight = np.empty(_INITIAL_CAPACITY)
+        self._transferred = np.zeros(_INITIAL_CAPACITY, dtype=bool)
+        self._n_native = 0                  # non-transferred observations
         self._best: Optional[int] = None    # cached global argmax (non-failed)
         if self._context_dim is not None:
             self._contexts = np.empty((_INITIAL_CAPACITY, self._context_dim))
@@ -95,6 +115,8 @@ class DataRepository:
             performance=float(self._perf[i]),
             default_performance=float(self._tau[i]),
             failed=bool(self._failed[i]),
+            weight=float(self._weight[i]),
+            transferred=bool(self._transferred[i]),
         )
 
     # -- appends -----------------------------------------------------------
@@ -111,6 +133,8 @@ class DataRepository:
         self._improv = grown(self._improv)
         self._failed = grown(self._failed)
         self._iter = grown(self._iter)
+        self._weight = grown(self._weight)
+        self._transferred = grown(self._transferred)
         if self._contexts is not None:
             self._contexts = grown(self._contexts)
         if self._configs is not None:
@@ -141,6 +165,10 @@ class DataRepository:
         self._improv[n] = obs.improvement
         self._failed[n] = obs.failed
         self._iter[n] = obs.iteration
+        self._weight[n] = obs.weight
+        self._transferred[n] = obs.transferred
+        if not obs.transferred:
+            self._n_native += 1
         self._n = n + 1
         if not obs.failed and (self._best is None
                                or self._improv[n] > self._improv[self._best]):
@@ -168,6 +196,18 @@ class DataRepository:
 
     def failed_flags(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
         return self._column(self._failed, indices)
+
+    def weights(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        """Per-observation transfer weights (1.0 for native history)."""
+        return self._column(self._weight, indices)
+
+    def transferred_flags(self, indices: Optional[Sequence[int]] = None) -> np.ndarray:
+        return self._column(self._transferred, indices)
+
+    @property
+    def n_native(self) -> int:
+        """How many observations were natively observed (not transferred)."""
+        return self._n_native
 
     # -- array views -------------------------------------------------------
     def _normalize_indices(self, indices: Sequence[int]) -> np.ndarray:

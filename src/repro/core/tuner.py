@@ -82,7 +82,8 @@ class OnlineTune(BaseTuner):
             max_cluster_size=cfg.max_cluster_size,
             nmi_threshold=cfg.nmi_threshold,
             recluster_every=cfg.recluster_every,
-            beta=cfg.beta, enabled=cfg.use_clustering, seed=seed)
+            beta=cfg.beta, enabled=cfg.use_clustering, seed=seed,
+            transfer_half_life=cfg.transfer_half_life)
         self.assessor = SafetyAssessor(
             space, rulebook, margin=cfg.safety_margin,
             use_blackbox=cfg.use_blackbox, use_whitebox=cfg.use_whitebox)
@@ -151,6 +152,28 @@ class OnlineTune(BaseTuner):
         for obs in observations:
             self.repo.add(obs)
             self.models.add_observation(obs.context, self.repo)
+            count += 1
+        return count
+
+    def replay(self, records: Iterable[Dict[str, object]]) -> int:
+        """Re-execute logged intervals on top of a snapshot (delta resume).
+
+        Each record holds the interval's ``input`` (:class:`SuggestInput`,
+        or None when the client observed without a suggest) and its
+        ``feedback`` (:class:`Feedback`).  Because :meth:`suggest` is
+        deterministic given tuner state and input, replaying the log
+        reproduces *exactly* the state the original process held after
+        its last logged ``observe`` — RNG streams, GP factors (extended
+        through the same rank-1 ``add_point`` fast path), subspace
+        counters and featurizer warm-up included.  Returns the number of
+        intervals replayed.
+        """
+        count = 0
+        for rec in records:
+            inp = rec.get("input")
+            if inp is not None:
+                self.suggest(inp)
+            self.observe(rec["feedback"])
             count += 1
         return count
 

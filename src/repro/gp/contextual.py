@@ -62,9 +62,17 @@ class ContextualGP:
         return self.gp.n_observations
 
     def fit(self, configs: np.ndarray, contexts: np.ndarray, y: np.ndarray,
-            optimize: bool = True) -> "ContextualGP":
+            optimize: bool = True,
+            noise_scale: Optional[np.ndarray] = None) -> "ContextualGP":
+        """Fit on joint inputs.
+
+        ``noise_scale`` optionally inflates individual observation noise
+        (``noise * scale_i`` on the diagonal) — the knowledge-transfer
+        path passes ``1 / effective_weight`` for transferred observations
+        so distant or decayed donors influence the posterior less.
+        """
         X = self._join(configs, contexts)
-        self.gp.fit(X, y, optimize=optimize)
+        self.gp.fit(X, y, optimize=optimize, noise_scale=noise_scale)
         return self
 
     def update(self, config: np.ndarray, context: np.ndarray,

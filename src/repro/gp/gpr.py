@@ -97,6 +97,7 @@ class GaussianProcess:
         self.warm_start_refits = bool(warm_start_refits)
         self._n = 0
         self._dim: Optional[int] = None
+        self._noise_scale: Optional[np.ndarray] = None   # per-point factors
         self._Xbuf: Optional[np.ndarray] = None     # raw inputs
         self._ybuf: Optional[np.ndarray] = None     # raw targets
         self._Lbuf: Optional[np.ndarray] = None     # lower Cholesky factor
@@ -188,7 +189,13 @@ class GaussianProcess:
 
     # -- fitting -----------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray, optimize: bool = True,
-            restarts: int = 1, seed: int = 0) -> "GaussianProcess":
+            restarts: int = 1, seed: int = 0,
+            noise_scale: Optional[np.ndarray] = None) -> "GaussianProcess":
+        """Fit on (X, y); ``noise_scale`` optionally inflates the noise of
+        individual observations (heteroscedastic diagonal ``noise *
+        scale_i``), the mechanism the service layer uses to down-weight
+        transferred observations.  ``None`` (or all ones) keeps the exact
+        homoscedastic arithmetic of the scalar-noise path."""
         X = np.atleast_2d(np.asarray(X, dtype=float))
         y = np.asarray(y, dtype=float).ravel()
         if X.shape[0] != y.shape[0]:
@@ -196,6 +203,15 @@ class GaussianProcess:
         if X.shape[0] == 0:
             raise ValueError("cannot fit a GP on zero observations")
         n, dim = X.shape
+        if noise_scale is not None:
+            scale = np.asarray(noise_scale, dtype=float).ravel()
+            if scale.shape[0] != n:
+                raise ValueError(f"noise_scale length {scale.shape[0]} != {n}")
+            if np.any(scale <= 0) or not np.all(np.isfinite(scale)):
+                raise ValueError("noise_scale entries must be positive finite")
+            self._noise_scale = None if np.all(scale == 1.0) else scale.copy()
+        else:
+            self._noise_scale = None
         self._ensure_capacity(n, dim)
         self._Xbuf[:n] = X
         self._ybuf[:n] = y
@@ -241,7 +257,11 @@ class GaussianProcess:
         self._unpack(packed)
         X, y = self._X, self._y
         n = X.shape[0]
-        K = self.kernel(X, X) + (self.noise + _JITTER) * np.eye(n)
+        if self._noise_scale is None:
+            K = self.kernel(X, X) + (self.noise + _JITTER) * np.eye(n)
+        else:
+            K = self.kernel(X, X)
+            K[np.diag_indices(n)] += self.noise * self._noise_scale + _JITTER
         try:
             L = linalg.cholesky(K, lower=True)
         except linalg.LinAlgError:
@@ -256,7 +276,11 @@ class GaussianProcess:
         for dK in self.kernel.gradients(X):
             grads.append(-0.5 * float(np.sum(inner * dK)))
         if self.optimize_noise:
-            grads.append(-0.5 * float(np.trace(inner)) * self.noise)
+            if self._noise_scale is None:
+                grads.append(-0.5 * float(np.trace(inner)) * self.noise)
+            else:
+                grads.append(-0.5 * float(np.diag(inner) @ self._noise_scale)
+                             * self.noise)
         return float(nll), np.asarray(grads)
 
     def _optimize_hyperparameters(self, restarts: int, seed: int) -> None:
@@ -295,7 +319,11 @@ class GaussianProcess:
     def _factorize(self) -> None:
         X = self._X
         n = X.shape[0]
-        K = self.kernel(X, X) + (self.noise + _JITTER) * np.eye(n)
+        if self._noise_scale is None:
+            K = self.kernel(X, X) + (self.noise + _JITTER) * np.eye(n)
+        else:
+            K = self.kernel(X, X)
+            K[np.diag_indices(n)] += self.noise * self._noise_scale + _JITTER
         jitter = _JITTER
         while True:
             try:
@@ -311,7 +339,9 @@ class GaussianProcess:
             L, np.eye(n), lower=True, check_finite=False)
         self._Vbuf[:n, n:] = 0.0
         # record the exact diagonal inflation baked into the stored factor
-        # so incremental appends extend the *same* matrix
+        # so incremental appends extend the *same* matrix; with per-point
+        # noise scales this is the unit-scale (native-observation) add,
+        # which is what every incrementally appended point uses
         self._diag_add = self.noise + _JITTER + jitter
         self._appends_since_refactor = 0
         self._refresh_alpha()
@@ -350,6 +380,9 @@ class GaussianProcess:
         self._Xbuf[n] = x
         self._ybuf[n] = yf
         self._n = n + 1
+        if self._noise_scale is not None:
+            # appended observations are native (unit noise scale)
+            self._noise_scale = np.append(self._noise_scale, 1.0)
         self._appends_since_refactor += 1
         unstable = (not np.isfinite(pivot_sq)
                     or pivot_sq <= _MIN_PIVOT_RATIO * max(k_ss, 1.0))

@@ -1,14 +1,20 @@
 """Tuning-as-a-service layer.
 
-Turns the in-process tuner into a durable, multi-tenant service:
+Turns the in-process tuner into a durable, concurrent, multi-tenant
+service:
 
 * :mod:`~repro.service.checkpoint` — a versioned, checksummed on-disk
-  envelope for full tuner state; save/load round-trips are bit-identical.
-* :mod:`~repro.service.store` — per-tenant checkpoint namespaces with
-  sequence numbering and latest-checkpoint lookup.
+  envelope for full tuner state plus the append-only delta *segment*
+  format; save/load round-trips are bit-identical.
+* :mod:`~repro.service.store` — per-tenant checkpoint namespaces:
+  sequence-numbered snapshots, delta chains (``save_delta`` /
+  ``load_latest_chain``), and chain-safe pruning.
+* :mod:`~repro.service.lease` — file-based per-tenant leases (TTL,
+  heartbeat renewal, stale takeover) so several frontends can share one
+  store with exactly one writer per tenant.
 * :mod:`~repro.service.knowledge` — a knowledge base indexing persisted
   repositories by workload-context signature; warm-starts new tenants
-  from their nearest neighbors.
+  from their nearest neighbors with distance-decayed weights.
 * :mod:`~repro.service.service` — :class:`TuningService`: many concurrent
   tenant sessions behind a ``create/suggest/observe/checkpoint/resume/
   close`` API, an LRU of hydrated sessions backed by the store, and
@@ -17,25 +23,43 @@ Turns the in-process tuner into a durable, multi-tenant service:
 
 from .checkpoint import (
     CHECKPOINT_VERSION,
+    SEGMENT_VERSION,
     CheckpointError,
+    SegmentError,
     load_checkpoint,
     read_metadata,
+    read_segment,
     save_checkpoint,
 )
-from .knowledge import KnowledgeBase, KnowledgeEntry, repository_signature
+from .knowledge import (
+    KnowledgeBase,
+    KnowledgeEntry,
+    repository_signature,
+    transfer_weight,
+)
+from .lease import Lease, LeaseError, LeaseHeldError, LeaseLostError, LeaseManager
 from .service import TenantSpec, TuningService
 from .store import CheckpointStore
 
 __all__ = [
     "CHECKPOINT_VERSION",
+    "SEGMENT_VERSION",
     "CheckpointError",
+    "SegmentError",
     "save_checkpoint",
     "load_checkpoint",
     "read_metadata",
+    "read_segment",
     "CheckpointStore",
+    "Lease",
+    "LeaseError",
+    "LeaseHeldError",
+    "LeaseLostError",
+    "LeaseManager",
     "KnowledgeBase",
     "KnowledgeEntry",
     "repository_signature",
+    "transfer_weight",
     "TuningService",
     "TenantSpec",
 ]

@@ -26,19 +26,37 @@ import os
 import pickle
 import struct
 import tempfile
+import zlib
 from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
-__all__ = ["CHECKPOINT_VERSION", "CheckpointError", "save_checkpoint",
-           "load_checkpoint", "read_metadata"]
+__all__ = ["CHECKPOINT_VERSION", "SEGMENT_VERSION", "CheckpointError",
+           "SegmentError", "save_checkpoint", "load_checkpoint",
+           "read_metadata", "SegmentWriter", "read_segment"]
 
 MAGIC = b"REPROCKP"
-CHECKPOINT_VERSION = 1
+#: v2: observation rows gained transfer-weight columns (weight /
+#: transferred), so v1 payloads no longer round-trip and are rejected
+CHECKPOINT_VERSION = 2
 _HEAD = struct.Struct("<II")  # version, header length
+
+SEG_MAGIC = b"REPROSEG"
+SEGMENT_VERSION = 1
+_REC_HEAD = struct.Struct("<II")   # payload length, chain position
+_CRC = struct.Struct("<I")         # crc32 over the packed record header
+_POS = struct.Struct("<I")
+_SHA_LEN = 32
+#: bytes before a record's payload: header + header crc32 + payload sha256
+_FRAME_LEN = _REC_HEAD.size + _CRC.size + _SHA_LEN
 
 
 class CheckpointError(RuntimeError):
     """A checkpoint is missing, corrupt, or from an unsupported version."""
+
+
+class SegmentError(CheckpointError):
+    """A delta segment is corrupt, version-skewed, or inconsistent with
+    its base snapshot."""
 
 
 def _fsync_dir(directory: Path) -> None:
@@ -158,3 +176,144 @@ def load_checkpoint(path) -> Tuple[Any, Dict[str, object]]:
         raise CheckpointError(
             f"{path} payload failed to deserialize: {exc}") from exc
     return payload, dict(header.get("metadata", {}))
+
+
+# -- delta segments ---------------------------------------------------------
+#
+# A segment is the append-only half of the delta-checkpoint format::
+#
+#     bytes 0..8     magic  b"REPROSEG"
+#     bytes 8..12    uint32 segment format version
+#     bytes 12..16   uint32 header length H
+#     bytes 16..16+H header JSON: {"tenant", "sequence", "base_sequence"}
+#     then records, each:
+#       uint32  payload length
+#       uint32  position   (observation count after applying this record)
+#       uint32  crc32 of the two fields above
+#       32 B    sha256(position_le32 + payload)
+#       payload (pickle)
+#
+# Records are appended with a single write + fsync, so a crash can only
+# leave an *incomplete trailing record*.  That torn tail is recovered by
+# truncating to the last complete record — the interval it described was
+# never acknowledged as durable, so dropping it resumes to a state the
+# uninterrupted run actually passed through.  The header crc32 is what
+# keeps that recovery honest: a record is classified as torn only when
+# its *verified* length overruns the file, so a corrupted length field
+# (which could otherwise masquerade as a torn tail and silently drop
+# acknowledged records) raises instead.  Any complete record whose
+# digest mismatches, any header/version problem, and any position gap is
+# corruption and raises :class:`SegmentError` instead of being skipped.
+
+
+class SegmentWriter:
+    """Appends framed, checksummed records to one open segment file."""
+
+    def __init__(self, path, tenant: str, sequence: int,
+                 base_sequence: int) -> None:
+        self.path = Path(path)
+        self.tenant = tenant
+        self.sequence = int(sequence)
+        self.base_sequence = int(base_sequence)
+        self.records = 0
+        self._fh = None
+        header = json.dumps({"tenant": tenant, "sequence": self.sequence,
+                             "base_sequence": self.base_sequence},
+                            sort_keys=True).encode("utf-8")
+        # O_EXCL: a segment file is created exactly once by one writer
+        fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        self._fh = os.fdopen(fd, "wb")
+        self._fh.write(SEG_MAGIC)
+        self._fh.write(_HEAD.pack(SEGMENT_VERSION, len(header)))
+        self._fh.write(header)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        _fsync_dir(self.path.parent)
+
+    def append(self, payload: Any, position: int) -> int:
+        """Durably append one record; returns its encoded byte size."""
+        if self._fh is None:
+            raise SegmentError(f"segment {self.path} is closed")
+        blob = pickle.dumps(payload, protocol=4)
+        pos_bytes = _POS.pack(int(position))
+        digest = hashlib.sha256(pos_bytes + blob).digest()
+        head = _REC_HEAD.pack(len(blob), int(position))
+        frame = head + _CRC.pack(zlib.crc32(head)) + digest + blob
+        self._fh.write(frame)
+        self._fh.flush()
+        os.fsync(self._fh.fileno())
+        self.records += 1
+        return len(frame)
+
+    def close(self) -> None:
+        if self._fh is not None:
+            self._fh.close()
+            self._fh = None
+
+    def __del__(self) -> None:   # best-effort: writers are long-lived
+        try:
+            self.close()
+        except Exception:  # noqa: BLE001 - interpreter shutdown
+            pass
+
+
+def read_segment(path) -> Tuple[Dict[str, object], list, bool]:
+    """Read a segment; returns ``(header, [(position, payload)], torn)``.
+
+    ``torn`` reports an incomplete trailing record (recovered by
+    truncation); all other inconsistencies raise :class:`SegmentError`.
+    """
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SegmentError(f"cannot read segment {path}: {exc}") from exc
+    head_len = len(SEG_MAGIC) + _HEAD.size
+    if len(raw) < head_len or not raw.startswith(SEG_MAGIC):
+        raise SegmentError(f"{path} is not a repro delta segment (bad magic)")
+    version, header_len = _HEAD.unpack_from(raw, len(SEG_MAGIC))
+    if version != SEGMENT_VERSION:
+        raise SegmentError(
+            f"{path} uses segment format v{version}; this build reads "
+            f"only v{SEGMENT_VERSION}")
+    header_bytes = raw[head_len: head_len + header_len]
+    if len(header_bytes) != header_len:
+        raise SegmentError(f"{path} is truncated (incomplete header)")
+    try:
+        header = json.loads(header_bytes.decode("utf-8"))
+    except (UnicodeDecodeError, json.JSONDecodeError) as exc:
+        raise SegmentError(f"{path} has a corrupt header: {exc}") from exc
+    records = []
+    offset = head_len + header_len
+    torn = False
+    while offset < len(raw):
+        if offset + _FRAME_LEN > len(raw):
+            torn = True   # crash mid-append: incomplete frame
+            break
+        length, position = _REC_HEAD.unpack_from(raw, offset)
+        (head_crc,) = _CRC.unpack_from(raw, offset + _REC_HEAD.size)
+        if zlib.crc32(raw[offset: offset + _REC_HEAD.size]) != head_crc:
+            raise SegmentError(
+                f"{path} record frame header at byte {offset} is corrupt "
+                f"(crc mismatch)")
+        blob_start = offset + _FRAME_LEN
+        if blob_start + length > len(raw):
+            # the length is crc-verified, so overrunning the file really
+            # is an incomplete trailing write, not a corrupted length
+            torn = True
+            break
+        digest = raw[offset + _REC_HEAD.size + _CRC.size: blob_start]
+        blob = raw[blob_start: blob_start + length]
+        if hashlib.sha256(_POS.pack(position) + blob).digest() != digest:
+            raise SegmentError(
+                f"{path} record at position {position} failed its "
+                f"integrity check (checksum mismatch)")
+        try:
+            payload = pickle.loads(blob)
+        except Exception as exc:  # noqa: BLE001 - any failure is corruption
+            raise SegmentError(
+                f"{path} record at position {position} failed to "
+                f"deserialize: {exc}") from exc
+        records.append((int(position), payload))
+        offset = blob_start + length
+    return header, records, torn

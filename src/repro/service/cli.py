@@ -74,13 +74,20 @@ def main(argv=None, root: Optional[Path] = None) -> int:
                         help="service state directory (default: temp dir)")
     parser.add_argument("--max-live", type=int, default=4,
                         help="hydrated-session LRU capacity")
+    parser.add_argument("--durability", choices=("snapshot", "delta"),
+                        default="delta",
+                        help="full snapshots only, or per-interval delta "
+                             "segments with periodic compaction")
     args = parser.parse_args(argv)
 
     ephemeral = args.root is None
     if ephemeral:
         tmp = tempfile.TemporaryDirectory(prefix="repro-service-")
         args.root = Path(tmp.name)
-    service = TuningService(args.root, max_live_sessions=args.max_live)
+    service = TuningService(args.root, max_live_sessions=args.max_live,
+                            durability=args.durability)
+    print(f"service owner {service.leases.owner} "
+          f"(per-tenant leases under {args.root}/leases)")
 
     # 1. batched stepping: one full session per tenant on the process pool
     specs = {
@@ -106,6 +113,13 @@ def main(argv=None, root: Optional[Path] = None) -> int:
     last: Dict[str, float] = {}
     for t in range(8):
         _cfg, _perf, last = _interactive_step(service, tenant, db, t, last)
+    if args.durability == "delta":
+        arts = service.store.artifacts(tenant)
+        seg_bytes = sum(p.stat().st_size for _, kind, p in arts
+                        if kind == "segment")
+        print(f"  delta chain after 8 intervals: "
+              f"{len([a for a in arts if a[1] == 'segment'])} segment(s), "
+              f"{seg_bytes / 1024:.0f} KiB total")
     ckpt = service.checkpoint(tenant)
     print(f"  checkpointed after 8 intervals -> {ckpt.name} "
           f"({ckpt.stat().st_size / 1024:.0f} KiB)")

@@ -28,12 +28,30 @@ from ..core.repository import DataRepository, Observation
 from ..core.tuner import OnlineTune
 from .checkpoint import CheckpointError
 
-__all__ = ["KnowledgeBase", "KnowledgeEntry", "repository_signature"]
+__all__ = ["KnowledgeBase", "KnowledgeEntry", "repository_signature",
+           "transfer_weight"]
 
 #: observations embedded per index entry — the warm-start transfer
 #: payload lives inline (a few KB of JSON), so seeding a tenant never
 #: reads, hashes, or unpickles a donor's multi-MB model checkpoint
 MAX_ENTRY_SEEDS = 16
+
+
+#: length scale of the signature-distance weighting: a donor whose masked
+#: signature distance equals this contributes at half weight
+TRANSFER_WEIGHT_SCALE = 1.0
+
+
+def transfer_weight(distance: float, scale: float = TRANSFER_WEIGHT_SCALE) -> float:
+    """Seeding weight of a donor at a given signature distance.
+
+    ``1 / (1 + (d / scale)^2)``: exactly 1.0 for a zero-distance donor
+    (identical-workload transfer keeps PR 2's full-strength seeding) and
+    monotonically decreasing in distance, so far-away donors inform the
+    safety model without steering it.
+    """
+    d = max(0.0, float(distance))
+    return 1.0 / (1.0 + (d / float(scale)) ** 2)
 
 
 def _seed_payload(obs: Observation) -> dict:
@@ -208,10 +226,13 @@ class KnowledgeBase:
         checkpoint cannot degrade a tenant creation.
 
         Retrieval distances use only cross-featurizer-comparable context
-        dimensions; seeded observations do carry the neighbor's own
-        embedding components (an approximation the newcomer's history
-        progressively outweighs — see ROADMAP for distance-weighted
-        decay).
+        dimensions.  Each seeded observation is stamped ``transferred``
+        with weight :func:`transfer_weight` of its donor's signature
+        distance; the GP/cluster layer inflates the observation noise by
+        the reciprocal and further decays it as native history accumulates
+        (:func:`repro.core.transfer_decay`), so a zero-distance donor
+        starts at PR 2's full-strength seeding while distant donors only
+        nudge the safety model.
         """
         neighbors = self.nearest(signature, k=k,
                                  context_dim=tuner.featurizer.dim,
@@ -222,8 +243,12 @@ class KnowledgeBase:
         per_neighbor = max(1, max_observations // len(neighbors))
         picked: List[Observation] = []
         for entry in neighbors:
+            weight = transfer_weight(entry.distance(signature))
             for payload in (entry.seeds or [])[:per_neighbor]:
-                picked.append(_seed_observation(payload, iteration=0))
+                obs = _seed_observation(payload, iteration=0)
+                obs.weight = weight
+                obs.transferred = True
+                picked.append(obs)
         picked = picked[:max_observations]
         # seed worst-first so the repository tail — which the regression
         # guard inspects on the first suggest — holds the best (and in

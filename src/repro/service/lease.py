@@ -1,0 +1,287 @@
+"""File-based tenant leases: one writer per tenant across processes.
+
+Several service frontends can share one :class:`~repro.service.store.
+CheckpointStore`; the lease is what makes that safe.  A lease is a small
+JSON file created with ``O_CREAT | O_EXCL`` — the POSIX primitive that
+succeeds for exactly one creator — under ``<root>/<tenant>.lease``:
+
+* **Liveness** comes from the file's mtime plus the TTL recorded inside
+  it, so heartbeat renewal is a single atomic ``os.utime`` (no rewrite,
+  no replace-race with a concurrent takeover).
+* **Stale takeover**: a lease whose ``mtime + ttl`` has passed is dead
+  (owner crashed or lost the plot).  The taker atomically *renames* the
+  stale file aside — ``os.rename`` succeeds for exactly one contender —
+  then O_EXCL-creates the new lease with an incremented fencing token.
+* **Typed errors**: a live conflicting lease raises
+  :class:`LeaseHeldError`; renewing or releasing a lease that expired
+  and was taken over (or vanished) raises :class:`LeaseLostError`.
+
+Like every TTL lease (Chubby, etcd, ...), mutual exclusion assumes
+process pause times stay below the TTL; the fencing token is recorded so
+downstream writers could reject a zombie's writes if that ever matters.
+"""
+
+from __future__ import annotations
+
+import errno
+import json
+import os
+import socket
+import time
+import uuid
+from contextlib import contextmanager
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, Optional
+
+__all__ = ["Lease", "LeaseError", "LeaseHeldError", "LeaseLostError",
+           "LeaseManager"]
+
+DEFAULT_TTL = 30.0
+
+#: renewals are skipped while more than this fraction of the TTL remains,
+#: so per-operation heartbeats cost one stat() in the common case
+RENEW_SLACK = 0.5
+
+
+class LeaseError(RuntimeError):
+    """Base class for lease failures."""
+
+
+class LeaseHeldError(LeaseError):
+    """Another owner holds a live lease on the tenant."""
+
+
+class LeaseLostError(LeaseError):
+    """A lease this owner held has expired, vanished, or been taken over."""
+
+
+@dataclass
+class Lease:
+    """A held lease (returned by :meth:`LeaseManager.acquire`)."""
+
+    tenant: str
+    owner: str
+    path: Path
+    ttl: float
+    expires_at: float
+    token: int                  # fencing token: increments per takeover
+
+    def remaining(self, now: Optional[float] = None) -> float:
+        return self.expires_at - (time.time() if now is None else now)
+
+
+class LeaseManager:
+    """Acquire/renew/release per-tenant leases in one directory.
+
+    Parameters
+    ----------
+    root:
+        Directory holding the ``<tenant>.lease`` files.
+    ttl:
+        Seconds a lease stays live after its last heartbeat.
+    owner:
+        Stable identity of this frontend; defaults to
+        ``host:pid:random`` so two managers never collide by accident.
+    """
+
+    def __init__(self, root, ttl: float = DEFAULT_TTL,
+                 owner: Optional[str] = None) -> None:
+        self.root = Path(root)
+        self.root.mkdir(parents=True, exist_ok=True)
+        self.ttl = float(ttl)
+        if self.ttl <= 0:
+            raise ValueError("lease ttl must be positive")
+        self.owner = owner or (f"{socket.gethostname()}:{os.getpid()}:"
+                               f"{uuid.uuid4().hex[:8]}")
+
+    # -- paths & inspection --------------------------------------------------
+    def _path(self, tenant: str) -> Path:
+        # same charset contract as CheckpointStore tenant ids
+        from .store import CheckpointStore
+        return self.root / f"{CheckpointStore.validate_tenant_id(tenant)}.lease"
+
+    def holder(self, tenant: str) -> Optional[Dict[str, object]]:
+        """The current lease record with computed liveness, or None."""
+        path = self._path(tenant)
+        try:
+            data = json.loads(path.read_text())
+            mtime = path.stat().st_mtime
+        except (OSError, json.JSONDecodeError):
+            return None
+        ttl = float(data.get("ttl", self.ttl))
+        expires = mtime + ttl
+        data["expires_at"] = expires
+        data["live"] = expires > time.time()
+        return data
+
+    def _materialize(self, tenant: str, path: Path, token: int) -> Lease:
+        expires = path.stat().st_mtime + self.ttl
+        return Lease(tenant=tenant, owner=self.owner, path=path,
+                     ttl=self.ttl, expires_at=expires, token=token)
+
+    def _create(self, tenant: str, path: Path, token: int) -> Lease:
+        """Atomically create the lease file; FileExistsError means we lost.
+
+        The body is written to a private temp file and published with
+        ``os.link`` — the file appears at ``path`` fully written, and the
+        link succeeds for exactly one contender.  (A plain
+        ``O_CREAT|O_EXCL`` open would expose an empty file between create
+        and write, which a concurrent acquirer could misread as a
+        corrupt/stale lease and steal.)
+        """
+        body = json.dumps({"tenant": tenant, "owner": self.owner,
+                           "ttl": self.ttl, "token": int(token),
+                           "acquired_at": time.time()},
+                          sort_keys=True).encode("utf-8")
+        tmp = path.with_name(path.name + f".tmp-{uuid.uuid4().hex[:8]}")
+        fd = os.open(tmp, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
+        try:
+            os.write(fd, body)
+            os.fsync(fd)
+        finally:
+            os.close(fd)
+        try:
+            os.link(tmp, path)
+        finally:
+            try:
+                os.unlink(tmp)
+            except OSError:
+                pass
+        return self._materialize(tenant, path, token)
+
+    # -- lifecycle -----------------------------------------------------------
+    def acquire(self, tenant: str) -> Lease:
+        """Take the tenant's lease, or raise :class:`LeaseHeldError`.
+
+        Succeeds when the lease is free, expired (stale takeover), or
+        already held by this owner (reentrant: renews in place).
+        """
+        path = self._path(tenant)
+        for _attempt in range(8):   # bounded retries around rename races
+            try:
+                return self._create(tenant, path, token=1)
+            except FileExistsError:
+                pass
+            try:
+                data = json.loads(path.read_text())
+                mtime = path.stat().st_mtime
+            except FileNotFoundError:
+                continue             # holder vanished between create and read
+            except (OSError, json.JSONDecodeError):
+                # unreadable/torn lease file: treat as stale below
+                data, mtime = {}, 0.0
+            now = time.time()
+            ttl = float(data.get("ttl", self.ttl))
+            live = mtime + ttl > now
+            if data.get("owner") == self.owner and live:
+                # reentrant acquire of our own *live* lease = heartbeat.
+                # An expired own lease must NOT be utime-revived: a
+                # contender may be mid-takeover (rename + re-create), and
+                # the utime could land on *their* fresh lease — instead
+                # fall through to the rename-aside path, whose atomicity
+                # picks exactly one winner (possibly us, with a new token)
+                try:
+                    os.utime(path, None)
+                except FileNotFoundError:
+                    continue
+                return self._materialize(tenant, path,
+                                         int(data.get("token", 1)))
+            if live:
+                raise LeaseHeldError(
+                    f"tenant {tenant!r} is leased to {data.get('owner')!r} "
+                    f"for another {mtime + ttl - now:.1f}s")
+            # stale: exactly one contender wins the rename
+            aside = path.with_name(path.name + f".stale-{uuid.uuid4().hex[:8]}")
+            try:
+                os.rename(path, aside)
+            except FileNotFoundError:
+                continue             # lost the takeover race; re-evaluate
+            token = int(data.get("token", 0)) + 1
+            try:
+                lease = self._create(tenant, path, token=token)
+            except FileExistsError:
+                # an O_EXCL creator slipped into the gap; we lost
+                try:
+                    os.unlink(aside)
+                except OSError:
+                    pass
+                continue
+            try:
+                os.unlink(aside)
+            except OSError:
+                pass
+            return lease
+        raise LeaseHeldError(
+            f"tenant {tenant!r}: lease contention did not settle")
+
+    def renew(self, lease: Lease) -> Lease:
+        """Heartbeat: push the expiry out by one TTL (atomic ``utime``).
+
+        Raises :class:`LeaseLostError` when the lease vanished, was taken
+        over, or had already expired (renewing after expiry is unsafe —
+        another owner may legitimately hold the tenant now).
+        """
+        now = time.time()
+        if now >= lease.expires_at:
+            raise LeaseLostError(
+                f"tenant {lease.tenant!r}: lease expired "
+                f"{now - lease.expires_at:.1f}s ago; re-acquire instead")
+        try:
+            data = json.loads(lease.path.read_text())
+        except (OSError, json.JSONDecodeError) as exc:
+            raise LeaseLostError(
+                f"tenant {lease.tenant!r}: lease file unreadable "
+                f"({exc}); assume taken over") from exc
+        if data.get("owner") != self.owner:
+            raise LeaseLostError(
+                f"tenant {lease.tenant!r}: lease now belongs to "
+                f"{data.get('owner')!r}")
+        try:
+            os.utime(lease.path, None)
+            lease.expires_at = lease.path.stat().st_mtime + lease.ttl
+        except FileNotFoundError as exc:
+            raise LeaseLostError(
+                f"tenant {lease.tenant!r}: lease file vanished") from exc
+        return lease
+
+    def renew_if_due(self, lease: Lease, slack: float = RENEW_SLACK) -> Lease:
+        """Renew only once less than ``slack * ttl`` remains (cheap
+        per-operation heartbeat)."""
+        if lease.remaining() < slack * lease.ttl:
+            return self.renew(lease)
+        return lease
+
+    def release(self, lease: Lease) -> None:
+        """Give the lease up.  Only a live lease we still own is
+        unlinked; an expired one is left for stale takeover (unlinking it
+        could race a taker's rename), and a taken-over lease is reported
+        as :class:`LeaseLostError`."""
+        now = time.time()
+        try:
+            data = json.loads(lease.path.read_text())
+        except (FileNotFoundError, json.JSONDecodeError):
+            return                  # already gone (or mid-takeover)
+        except OSError:
+            return
+        if data.get("owner") != self.owner:
+            raise LeaseLostError(
+                f"tenant {lease.tenant!r}: lease now belongs to "
+                f"{data.get('owner')!r}")
+        if now >= lease.expires_at:
+            return                  # stale: leave it to takeover
+        try:
+            os.unlink(lease.path)
+        except OSError as exc:
+            if exc.errno != errno.ENOENT:
+                raise
+
+    @contextmanager
+    def holding(self, tenant: str):
+        """``with leases.holding(tenant):`` — acquire around a critical
+        section, always releasing on exit."""
+        lease = self.acquire(tenant)
+        try:
+            yield lease
+        finally:
+            self.release(lease)

@@ -7,16 +7,25 @@
   checkpoint namespace; tenant ids are validated so no tenant can
   address another's state.  A hosted session produces exactly the
   suggestions an isolated in-process run would.
+* **Exclusion** — every hydrated session holds a per-tenant
+  :class:`~repro.service.lease.Lease`, heartbeat-renewed on use, so
+  several frontends can share one store with exactly one writer per
+  tenant; conflicts raise :class:`~repro.service.lease.LeaseHeldError`.
 * **Durability** — any tenant can be checkpointed at any point and
-  resumed bit-identically, in this process or another one.
+  resumed bit-identically, in this process or another one.  With
+  ``durability="delta"`` every completed interval is appended to a
+  delta segment (a few KB + one fsync) and full snapshots happen only
+  every ``snapshot_every`` intervals; rehydration replays
+  snapshot + segments to the identical state.
 * **Elasticity** — only ``max_live_sessions`` tuners stay hydrated; the
-  least-recently-used session is transparently checkpointed and evicted,
+  least-recently-used session is transparently persisted and evicted,
   then rehydrated from the store on its next call.
 * **Batched stepping** — :meth:`run_batch` fans whole tenant sessions
   across the :class:`~repro.harness.ParallelRunner` process pool and
   persists each returned tuner as that tenant's checkpoint.
 * **Knowledge transfer** — closed sessions are indexed by workload
-  signature; new tenants can warm-start from their nearest neighbors.
+  signature; new tenants warm-start from their nearest neighbors with
+  signature-distance weights that decay as native history accumulates.
 """
 
 from __future__ import annotations
@@ -33,6 +42,7 @@ from ..harness.runner import ParallelRunner, SessionResult, SessionSpec
 from ..workloads.base import WorkloadSnapshot
 from .checkpoint import CheckpointError
 from .knowledge import KnowledgeBase
+from .lease import DEFAULT_TTL, Lease, LeaseLostError, LeaseManager
 from .store import CheckpointStore
 
 __all__ = ["TenantSpec", "TuningService"]
@@ -52,8 +62,12 @@ class TenantSpec:
 @dataclass
 class _LiveSession:
     tuner: OnlineTune
-    dirty_steps: int = 0     # suggest/observe calls since the last save
+    lease: Optional[Lease] = None
+    dirty_steps: int = 0     # state-advancing calls not yet durable
     observed: int = 0        # completed intervals since the last save
+    delta_records: int = 0   # chain records since the last full snapshot
+    pending_input: Optional[SuggestInput] = None
+    pending_suggests: int = 0    # suggests since the last durable point
 
 
 class TuningService:
@@ -62,25 +76,48 @@ class TuningService:
     Parameters
     ----------
     root:
-        Directory for the checkpoint store and the knowledge index.
+        Directory for the checkpoint store, lease files, and the
+        knowledge index.
     max_live_sessions:
         How many tuners stay hydrated in memory; beyond this the LRU
-        session is checkpointed to the store and evicted.
+        session is persisted to the store and evicted.
     checkpoint_every:
-        Automatic durability cadence: a live session is checkpointed
-        after this many ``observe`` calls (0 disables auto-checkpoints;
-        explicit :meth:`checkpoint` and eviction still persist state).
+        Snapshot-mode durability cadence: a live session is fully
+        checkpointed after this many ``observe`` calls (0 disables
+        auto-checkpoints; explicit :meth:`checkpoint` and eviction still
+        persist state).  Ignored under ``durability="delta"``, where
+        every interval is durable by construction.
+    durability:
+        ``"snapshot"`` (default) persists full envelopes only;
+        ``"delta"`` appends each completed interval to the tenant's
+        delta chain and compacts with a full snapshot every
+        ``snapshot_every`` intervals.
+    snapshot_every:
+        Delta-mode compaction cadence, in chain records.
+    lease_ttl / owner:
+        Forwarded to the :class:`LeaseManager` guarding tenant writes.
     runner:
         The process-pool runner :meth:`run_batch` fans sessions across.
     """
 
     def __init__(self, root, max_live_sessions: int = 8,
                  checkpoint_every: int = 0,
-                 runner: Optional[ParallelRunner] = None) -> None:
+                 runner: Optional[ParallelRunner] = None,
+                 durability: str = "snapshot",
+                 snapshot_every: int = 64,
+                 lease_ttl: float = DEFAULT_TTL,
+                 owner: Optional[str] = None) -> None:
+        if durability not in ("snapshot", "delta"):
+            raise ValueError(f"durability must be 'snapshot' or 'delta', "
+                             f"not {durability!r}")
         self.store = CheckpointStore(root)
         self.knowledge = KnowledgeBase(Path(root) / "knowledge.json")
+        self.leases = LeaseManager(Path(root) / "leases", ttl=lease_ttl,
+                                   owner=owner)
         self.max_live_sessions = max(1, int(max_live_sessions))
         self.checkpoint_every = max(0, int(checkpoint_every))
+        self.durability = durability
+        self.snapshot_every = max(1, int(snapshot_every))
         self.runner = runner or ParallelRunner()
         self._live: "OrderedDict[str, _LiveSession]" = OrderedDict()
 
@@ -100,11 +137,48 @@ class TuningService:
 
     def _evict(self, tenant_id: str) -> None:
         session = self._live.pop(tenant_id)
-        # a clean session (no suggest/observe since its last save) is
-        # already durable; rewriting it would grow the store on every
-        # rehydrate/evict cycle of read-mostly traffic
+        # a clean session (nothing state-advancing since its last durable
+        # point — full snapshot or delta record) is already safe on disk;
+        # rewriting it would grow the store on every rehydrate/evict
+        # cycle of read-mostly traffic
         if session.dirty_steps:
             self._save(tenant_id, session)
+        self._drop_tenant_hold(tenant_id, session)
+
+    def _drop_tenant_hold(self, tenant_id: str, session: _LiveSession) -> None:
+        """Release everything that pins this frontend to the tenant: the
+        lease *and* any open delta-segment writer.  Once the lease is
+        gone another frontend may extend the chain; appending to a
+        stale open segment afterwards would corrupt position continuity,
+        so the writer must never outlive the lease."""
+        self.store.close_segment(tenant_id)
+        self._release_lease(session)
+
+    def _release_lease(self, session: _LiveSession) -> None:
+        if session.lease is not None:
+            try:
+                self.leases.release(session.lease)
+            except LeaseLostError:
+                pass   # someone legitimately took over; nothing to give up
+            session.lease = None
+
+    def _ensure_lease(self, tenant_id: str, session: _LiveSession) -> None:
+        """Hold-and-heartbeat the tenant's lease for a mutating call.
+
+        A lost lease (expired + taken over) drops the hydrated session —
+        its state may be stale relative to the new owner's writes — and
+        surfaces the typed error to the caller.
+        """
+        try:
+            if session.lease is None:
+                session.lease = self.leases.acquire(tenant_id)
+            else:
+                session.lease = self.leases.renew_if_due(session.lease)
+        except LeaseLostError:
+            self._live.pop(tenant_id, None)
+            session.lease = None
+            self.store.close_segment(tenant_id)
+            raise
 
     def _save(self, tenant_id: str, session: _LiveSession) -> Path:
         path = self.store.save(
@@ -113,6 +187,11 @@ class TuningService:
                       "n_observations": len(session.tuner.repo)})
         session.dirty_steps = 0
         session.observed = 0
+        session.delta_records = 0
+        # any pending suggest is now *inside* the snapshot: the chain must
+        # not replay it again (its record logs input=None, observe-only)
+        session.pending_input = None
+        session.pending_suggests = 0
         return path
 
     def _session(self, tenant_id: str) -> _LiveSession:
@@ -123,14 +202,21 @@ class TuningService:
         if session is not None:
             self._live.move_to_end(tenant_id)
             return session
-        path = self.store.latest_path(tenant_id)
-        if path is None:
+        if self.store.latest_path(tenant_id) is None:
             raise KeyError(f"unknown tenant {tenant_id!r}: call create() first")
-        tuner, _meta = self.store.load(path)
-        if not isinstance(tuner, OnlineTune):
-            raise CheckpointError(
-                f"tenant {tenant_id!r} checkpoint does not hold a tuner")
-        session = _LiveSession(tuner=tuner)
+        lease = self.leases.acquire(tenant_id)
+        try:
+            tuner, _meta, records = self.store.load_latest_chain(tenant_id)
+            if not isinstance(tuner, OnlineTune):
+                raise CheckpointError(
+                    f"tenant {tenant_id!r} checkpoint does not hold a tuner")
+            if records:
+                tuner.replay(records)
+        except BaseException:
+            self.leases.release(lease)
+            raise
+        session = _LiveSession(tuner=tuner, lease=lease,
+                               delta_records=len(records))
         self._admit(tenant_id, session)
         return session
 
@@ -145,29 +231,41 @@ class TuningService:
         from the nearest indexed sessions before the first suggest.
         """
         self.store.validate_tenant_id(tenant_id)
+        # reject before touching the lease: a reentrant acquire for a
+        # tenant this frontend already has live would otherwise be
+        # released (unlinked) on the error path, orphaning the live
+        # session's lease and silently breaking exactly-one-writer
         if tenant_id in self._live or self.store.latest_path(tenant_id):
             raise ValueError(f"tenant {tenant_id!r} already exists")
-        spec = spec or TenantSpec()
-        from ..harness.experiments import SPACE_FACTORIES
-        space = SPACE_FACTORIES[spec.space]()
-        kwargs = {}
-        if spec.memory_bytes is not None:
-            kwargs["memory_bytes"] = spec.memory_bytes
-        if spec.vcpus is not None:
-            kwargs["vcpus"] = spec.vcpus
-        tuner = OnlineTune(space, config=spec.onlinetune_config,
-                           seed=spec.seed, **kwargs)
-        if warm_start_neighbors > 0 and probe_snapshot is not None:
-            # featurize the probe on a scratch copy so the live
-            # featurizer's warm-up state is untouched (isolation: a
-            # warm-started tenant still featurizes its own stream from zero)
-            import copy
-            probe_context = copy.deepcopy(tuner.featurizer).featurize(
-                probe_snapshot)
-            self.knowledge.warm_start(tuner, probe_context,
-                                      k=warm_start_neighbors,
-                                      exclude=(tenant_id,))
-        session = _LiveSession(tuner=tuner)
+        lease = self.leases.acquire(tenant_id)
+        try:
+            if self.store.latest_path(tenant_id):   # raced another frontend
+                raise ValueError(f"tenant {tenant_id!r} already exists")
+            spec = spec or TenantSpec()
+            from ..harness.experiments import SPACE_FACTORIES
+            space = SPACE_FACTORIES[spec.space]()
+            kwargs = {}
+            if spec.memory_bytes is not None:
+                kwargs["memory_bytes"] = spec.memory_bytes
+            if spec.vcpus is not None:
+                kwargs["vcpus"] = spec.vcpus
+            tuner = OnlineTune(space, config=spec.onlinetune_config,
+                               seed=spec.seed, **kwargs)
+            if warm_start_neighbors > 0 and probe_snapshot is not None:
+                # featurize the probe on a scratch copy so the live
+                # featurizer's warm-up state is untouched (isolation: a
+                # warm-started tenant still featurizes its own stream
+                # from zero)
+                import copy
+                probe_context = copy.deepcopy(tuner.featurizer).featurize(
+                    probe_snapshot)
+                self.knowledge.warm_start(tuner, probe_context,
+                                          k=warm_start_neighbors,
+                                          exclude=(tenant_id,))
+            session = _LiveSession(tuner=tuner, lease=lease)
+        except BaseException:
+            self.leases.release(lease)
+            raise
         self._admit(tenant_id, session)
         self._save(tenant_id, session)   # durable from birth
         return tuner
@@ -175,46 +273,87 @@ class TuningService:
     def suggest(self, tenant_id: str, inp: SuggestInput):
         """Next configuration for one tenant interval."""
         session = self._session(tenant_id)
+        self._ensure_lease(tenant_id, session)
         config = session.tuner.suggest(inp)
         session.dirty_steps += 1     # rng/pending state advanced
+        session.pending_input = inp
+        session.pending_suggests += 1
         return config
 
     def observe(self, tenant_id: str, feedback: Feedback) -> None:
         """Report a tenant interval's outcome."""
         session = self._session(tenant_id)
+        self._ensure_lease(tenant_id, session)
         session.tuner.observe(feedback)
         session.dirty_steps += 1
         session.observed += 1
-        if self.checkpoint_every and session.observed >= self.checkpoint_every:
+        if self.durability == "delta":
+            self._append_delta(tenant_id, session, feedback)
+        elif self.checkpoint_every and session.observed >= self.checkpoint_every:
+            self._save(tenant_id, session)
+        session.pending_input = None
+        session.pending_suggests = 0
+
+    def _append_delta(self, tenant_id: str, session: _LiveSession,
+                      feedback: Feedback) -> None:
+        """Make the just-completed interval durable on the delta chain.
+
+        An interval is replayable when at most one suggest happened since
+        the last durable point: either its input is in the record (replay
+        = suggest + observe) or the suggest state is already inside the
+        base snapshot / a bare observe (input None, replay = observe
+        only).  Anything else — e.g. a client that called suggest twice
+        and discarded one — advanced tuner state the log cannot
+        reproduce, so those rare cases fall back to a full snapshot.
+        """
+        if session.pending_suggests <= 1:
+            record = {"input": session.pending_input, "feedback": feedback}
+            self.store.save_delta(tenant_id, record,
+                                  position=len(session.tuner.repo))
+            session.delta_records += 1
+            session.dirty_steps = 0      # durable via the chain
+            if session.delta_records >= self.snapshot_every:
+                self._save(tenant_id, session)   # compaction snapshot
+        else:
             self._save(tenant_id, session)
 
     def checkpoint(self, tenant_id: str) -> Path:
-        """Persist the tenant's current state; returns the checkpoint path."""
-        return self._save(tenant_id, self._session(tenant_id))
+        """Persist a full snapshot of the tenant's current state (ends any
+        open delta chain); returns the checkpoint path."""
+        session = self._session(tenant_id)
+        self._ensure_lease(tenant_id, session)
+        return self._save(tenant_id, session)
 
     def resume(self, tenant_id: str) -> OnlineTune:
-        """Force-rehydrate a tenant from its latest checkpoint.
+        """Force-rehydrate a tenant from its latest durable state.
 
-        Discards any un-checkpointed in-memory progress — the explicit
-        crash-recovery path.  Normal callers never need this; the LRU
-        rehydrates transparently.
+        Discards any in-memory progress that is not yet on disk — the
+        explicit crash-recovery path.  Under delta durability every
+        completed interval is durable, so this replays snapshot + chain;
+        under snapshot durability it rewinds to the last checkpoint.
+        Normal callers never need this; the LRU rehydrates transparently.
         """
         self.store.validate_tenant_id(tenant_id)
-        self._live.pop(tenant_id, None)
+        stale = self._live.pop(tenant_id, None)
+        if stale is not None:
+            self._drop_tenant_hold(tenant_id, stale)
         return self._session(tenant_id).tuner
 
     def close(self, tenant_id: str, register_knowledge: bool = True) -> Path:
         """Final-checkpoint a tenant, index it, and release its memory."""
         session = self._session(tenant_id)
+        self._ensure_lease(tenant_id, session)
         # a clean session is already durable — don't append a duplicate
-        # checkpoint on every close/reopen cycle (mirrors _evict)
-        if session.dirty_steps:
+        # checkpoint on every close/reopen cycle (mirrors _evict); a
+        # delta-durable tail still gets compacted into a final snapshot
+        if session.dirty_steps or session.delta_records:
             path = self._save(tenant_id, session)
         else:
             path = self.store.latest_path(tenant_id)
         if register_knowledge:
             self.knowledge.register(tenant_id, session.tuner, path)
         self._live.pop(tenant_id, None)
+        self._drop_tenant_hold(tenant_id, session)
         return path
 
     # -- batched stepping ------------------------------------------------------
@@ -224,30 +363,44 @@ class TuningService:
 
         Each tenant's final tuner state is persisted as its checkpoint
         (and indexed in the knowledge base), so batch tenants are
-        immediately resumable and queryable like interactive ones.
+        immediately resumable and queryable like interactive ones.  The
+        batch holds every tenant's lease for its duration.
         """
         tenant_ids = list(specs)
         for tenant_id in tenant_ids:
             self.store.validate_tenant_id(tenant_id)
-        outcomes = self.runner.run_detailed([specs[t] for t in tenant_ids])
-        results: Dict[str, SessionResult] = {}
-        for tenant_id, outcome in zip(tenant_ids, outcomes):
-            results[tenant_id] = outcome.result
-            # drop any stale hydrated session: the batch-trained state is
-            # now the tenant's truth and must not be shadowed (or later
-            # re-checkpointed over) by a pre-batch tuner
-            self._live.pop(tenant_id, None)
-            meta_n = (len(outcome.tuner.repo)
-                      if isinstance(outcome.tuner, OnlineTune)
-                      else outcome.spec.n_iterations)
-            path = self.store.save(
-                tenant_id, outcome.tuner,
-                metadata={"tuner_class": type(outcome.tuner).__name__,
-                          "n_observations": meta_n,
-                          "spec": {"tuner": outcome.spec.tuner,
-                                   "workload": outcome.spec.workload,
-                                   "seed": outcome.spec.seed,
-                                   "n_iterations": outcome.spec.n_iterations}})
-            if register_knowledge and isinstance(outcome.tuner, OnlineTune):
-                self.knowledge.register(tenant_id, outcome.tuner, path)
-        return results
+        held: List[Lease] = []
+        try:
+            for tenant_id in tenant_ids:
+                stale = self._live.pop(tenant_id, None)
+                if stale is not None:
+                    # drop any stale hydrated session: the batch-trained
+                    # state is about to become the tenant's truth and must
+                    # not be shadowed (or later re-checkpointed over) by a
+                    # pre-batch tuner
+                    self._drop_tenant_hold(tenant_id, stale)
+                held.append(self.leases.acquire(tenant_id))
+            outcomes = self.runner.run_detailed([specs[t] for t in tenant_ids])
+            results: Dict[str, SessionResult] = {}
+            for tenant_id, outcome in zip(tenant_ids, outcomes):
+                results[tenant_id] = outcome.result
+                meta_n = (len(outcome.tuner.repo)
+                          if isinstance(outcome.tuner, OnlineTune)
+                          else outcome.spec.n_iterations)
+                path = self.store.save(
+                    tenant_id, outcome.tuner,
+                    metadata={"tuner_class": type(outcome.tuner).__name__,
+                              "n_observations": meta_n,
+                              "spec": {"tuner": outcome.spec.tuner,
+                                       "workload": outcome.spec.workload,
+                                       "seed": outcome.spec.seed,
+                                       "n_iterations": outcome.spec.n_iterations}})
+                if register_knowledge and isinstance(outcome.tuner, OnlineTune):
+                    self.knowledge.register(tenant_id, outcome.tuner, path)
+            return results
+        finally:
+            for lease in held:
+                try:
+                    self.leases.release(lease)
+                except LeaseLostError:
+                    pass

@@ -5,13 +5,22 @@ Directory layout::
     <root>/
       tenants/
         <tenant-id>/
-          ckpt-000001.ckpt
-          ckpt-000002.ckpt
+          ckpt-000001.ckpt      # full snapshot
+          seg-000002.seg        # delta segment (appended observations)
+          seg-000003.seg
+          ckpt-000004.ckpt      # periodic compaction snapshot
           ...
 
-Checkpoints are sequence-numbered; the highest number is "latest".
-Tenant ids are validated against a conservative charset so one tenant
-can never address another tenant's files (path-traversal isolation).
+Snapshots and delta segments share one monotonically increasing sequence
+space, so a tenant's durable state is always "the newest snapshot plus
+every later segment" — a WAL-shaped chain.  :meth:`CheckpointStore.save`
+writes a full snapshot (and starts a fresh chain); :meth:`save_delta`
+appends one interval record to the open segment for a few KB + one fsync
+instead of a multi-MB envelope rewrite; :meth:`load_latest_chain` returns
+the snapshot payload plus the ordered records to replay.
+
+Tenant ids are validated against a conservative charset so one tenant can
+never address another tenant's files (path-traversal isolation).
 """
 
 from __future__ import annotations
@@ -22,8 +31,11 @@ from typing import Any, Dict, List, Optional, Tuple
 
 from .checkpoint import (
     CheckpointError,
+    SegmentError,
+    SegmentWriter,
     load_checkpoint,
     read_metadata,
+    read_segment,
     save_checkpoint,
 )
 
@@ -31,14 +43,21 @@ __all__ = ["CheckpointStore"]
 
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _CKPT_RE = re.compile(r"^ckpt-(\d{6,})\.ckpt$")   # %06d pads, never truncates
+_SEG_RE = re.compile(r"^seg-(\d{6,})\.seg$")
+
+#: records per segment file before the writer rolls to a new one; bounds
+#: the blast radius of a torn tail and keeps individual files small
+SEGMENT_ROLL_RECORDS = 64
 
 
 class CheckpointStore:
     """Durable, namespaced checkpoint storage for many tenants."""
 
-    def __init__(self, root) -> None:
+    def __init__(self, root, segment_roll_records: int = SEGMENT_ROLL_RECORDS) -> None:
         self.root = Path(root)
+        self.segment_roll_records = max(1, int(segment_roll_records))
         (self.root / "tenants").mkdir(parents=True, exist_ok=True)
+        self._writers: Dict[str, SegmentWriter] = {}
 
     # -- namespacing -------------------------------------------------------
     @staticmethod
@@ -56,53 +75,181 @@ class CheckpointStore:
         base = self.root / "tenants"
         return sorted(p.name for p in base.iterdir() if p.is_dir())
 
-    # -- checkpoints ---------------------------------------------------------
-    def list(self, tenant_id: str) -> List[Path]:
-        """All checkpoints for a tenant, oldest first."""
+    # -- artifact listing ----------------------------------------------------
+    def artifacts(self, tenant_id: str) -> List[Tuple[int, str, Path]]:
+        """All (sequence, kind, path) artifacts, oldest first; kind is
+        ``"snapshot"`` or ``"segment"``."""
         tdir = self.tenant_dir(tenant_id)
         if not tdir.is_dir():
             return []
-        found = []
+        found: List[Tuple[int, str, Path]] = []
         for p in tdir.iterdir():
             m = _CKPT_RE.match(p.name)
             if m:
-                found.append((int(m.group(1)), p))
-        return [p for _, p in sorted(found)]
+                found.append((int(m.group(1)), "snapshot", p))
+                continue
+            m = _SEG_RE.match(p.name)
+            if m:
+                found.append((int(m.group(1)), "segment", p))
+        found.sort(key=lambda t: t[0])
+        return found
+
+    def list(self, tenant_id: str) -> List[Path]:
+        """All *full snapshots* for a tenant, oldest first."""
+        return [p for _, kind, p in self.artifacts(tenant_id)
+                if kind == "snapshot"]
 
     def latest_path(self, tenant_id: str) -> Optional[Path]:
         existing = self.list(tenant_id)
         return existing[-1] if existing else None
 
+    def _next_seq(self, tenant_id: str) -> int:
+        arts = self.artifacts(tenant_id)
+        return arts[-1][0] + 1 if arts else 1
+
+    # -- full snapshots ------------------------------------------------------
     def save(self, tenant_id: str, payload: Any,
              metadata: Optional[Dict[str, object]] = None) -> Path:
-        """Write the next sequence-numbered checkpoint for the tenant."""
-        existing = self.list(tenant_id)
-        if existing:
-            seq = int(_CKPT_RE.match(existing[-1].name).group(1)) + 1
-        else:
-            seq = 1
+        """Write the next sequence-numbered full snapshot for the tenant.
+
+        Ends any open delta chain: the snapshot becomes the new replay
+        base and the next :meth:`save_delta` starts a fresh segment.
+        """
+        self._close_writer(tenant_id)
+        seq = self._next_seq(tenant_id)
         meta = {"tenant": tenant_id, "sequence": seq}
         meta.update(metadata or {})
         path = self.tenant_dir(tenant_id) / f"ckpt-{seq:06d}.ckpt"
         return save_checkpoint(path, payload, metadata=meta)
 
+    # -- delta segments ------------------------------------------------------
+    def _close_writer(self, tenant_id: str) -> None:
+        writer = self._writers.pop(tenant_id, None)
+        if writer is not None:
+            writer.close()
+
+    def close_segment(self, tenant_id: str) -> None:
+        """End the tenant's open segment; the next :meth:`save_delta`
+        starts a fresh file.  Callers that stop being the tenant's
+        exclusive writer (lease released, lost, or taken over) must call
+        this — appending to a stale open segment after another writer
+        extended the chain would break position continuity."""
+        self._close_writer(tenant_id)
+
+    def close(self) -> None:
+        """Close every open segment writer (flushes nothing extra: each
+        append is already fsynced)."""
+        for tenant_id in list(self._writers):
+            self._close_writer(tenant_id)
+
+    def save_delta(self, tenant_id: str, payload: Any, position: int) -> Path:
+        """Durably append one interval record to the tenant's delta chain.
+
+        ``position`` is the observation count after applying the record;
+        the replay path validates position continuity against the base
+        snapshot.  Segments roll to a new file every
+        ``segment_roll_records`` appends.  A fresh writer (first delta
+        after a snapshot, a roll, or a process restart) always starts a
+        *new* segment file rather than appending to an existing one, so a
+        previous crash's torn tail stays inert.  Returns the segment path.
+        """
+        writer = self._writers.get(tenant_id)
+        if writer is not None and writer.records >= self.segment_roll_records:
+            self._close_writer(tenant_id)
+            writer = None
+        if writer is None:
+            arts = self.artifacts(tenant_id)
+            snapshots = [s for s, kind, _ in arts if kind == "snapshot"]
+            if not snapshots:
+                raise CheckpointError(
+                    f"tenant {tenant_id!r} has no snapshot to base a delta "
+                    f"chain on; call save() first")
+            seq = arts[-1][0] + 1
+            path = self.tenant_dir(tenant_id) / f"seg-{seq:06d}.seg"
+            writer = SegmentWriter(path, tenant_id, sequence=seq,
+                                   base_sequence=snapshots[-1])
+            self._writers[tenant_id] = writer
+        writer.append(payload, position)
+        return writer.path
+
+    # -- loading -------------------------------------------------------------
     def load(self, path) -> Tuple[Any, Dict[str, object]]:
         return load_checkpoint(path)
 
     def load_latest(self, tenant_id: str) -> Tuple[Any, Dict[str, object]]:
+        """Latest *full snapshot* only (ignores any delta segments)."""
         path = self.latest_path(tenant_id)
         if path is None:
             raise CheckpointError(f"tenant {tenant_id!r} has no checkpoint")
         return load_checkpoint(path)
 
+    def load_latest_chain(self, tenant_id: str) -> Tuple[Any, Dict[str, object], List[Any]]:
+        """Load ``(payload, metadata, records)`` — the newest snapshot and
+        the ordered delta records to replay on top of it.
+
+        Validates segment version, base-snapshot linkage, and position
+        continuity; a torn trailing record in the final state is
+        recovered by truncation, every other inconsistency raises
+        :class:`SegmentError`.
+        """
+        arts = self.artifacts(tenant_id)
+        snapshots = [(s, p) for s, kind, p in arts if kind == "snapshot"]
+        if not snapshots:
+            raise CheckpointError(f"tenant {tenant_id!r} has no checkpoint")
+        base_seq, base_path = snapshots[-1]
+        payload, meta = load_checkpoint(base_path)
+        segments = [(s, p) for s, kind, p in arts
+                    if kind == "segment" and s > base_seq]
+        records: List[Any] = []
+        expected = meta.get("n_observations")
+        expected = int(expected) if expected is not None else None
+        for _seq, path in segments:
+            header, seg_records, _torn = read_segment(path)
+            if int(header.get("base_sequence", -1)) != base_seq:
+                raise SegmentError(
+                    f"{path} declares base snapshot "
+                    f"{header.get('base_sequence')} but the newest snapshot "
+                    f"is {base_seq} (snapshot/segment skew)")
+            if header.get("tenant") not in (None, tenant_id):
+                raise SegmentError(
+                    f"{path} belongs to tenant {header.get('tenant')!r}, "
+                    f"not {tenant_id!r}")
+            for position, record in seg_records:
+                if expected is not None and position != expected + 1:
+                    raise SegmentError(
+                        f"{path} record position {position} breaks chain "
+                        f"continuity (expected {expected + 1})")
+                expected = position
+                records.append(record)
+            # a torn tail (_torn) is tolerated: in the final segment it is
+            # the crash being recovered from; in an earlier segment the
+            # next segment's records prove a writer already recovered the
+            # same prefix — and the position-continuity check above
+            # rejects any actual gap that truncation would otherwise hide
+        return payload, meta, records
+
     def metadata(self, tenant_id: str) -> List[Dict[str, object]]:
         return [read_metadata(p) for p in self.list(tenant_id)]
 
+    # -- retention -----------------------------------------------------------
     def prune(self, tenant_id: str, keep: int = 3) -> int:
-        """Delete all but the newest ``keep`` checkpoints; returns count."""
+        """Delete old restore points; returns the number of files removed.
+
+        ``keep`` counts *snapshots*.  Everything strictly older than the
+        oldest kept snapshot — earlier snapshots and their (now orphaned)
+        delta segments — is deleted.  The newest snapshot and every
+        segment after it (the live delta chain) are never touched, so a
+        chain that :meth:`load_latest_chain` can replay stays replayable
+        across any prune.
+        """
         if keep < 1:
             raise ValueError("keep must be >= 1")
-        victims = self.list(tenant_id)[:-keep]
+        arts = self.artifacts(tenant_id)
+        snapshot_seqs = [s for s, kind, _ in arts if kind == "snapshot"]
+        if len(snapshot_seqs) <= keep:
+            return 0
+        cutoff = snapshot_seqs[-keep]    # oldest kept restore point
+        victims = [p for s, _kind, p in arts if s < cutoff]
         for path in victims:
             path.unlink()
         return len(victims)

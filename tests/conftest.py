@@ -2,8 +2,31 @@
 
 from __future__ import annotations
 
+from pathlib import Path
+
 import numpy as np
 import pytest
+
+GOLDEN_DIR = Path(__file__).parent / "golden"
+
+
+def pytest_addoption(parser):
+    parser.addoption(
+        "--regen", action="store_true", default=False,
+        help="re-record golden trajectory fixtures under tests/golden/ "
+             "instead of asserting against them")
+
+
+@pytest.fixture(scope="session")
+def regen_golden(request) -> bool:
+    """True when the run should (re)write golden fixtures."""
+    return bool(request.config.getoption("--regen"))
+
+
+@pytest.fixture(scope="session")
+def golden_dir() -> Path:
+    GOLDEN_DIR.mkdir(exist_ok=True)
+    return GOLDEN_DIR
 
 from repro.knobs import (
     case_study_space,

@@ -1,0 +1,89 @@
+"""Shared drivers for the service-layer test suites (not a test module).
+
+The fault-injection, concurrency, and golden-trajectory suites all need
+the same deterministic client loop: build a simulated instance, feed the
+tuner (or a hosted tenant) one interval at a time, and keep the metrics
+stream the client would replay after a crash.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Dict, List, Optional, Tuple
+
+from repro.baselines.base import Feedback, SuggestInput
+from repro.core import OnlineTune
+from repro.dbms import PerformanceModel, SimulatedMySQL
+from repro.knobs import case_study_space
+from repro.workloads import TPCCWorkload
+
+
+def build_db(seed: int, workload=None) -> SimulatedMySQL:
+    """Simulated instance with *noiseless* measurements.
+
+    The engine draws measurement noise from a sequential RNG, so a
+    crashed-and-restarted client would otherwise observe different noise
+    than the uninterrupted run and the bit-identity assertions would
+    compare different environments rather than the durability layer.
+    Noiseless evaluation makes every interval a pure function of
+    ``(iteration, config)``.
+    """
+    space = case_study_space()
+    return SimulatedMySQL(space, workload or TPCCWorkload(seed=seed),
+                          model=PerformanceModel(noise_std=0.0), seed=seed)
+
+
+def build_tuner(seed: int) -> OnlineTune:
+    return OnlineTune(case_study_space(), seed=seed)
+
+
+def step(suggest: Callable, observe: Callable, db, t: int,
+         last_metrics: Dict[str, float]):
+    """One suggest/observe interval; returns (config, metrics)."""
+    profile = db.profile(t)
+    snapshot = db.observe_snapshot(t)
+    tau = db.default_performance(t)
+    inp = SuggestInput(iteration=t, snapshot=snapshot, metrics=last_metrics,
+                       default_performance=tau, is_olap=profile.is_olap)
+    config = suggest(inp)
+    result = db.run_interval(t, config)
+    perf = result.objective(profile.is_olap)
+    observe(Feedback(iteration=t, config=config, performance=perf,
+                     metrics=result.metrics, failed=result.failed,
+                     default_performance=tau))
+    return config, result.metrics
+
+
+def drive(suggest: Callable, observe: Callable, db, start: int, stop: int,
+          metrics_history: Optional[List[Dict[str, float]]] = None
+          ) -> Tuple[list, List[Dict[str, float]]]:
+    """Drive [start, stop) intervals; returns (configs, metrics_history).
+
+    ``metrics_history[t]`` is the metrics dict the client fed at interval
+    ``t`` — a crashed-and-restarted client resumes from position ``n`` by
+    passing the history back and continuing at ``start=n``.
+    """
+    if metrics_history is None:
+        metrics_history = [{}]
+    assert len(metrics_history) > start, "history too short to resume here"
+    configs = []
+    for t in range(start, stop):
+        config, metrics = step(suggest, observe, db, t, metrics_history[t])
+        configs.append(config)
+        if len(metrics_history) == t + 1:
+            metrics_history.append(metrics)
+        else:
+            metrics_history[t + 1] = metrics
+    return configs, metrics_history
+
+
+def drive_tuner(tuner: OnlineTune, db, start: int, stop: int,
+                metrics_history=None):
+    return drive(tuner.suggest, tuner.observe, db, start, stop,
+                 metrics_history)
+
+
+def drive_service(service, tenant: str, db, start: int, stop: int,
+                  metrics_history=None):
+    return drive(lambda inp: service.suggest(tenant, inp),
+                 lambda fb: service.observe(tenant, fb),
+                 db, start, stop, metrics_history)

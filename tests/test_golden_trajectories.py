@@ -1,0 +1,125 @@
+"""Golden-trajectory regression fixtures.
+
+``tests/golden/`` pins the exact suggestion sequence of seeded sessions
+(tpcc / ycsb / dynamic workloads, seeds 0-2, 60 intervals on the
+case-study space).  Any change to the tuner's numerics shows up as a
+diff against these fixtures; re-record intentionally with::
+
+    PYTHONPATH=src python -m pytest tests/test_golden_trajectories.py --regen
+
+On top of the fresh-run pin, the suite asserts the durability layer
+replays the same trajectories: a hosted (:class:`TuningService`) session
+and a snapshot+delta crash/resume both must emit the golden suggestions
+bit-for-bit.
+"""
+
+from __future__ import annotations
+
+import json
+import time
+
+import pytest
+
+from repro.harness.experiments import WORKLOAD_FACTORIES
+from repro.service import TenantSpec, TuningService
+
+from service_utils import build_db, build_tuner, drive_service, drive_tuner
+
+GOLDEN_ITERS = 60
+SEEDS = (0, 1, 2)
+#: "dynamic" is the Figure 6(a) OLTP/OLAP daily cycle — the genuinely
+#: context-shifting session of the three
+WORKLOADS = {
+    "tpcc": lambda seed: WORKLOAD_FACTORIES["tpcc"](seed=seed),
+    "ycsb": lambda seed: WORKLOAD_FACTORIES["ycsb"](seed=seed),
+    "dynamic": lambda seed: WORKLOAD_FACTORIES["oltp_olap_cycle"](seed=seed),
+}
+CASES = [(w, s) for w in WORKLOADS for s in SEEDS]
+
+
+def _golden_path(golden_dir, workload: str, seed: int):
+    return golden_dir / f"{workload}-seed{seed}.json"
+
+
+def _encode(configs) -> list:
+    out = []
+    for config in configs:
+        row = {}
+        for key, value in config.items():
+            if isinstance(value, bool) or isinstance(value, str):
+                row[key] = value
+            elif isinstance(value, int):
+                row[key] = int(value)
+            else:
+                row[key] = float(value)     # repr round-trips exactly
+        out.append(row)
+    return out
+
+
+def _run_fresh(workload: str, seed: int):
+    db = build_db(seed, workload=WORKLOADS[workload](seed))
+    configs, history = drive_tuner(build_tuner(seed), db, 0, GOLDEN_ITERS)
+    return configs, history
+
+
+def _load_golden(golden_dir, workload: str, seed: int) -> list:
+    path = _golden_path(golden_dir, workload, seed)
+    if not path.exists():
+        pytest.fail(f"golden fixture {path.name} missing; record it with "
+                    f"pytest tests/test_golden_trajectories.py --regen")
+    return json.loads(path.read_text())["configs"]
+
+
+@pytest.mark.parametrize("workload,seed", CASES)
+def test_fresh_run_matches_golden(workload, seed, golden_dir, regen_golden):
+    configs, _ = _run_fresh(workload, seed)
+    encoded = _encode(configs)
+    path = _golden_path(golden_dir, workload, seed)
+    if regen_golden:
+        path.write_text(json.dumps(
+            {"workload": workload, "seed": seed, "space": "case_study",
+             "iterations": GOLDEN_ITERS, "configs": encoded},
+            indent=1, sort_keys=True) + "\n")
+        return
+    assert encoded == _load_golden(golden_dir, workload, seed)
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_hosted_run_replays_golden(workload, tmp_path, golden_dir,
+                                   regen_golden):
+    """A TuningService-hosted tenant (LRU churn included) emits exactly
+    the golden suggestions."""
+    if regen_golden:
+        pytest.skip("fixtures are being re-recorded")
+    seed = 0
+    golden = _load_golden(golden_dir, workload, seed)
+    service = TuningService(tmp_path, max_live_sessions=1)
+    service.create("g", TenantSpec(space="case_study", seed=seed))
+    db = build_db(seed, workload=WORKLOADS[workload](seed))
+    configs, _ = drive_service(service, "g", db, 0, GOLDEN_ITERS)
+    assert _encode(configs) == golden
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_snapshot_delta_resume_replays_golden(workload, tmp_path, golden_dir,
+                                              regen_golden):
+    """Crash after k intervals under delta durability; the resumed
+    process replays snapshot+segments and finishes on the golden path."""
+    if regen_golden:
+        pytest.skip("fixtures are being re-recorded")
+    seed = 0
+    k = 25
+    golden = _load_golden(golden_dir, workload, seed)
+    service = TuningService(tmp_path, durability="delta", snapshot_every=10,
+                            lease_ttl=1.0)
+    service.create("g", TenantSpec(space="case_study", seed=seed))
+    db = build_db(seed, workload=WORKLOADS[workload](seed))
+    configs, history = drive_service(service, "g", db, 0, k)
+    assert _encode(configs) == golden[:k]
+    service.store.close()                   # crash without lease release
+    time.sleep(1.05)                        # dead owner's lease expires
+    fresh = TuningService(tmp_path, durability="delta", snapshot_every=10,
+                          lease_ttl=1.0)
+    db2 = build_db(seed, workload=WORKLOADS[workload](seed))
+    suffix, _ = drive_service(fresh, "g", db2, k, GOLDEN_ITERS, history)
+    assert _encode(configs + suffix) == golden

@@ -122,3 +122,144 @@ def test_end_to_end_safety_invariant():
                                n_iterations=12, seed=seed).run()
         assert result.n_failures == 0
         assert result.n_unsafe <= 3
+
+
+# ---------------------------------------------------------------------------
+# knowledge-transfer weighting (seeded stdlib-random property tests)
+# ---------------------------------------------------------------------------
+
+class TestTransferWeighting:
+    """Properties of the distance-weighted, history-decayed transfer path.
+
+    Deliberately seeded ``random.Random`` sweeps (not hypothesis): the
+    functions are cheap and total, so a dense deterministic sample is
+    both reproducible and exhaustive enough.
+    """
+
+    def test_weight_monotone_in_signature_distance(self):
+        import random
+        from repro.service import transfer_weight
+        rnd = random.Random(0)
+        assert transfer_weight(0.0) == 1.0
+        for _ in range(500):
+            d1, d2 = sorted((rnd.uniform(0.0, 100.0), rnd.uniform(0.0, 100.0)))
+            w1, w2 = transfer_weight(d1), transfer_weight(d2)
+            assert 0.0 < w2 <= w1 <= 1.0
+
+    def test_decay_monotone_in_native_history(self):
+        import random
+        from repro.core import transfer_decay
+        rnd = random.Random(1)
+        for _ in range(500):
+            half_life = rnd.randint(1, 500)
+            n1 = rnd.randint(0, 10_000)
+            n2 = n1 + rnd.randint(0, 10_000)
+            d1 = transfer_decay(n1, half_life)
+            d2 = transfer_decay(n2, half_life)
+            assert 0.0 < d2 <= d1 <= 1.0
+        assert transfer_decay(0, 50) == 1.0       # no native history: full trust
+        assert transfer_decay(50, 50) == 0.5      # the half-life is a half-life
+
+    def test_entry_distance_weighting_monotone(self):
+        import random
+        import numpy as np
+        from repro.service import KnowledgeEntry, transfer_weight
+        rnd = random.Random(2)
+        dim = 6
+        probe = np.array([rnd.uniform(0, 1) for _ in range(dim)])
+        def entry(offset):
+            return KnowledgeEntry(
+                tenant=f"d{offset}", checkpoint="", context_dim=dim,
+                config_dim=4, n_observations=5, best_improvement=0.1,
+                signature=list(probe + offset))
+        for _ in range(100):
+            near, far = sorted((rnd.uniform(0, 5), rnd.uniform(0, 5)))
+            w_near = transfer_weight(entry(near).distance(probe))
+            w_far = transfer_weight(entry(far).distance(probe))
+            assert w_far <= w_near
+
+    def test_noise_scale_monotone_in_native_history(self):
+        import random
+        import numpy as np
+        from repro.core import ClusteredModels, DataRepository, Observation
+        rnd = random.Random(3)
+        for _ in range(20):
+            half_life = rnd.randint(5, 200)
+            weight = rnd.uniform(0.05, 1.0)
+            models = ClusteredModels(config_dim=2, context_dim=2,
+                                     transfer_half_life=half_life)
+            repo = DataRepository(context_dim=2, config_dim=2)
+            repo.add(Observation(iteration=-1, context=np.zeros(2),
+                                 config_vec=np.zeros(2), performance=1.0,
+                                 default_performance=1.0, weight=weight,
+                                 transferred=True))
+            scales = []
+            for t in range(4):
+                scale = models._transfer_noise_scale(repo, list(range(len(repo))))
+                scales.append(scale[0])
+                assert np.all(scale[1:] == 1.0)   # native rows keep unit scale
+                repo.add(Observation(iteration=t, context=np.zeros(2),
+                                     config_vec=np.zeros(2), performance=1.0,
+                                     default_performance=1.0))
+            # more native history => transferred rows count less (noisier)
+            assert all(a <= b for a, b in zip(scales, scales[1:]))
+            assert scales[0] == pytest.approx(1.0 / weight)
+
+    def test_zero_distance_donor_reduces_to_unweighted_seeding(self):
+        """A zero-distance donor (weight 1, no native history) must give
+        the exact PR 2 behavior: the first suggest of a tuner seeded with
+        transferred observations equals one seeded with plain ones."""
+        import numpy as np
+        from repro.core import Observation
+        from service_utils import build_db, build_tuner
+
+        def seeded_first_suggest(transferred: bool):
+            from repro.baselines.base import SuggestInput
+            tuner = build_tuner(seed=7)
+            dim = tuner.featurizer.dim
+            rng = np.random.default_rng(7)
+            obs = [Observation(iteration=i - 5, context=np.full(dim, 0.4),
+                               config_vec=rng.random(tuner.space.dim),
+                               performance=100.0 + i, default_performance=100.0,
+                               weight=1.0, transferred=transferred)
+                   for i in range(5)]
+            tuner.seed_observations(obs)
+            db = build_db(seed=7)
+            inp = SuggestInput(iteration=0, snapshot=db.observe_snapshot(0),
+                               metrics={},
+                               default_performance=db.default_performance(0),
+                               is_olap=db.profile(0).is_olap)
+            return tuner.suggest(inp)
+        assert seeded_first_suggest(True) == seeded_first_suggest(False)
+
+    def test_gp_unit_noise_scale_is_exact_fast_path(self):
+        import numpy as np
+        from repro.gp import GaussianProcess
+        rng = np.random.default_rng(4)
+        X = rng.random((20, 3))
+        y = rng.random(20)
+        plain = GaussianProcess().fit(X, y, optimize=False)
+        scaled = GaussianProcess().fit(X, y, optimize=False,
+                                       noise_scale=np.ones(20))
+        probe = rng.random((7, 3))
+        m1, s1 = plain.predict(probe)
+        m2, s2 = scaled.predict(probe)
+        assert np.array_equal(m1, m2) and np.array_equal(s1, s2)
+
+    def test_gp_noise_scale_downweights_observations(self):
+        """Inflating one observation's noise must pull the posterior mean
+        at that location away from it (towards the rest of the data)."""
+        import numpy as np
+        from repro.gp import GaussianProcess
+        X = np.linspace(0, 1, 12)[:, None]
+        y = np.zeros(12)
+        y[5] = 5.0                                 # the down-weighted outlier
+        def mean_at_outlier(scale5):
+            scale = np.ones(12)
+            scale[5] = scale5
+            gp = GaussianProcess(noise=0.1).fit(X, y, optimize=False,
+                                                noise_scale=scale)
+            return float(gp.predict(X[5:6])[0][0])
+        full = mean_at_outlier(1.0)
+        muted = mean_at_outlier(100.0)
+        assert abs(muted) < abs(full)

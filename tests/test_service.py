@@ -366,6 +366,29 @@ class TestKnowledgeBase:
         with pytest.raises(RuntimeError):
             tuner.seed_observations([])
 
+    def test_warm_start_stamps_distance_weights(self, tmp_path):
+        """Seeded observations are marked transferred and weighted by
+        their donor's signature distance: identical-signature donors seed
+        at full weight, distant donors at strictly less."""
+        kb = KnowledgeBase(tmp_path / "kb.json")
+        near = self._tuner_with_contexts(0.2, seed=1)
+        far = self._tuner_with_contexts(0.9, seed=2)
+        kb.register("near", near, near.checkpoint(tmp_path / "n.ckpt"))
+        kb.register("far", far, far.checkpoint(tmp_path / "f.ckpt"))
+        fresh = _build_tuner(seed=3)
+        probe = np.full(fresh.featurizer.dim, 0.2)
+        seeded = kb.warm_start(fresh, probe, k=2, max_observations=8)
+        assert seeded == 8
+        assert fresh.repo.transferred_flags().all()
+        weights = fresh.repo.weights()
+        contexts = fresh.repo.contexts()
+        near_w = weights[np.isclose(contexts[:, 0], 0.2)]
+        far_w = weights[np.isclose(contexts[:, 0], 0.9)]
+        assert len(near_w) and len(far_w)
+        assert np.allclose(near_w, 1.0)          # zero-distance donor
+        assert np.all(far_w < near_w.min())      # distant donor muted
+        assert fresh.repo.n_native == 0          # nothing native yet
+
 
 class TestReviewRegressions:
     """Regressions from the pre-merge review."""

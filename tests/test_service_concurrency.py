@@ -1,0 +1,230 @@
+"""Lease semantics + multi-process concurrency stress.
+
+The fast tests pin the single-process lease contract (typed conflict /
+lost errors, reentrancy, expiry, takeover, fencing tokens).  The
+``slow``-marked tests spawn real contending processes against one lease
+directory and assert exactly-one-writer, heartbeat renewal under load,
+and stale-lease takeover after owner death; they run via
+``make test-service`` and are excluded from tier-1.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import time
+from pathlib import Path
+
+import pytest
+
+from repro.baselines.base import SuggestInput
+from repro.service import (
+    LeaseHeldError,
+    LeaseLostError,
+    LeaseManager,
+    TenantSpec,
+    TuningService,
+)
+
+from service_utils import build_db
+
+
+class TestLeaseSemantics:
+    def test_acquire_conflict_is_typed(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=5.0, owner="a")
+        b = LeaseManager(tmp_path, ttl=5.0, owner="b")
+        a.acquire("t")
+        with pytest.raises(LeaseHeldError, match="leased to 'a'"):
+            b.acquire("t")
+
+    def test_reentrant_acquire_renews(self, tmp_path):
+        mgr = LeaseManager(tmp_path, ttl=5.0, owner="a")
+        first = mgr.acquire("t")
+        time.sleep(0.02)
+        second = mgr.acquire("t")
+        assert second.token == first.token
+        assert second.expires_at >= first.expires_at
+
+    def test_renew_extends_expiry(self, tmp_path):
+        mgr = LeaseManager(tmp_path, ttl=0.5, owner="a")
+        lease = mgr.acquire("t")
+        before = lease.expires_at
+        time.sleep(0.05)
+        mgr.renew(lease)
+        assert lease.expires_at > before
+
+    def test_renew_after_expiry_is_lost(self, tmp_path):
+        mgr = LeaseManager(tmp_path, ttl=0.05, owner="a")
+        lease = mgr.acquire("t")
+        time.sleep(0.08)
+        with pytest.raises(LeaseLostError, match="expired"):
+            mgr.renew(lease)
+
+    def test_stale_takeover_increments_fencing_token(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=0.05, owner="a")
+        b = LeaseManager(tmp_path, ttl=5.0, owner="b")
+        first = a.acquire("t")
+        assert first.token == 1
+        time.sleep(0.08)                    # owner a goes silent past TTL
+        taken = b.acquire("t")
+        assert taken.token == 2
+        assert b.holder("t")["owner"] == "b"
+
+    def test_renew_after_takeover_is_lost(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=0.05, owner="a")
+        b = LeaseManager(tmp_path, ttl=5.0, owner="b")
+        lease = a.acquire("t")
+        time.sleep(0.08)
+        b.acquire("t")
+        with pytest.raises(LeaseLostError):
+            a.renew(lease)
+
+    def test_release_frees_immediately(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=5.0, owner="a")
+        b = LeaseManager(tmp_path, ttl=5.0, owner="b")
+        lease = a.acquire("t")
+        a.release(lease)
+        assert b.acquire("t").owner == "b"
+
+    def test_holding_context_manager(self, tmp_path):
+        a = LeaseManager(tmp_path, ttl=5.0, owner="a")
+        b = LeaseManager(tmp_path, ttl=5.0, owner="b")
+        with a.holding("t"):
+            with pytest.raises(LeaseHeldError):
+                b.acquire("t")
+        b.acquire("t")
+
+    def test_two_services_one_store_exactly_one_writer(self, tmp_path):
+        svc1 = TuningService(tmp_path, owner="frontend-1")
+        svc2 = TuningService(tmp_path, owner="frontend-2")
+        svc1.create("t", TenantSpec(space="case_study", seed=0))
+        db = build_db(0)
+        inp = SuggestInput(iteration=0, snapshot=db.observe_snapshot(0),
+                           metrics={},
+                           default_performance=db.default_performance(0),
+                           is_olap=db.profile(0).is_olap)
+        with pytest.raises(LeaseHeldError):
+            svc2.suggest("t", inp)
+        svc1.close("t")                     # releases the lease
+        assert svc2.suggest("t", inp) is not None
+
+
+# ---------------------------------------------------------------------------
+# multi-process stress (slow; run via `make test-service`)
+# ---------------------------------------------------------------------------
+
+N_PROCESSES = 4
+ROUNDS_PER_PROCESS = 8
+
+
+def _contender(root: str, tenant: str, rounds: int, counter: str,
+               owner: str, errors: str) -> None:
+    """Grab the lease ``rounds`` times; each critical section does a
+    non-atomic read-sleep-write on a shared counter, which detects any
+    mutual-exclusion violation with high probability."""
+    try:
+        mgr = LeaseManager(root, ttl=5.0, owner=owner)
+        done = 0
+        while done < rounds:
+            try:
+                lease = mgr.acquire(tenant)
+            except LeaseHeldError:
+                time.sleep(0.001)
+                continue
+            try:
+                value = int(Path(counter).read_text())
+                time.sleep(0.002)           # widen the race window
+                Path(counter).write_text(str(value + 1))
+                mgr.renew(lease)            # heartbeat inside the section
+                done += 1
+            finally:
+                mgr.release(lease)
+    except BaseException as exc:  # noqa: BLE001 - report into the test
+        Path(errors).write_text(f"{owner}: {exc!r}")
+        raise
+
+
+def _prober(root: str, tenant: str, stop_flag: str, out: str) -> None:
+    """Hammer acquire() while the parent holds and heartbeats; record
+    (attempts, successes)."""
+    mgr = LeaseManager(root, ttl=5.0, owner=f"prober-{os.getpid()}")
+    attempts = successes = 0
+    while not Path(stop_flag).exists():
+        attempts += 1
+        try:
+            lease = mgr.acquire(tenant)
+        except LeaseHeldError:
+            time.sleep(0.01)
+            continue
+        successes += 1
+        mgr.release(lease)
+    Path(out).write_text(f"{attempts} {successes}")
+
+
+def _acquire_and_die(root: str, tenant: str, ttl: float) -> None:
+    mgr = LeaseManager(root, ttl=ttl, owner="doomed")
+    mgr.acquire(tenant)
+    os._exit(0)                             # crash: lease never released
+
+
+@pytest.mark.slow
+class TestMultiProcessLeases:
+    def test_exactly_one_writer_under_contention(self, tmp_path):
+        counter = tmp_path / "counter.txt"
+        errors = tmp_path / "errors.txt"
+        counter.write_text("0")
+        procs = [multiprocessing.Process(
+            target=_contender,
+            args=(str(tmp_path / "leases"), "shared", ROUNDS_PER_PROCESS,
+                  str(counter), f"worker-{i}", str(errors)))
+            for i in range(N_PROCESSES)]
+        for p in procs:
+            p.start()
+        for p in procs:
+            p.join(timeout=120)
+            assert p.exitcode == 0, (errors.read_text()
+                                     if errors.exists() else "worker hung")
+        # lost updates would leave the counter below the round total
+        assert int(counter.read_text()) == N_PROCESSES * ROUNDS_PER_PROCESS
+
+    def test_heartbeat_renewal_blocks_probers_under_load(self, tmp_path):
+        ttl = 0.4
+        mgr = LeaseManager(tmp_path / "leases", ttl=ttl, owner="holder")
+        lease = mgr.acquire("shared")
+        stop = tmp_path / "stop"
+        outs = [tmp_path / f"prober-{i}.txt" for i in range(2)]
+        procs = [multiprocessing.Process(
+            target=_prober,
+            args=(str(tmp_path / "leases"), "shared", str(stop), str(out)))
+            for out in outs]
+        for p in procs:
+            p.start()
+        end = time.time() + 4 * ttl         # hold well past several TTLs
+        while time.time() < end:
+            mgr.renew(lease)                # heartbeat under prober load
+            time.sleep(ttl / 5)
+        stop.write_text("done")
+        for p in procs:
+            p.join(timeout=60)
+            assert p.exitcode == 0
+        mgr.release(lease)
+        for out in outs:
+            attempts, successes = map(int, out.read_text().split())
+            assert attempts >= 5            # probers genuinely hammered it
+            assert successes == 0           # ...and never got in
+
+    def test_stale_takeover_after_owner_death(self, tmp_path):
+        ttl = 0.5
+        proc = multiprocessing.Process(
+            target=_acquire_and_die,
+            args=(str(tmp_path / "leases"), "shared", ttl))
+        proc.start()
+        proc.join(timeout=60)
+        assert proc.exitcode == 0
+        survivor = LeaseManager(tmp_path / "leases", ttl=5.0, owner="survivor")
+        with pytest.raises(LeaseHeldError):
+            survivor.acquire("shared")      # dead owner's TTL still runs
+        time.sleep(ttl + 0.1)
+        lease = survivor.acquire("shared")  # stale takeover
+        assert lease.token == 2
+        assert survivor.holder("shared")["owner"] == "survivor"

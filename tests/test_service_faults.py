@@ -1,0 +1,400 @@
+"""Fault-injection suite for the durability layer.
+
+Every injected fault — torn/truncated segment writes, corrupt-sha256
+records, snapshot/segment version skew, broken chain linkage — must
+either resume *bit-identically* (to a state the uninterrupted run
+actually passed through) or raise a typed error.  Silent
+mis-deserialization is never acceptable.
+"""
+
+from __future__ import annotations
+
+import struct
+
+import pytest
+
+from repro.service import (
+    CheckpointError,
+    CheckpointStore,
+    SegmentError,
+    TenantSpec,
+    TuningService,
+    read_segment,
+)
+from repro.service.checkpoint import SEG_MAGIC, SegmentWriter
+
+from service_utils import build_db, build_tuner, drive_service, drive_tuner
+
+ITERS = 12
+
+
+# ---------------------------------------------------------------------------
+# segment format unit level
+# ---------------------------------------------------------------------------
+
+def _store_with_chain(tmp_path, n_records: int = 5):
+    """A tenant with one base snapshot and one segment of n records."""
+    store = CheckpointStore(tmp_path)
+    store.save("t", {"state": 0}, metadata={"n_observations": 0})
+    for i in range(n_records):
+        store.save_delta("t", {"interval": i, "blob": "x" * 40},
+                         position=i + 1)
+    store.close()
+    seg = [p for _, kind, p in store.artifacts("t") if kind == "segment"]
+    assert len(seg) == 1
+    return store, seg[0]
+
+
+class TestSegmentFormat:
+    def test_round_trip_records_in_order(self, tmp_path):
+        store, seg = _store_with_chain(tmp_path)
+        header, records, torn = read_segment(seg)
+        assert not torn
+        assert header["base_sequence"] == 1 and header["tenant"] == "t"
+        assert [p for p, _ in records] == [1, 2, 3, 4, 5]
+        payload, meta, chain = store.load_latest_chain("t")
+        assert payload == {"state": 0}
+        assert [r["interval"] for r in chain] == [0, 1, 2, 3, 4]
+
+    def test_truncation_at_every_byte_is_prefix_or_typed_error(self, tmp_path):
+        """Kill -9 mid-write leaves a prefix of the file; every possible
+        cut must recover the longest complete record prefix or raise a
+        typed error — never return wrong records."""
+        _store, seg = _store_with_chain(tmp_path)
+        raw = seg.read_bytes()
+        _h, full, _ = read_segment(seg)
+        cut_file = seg.parent / "cut.seg"
+        for cut in range(len(raw)):
+            cut_file.write_bytes(raw[:cut])
+            try:
+                _header, records, torn = read_segment(cut_file)
+            except SegmentError:
+                continue                    # typed rejection is acceptable
+            # the only acceptable non-error outcome is a true prefix of
+            # the original records (torn is False exactly when the cut
+            # lands on a record boundary)
+            assert records == full[:len(records)], f"cut at {cut}"
+            del torn
+
+    def test_bitflip_sweep_never_misreads(self, tmp_path):
+        """A flipped byte anywhere in the record region either trips the
+        checksum (typed error) or truncates to a true record prefix."""
+        _store, seg = _store_with_chain(tmp_path)
+        raw = bytearray(seg.read_bytes())
+        _h, full, _ = read_segment(seg)
+        flip_file = seg.parent / "flip.seg"
+        header_end = raw.index(b"}") + 1       # end of the JSON header
+        for offset in range(header_end, len(raw), 3):
+            mutated = bytearray(raw)
+            mutated[offset] ^= 0xFF
+            flip_file.write_bytes(bytes(mutated))
+            try:
+                _header, records, _torn = read_segment(flip_file)
+            except SegmentError:
+                continue
+            # a flip in a trailing length field can only look like a torn
+            # tail: the surviving records must still be an exact prefix
+            assert records == full[:len(records)], f"flip at {offset}"
+
+    def test_corrupt_length_field_rejected_not_torn(self, tmp_path):
+        """A flipped byte in a record's length field must be a typed
+        error (header crc), never misread as a torn tail that silently
+        rewinds acknowledged records."""
+        _store, seg = _store_with_chain(tmp_path)
+        raw = bytearray(seg.read_bytes())
+        header_end = raw.index(b"}") + 1
+        raw[header_end + 3] |= 0x80            # high byte of record 1's length
+        seg.write_bytes(bytes(raw))
+        with pytest.raises(SegmentError, match="crc"):
+            read_segment(seg)
+
+    def test_corrupt_record_checksum_rejected(self, tmp_path):
+        _store, seg = _store_with_chain(tmp_path)
+        raw = bytearray(seg.read_bytes())
+        raw[-3] ^= 0xFF                        # payload byte of last record
+        seg.write_bytes(bytes(raw))
+        with pytest.raises(SegmentError, match="integrity"):
+            read_segment(seg)
+
+    def test_segment_version_skew_rejected(self, tmp_path):
+        _store, seg = _store_with_chain(tmp_path)
+        raw = bytearray(seg.read_bytes())
+        raw[len(SEG_MAGIC):len(SEG_MAGIC) + 4] = struct.pack("<I", 99)
+        seg.write_bytes(bytes(raw))
+        with pytest.raises(SegmentError, match="v99"):
+            read_segment(seg)
+
+    def test_bad_magic_rejected(self, tmp_path):
+        _store, seg = _store_with_chain(tmp_path)
+        raw = bytearray(seg.read_bytes())
+        raw[:8] = b"NOTASEGM"
+        seg.write_bytes(bytes(raw))
+        with pytest.raises(SegmentError, match="magic"):
+            read_segment(seg)
+
+    def test_position_gap_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"state": 0}, metadata={"n_observations": 0})
+        tdir = store.tenant_dir("t")
+        writer = SegmentWriter(tdir / "seg-000002.seg", "t", sequence=2,
+                               base_sequence=1)
+        writer.append({"i": 0}, position=1)
+        writer.append({"i": 2}, position=3)    # position 2 went missing
+        writer.close()
+        with pytest.raises(SegmentError, match="continuity"):
+            store.load_latest_chain("t")
+
+    def test_base_sequence_skew_rejected(self, tmp_path):
+        """A segment chained to a snapshot that no longer is the newest
+        (e.g. a manually deleted compaction point) is version skew."""
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"gen": 1}, metadata={"n_observations": 0})
+        store.save_delta("t", {"i": 0}, position=1)
+        store.save("t", {"gen": 2}, metadata={"n_observations": 1})
+        store.save_delta("t", {"i": 1}, position=2)
+        store.close()
+        arts = store.artifacts("t")
+        second_snapshot = [p for s, kind, p in arts
+                           if kind == "snapshot" and s == 3]
+        assert second_snapshot
+        second_snapshot[0].unlink()
+        with pytest.raises(SegmentError, match="skew"):
+            store.load_latest_chain("t")
+
+    def test_delta_without_base_snapshot_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        with pytest.raises(CheckpointError, match="no snapshot"):
+            store.save_delta("t", {"i": 0}, position=1)
+
+    def test_close_segment_rolls_to_a_fresh_file(self, tmp_path):
+        """After close_segment (lease handed off), appends must start a
+        new segment instead of extending the stale one."""
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"state": 0}, metadata={"n_observations": 0})
+        store.save_delta("t", {"i": 0}, position=1)
+        store.close_segment("t")
+        store.save_delta("t", {"i": 1}, position=2)
+        store.close()
+        segs = [p for _, kind, p in store.artifacts("t") if kind == "segment"]
+        assert len(segs) == 2
+        _payload, _meta, records = store.load_latest_chain("t")
+        assert [r["i"] for r in records] == [0, 1]
+
+
+# ---------------------------------------------------------------------------
+# service level: kill/restart mid-interval
+# ---------------------------------------------------------------------------
+
+def _delta_service(root, **kwargs):
+    kwargs.setdefault("durability", "delta")
+    kwargs.setdefault("snapshot_every", 100)   # keep the whole run on one chain
+    # long enough that a live service never self-expires between renewals
+    # (one interval is tens of ms), short enough that crash tests can
+    # wait out a dead owner
+    kwargs.setdefault("lease_ttl", 1.0)
+    return TuningService(root, **kwargs)
+
+
+def _expire_leases():
+    import time
+    time.sleep(1.05)
+
+
+class TestDeltaServiceFaults:
+    SEED = 11
+
+    def _baseline(self):
+        tuner, db = build_tuner(self.SEED), build_db(self.SEED)
+        configs, history = drive_tuner(tuner, db, 0, ITERS)
+        return configs, history
+
+    def _crashed_chain(self, tmp_path, k: int):
+        """Drive k intervals in delta mode and 'crash' (no clean close);
+        returns (store_root, baseline_configs, metrics_history)."""
+        baseline, history = self._baseline()
+        service = _delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=self.SEED))
+        db = build_db(self.SEED)
+        configs, _ = drive_service(service, "t", db, 0, k, list(history))
+        assert configs == baseline[:k]
+        service.store.close()                  # crash: leases never released
+        return baseline, history
+
+    def test_torn_final_record_resumes_to_previous_interval(self, tmp_path):
+        """A crash mid-append loses exactly the unacknowledged interval:
+        the resumed session continues bit-identically from interval k-1."""
+        k = 8
+        baseline, history = self._crashed_chain(tmp_path, k)
+        segs = [p for _, kind, p in
+                CheckpointStore(tmp_path).artifacts("t") if kind == "segment"]
+        raw = segs[-1].read_bytes()
+        segs[-1].write_bytes(raw[:-9])         # tear the last record's tail
+        _expire_leases()
+        service = _delta_service(tmp_path)
+        resumed = service.resume("t")
+        assert len(resumed.repo) == k - 1      # last interval never acked
+        suffix, _ = drive_service(service, "t", build_db(self.SEED),
+                                  k - 1, ITERS, history)
+        assert suffix == baseline[k - 1:]
+
+    def test_intact_chain_resumes_bit_identically(self, tmp_path):
+        k = 7
+        baseline, history = self._crashed_chain(tmp_path, k)
+        _expire_leases()
+        service = _delta_service(tmp_path)
+        suffix, _ = drive_service(service, "t", build_db(self.SEED),
+                                  k, ITERS, history)
+        assert suffix == baseline[k:]
+
+    def test_corrupt_mid_chain_record_raises_typed_error(self, tmp_path):
+        self._crashed_chain(tmp_path, 8)
+        store = CheckpointStore(tmp_path)
+        segs = [p for _, kind, p in store.artifacts("t") if kind == "segment"]
+        raw = bytearray(segs[0].read_bytes())
+        raw[len(raw) // 2] ^= 0xFF             # deep inside the record region
+        segs[0].write_bytes(bytes(raw))
+        _expire_leases()
+        service = _delta_service(tmp_path)
+        with pytest.raises(CheckpointError):   # SegmentError is-a CheckpointError
+            service.resume("t")
+
+    def test_snapshot_version_skew_raises_typed_error(self, tmp_path):
+        self._crashed_chain(tmp_path, 4)
+        store = CheckpointStore(tmp_path)
+        snap = store.latest_path("t")
+        raw = bytearray(snap.read_bytes())
+        raw[8:12] = struct.pack("<I", 99)
+        snap.write_bytes(bytes(raw))
+        _expire_leases()
+        service = _delta_service(tmp_path)
+        with pytest.raises(CheckpointError, match="v99"):
+            service.resume("t")
+
+    def test_compaction_snapshot_resets_chain(self, tmp_path):
+        baseline, history = self._baseline()
+        service = _delta_service(tmp_path, snapshot_every=4)
+        service.create("t", TenantSpec(space="case_study", seed=self.SEED))
+        configs, _ = drive_service(service, "t", build_db(self.SEED),
+                                   0, ITERS)
+        assert configs == baseline
+        kinds = [kind for _, kind, _ in service.store.artifacts("t")]
+        assert kinds.count("snapshot") >= 3    # birth + compactions
+        _expire_leases()
+        fresh = _delta_service(tmp_path)
+        resumed = fresh.resume("t")
+        assert len(resumed.repo) == ITERS
+
+    def test_mid_interval_eviction_keeps_tenants_bit_identical(self, tmp_path):
+        """LRU eviction *between* suggest and observe forces the pending
+        suggest into a full snapshot; interleaved tenants on a 1-slot LRU
+        still match isolated runs exactly under delta durability."""
+        from repro.baselines.base import Feedback, SuggestInput
+        service = _delta_service(tmp_path, max_live_sessions=1)
+        dbs, hosted, base, metrics = {}, {}, {}, {}
+        for i, tenant in enumerate(("a", "b")):
+            service.create(tenant, TenantSpec(space="case_study", seed=i))
+            dbs[tenant] = build_db(i)
+            base[tenant], _ = drive_tuner(build_tuner(i), build_db(i), 0, 6)
+            hosted[tenant], metrics[tenant] = [], {}
+        for t in range(6):
+            # suggest a, suggest b (evicts a mid-interval), then observe
+            # a (rehydrates a, evicts b mid-interval), observe b
+            staged = {}
+            for tenant in ("a", "b"):
+                db = dbs[tenant]
+                profile = db.profile(t)
+                inp = SuggestInput(
+                    iteration=t, snapshot=db.observe_snapshot(t),
+                    metrics=metrics[tenant],
+                    default_performance=db.default_performance(t),
+                    is_olap=profile.is_olap)
+                staged[tenant] = (service.suggest(tenant, inp), profile)
+            for tenant in ("a", "b"):
+                config, profile = staged[tenant]
+                result = dbs[tenant].run_interval(t, config)
+                service.observe(tenant, Feedback(
+                    iteration=t, config=config,
+                    performance=result.objective(profile.is_olap),
+                    metrics=result.metrics, failed=result.failed,
+                    default_performance=dbs[tenant].default_performance(t)))
+                hosted[tenant].append(config)
+                metrics[tenant] = result.metrics
+        for tenant in ("a", "b"):
+            assert hosted[tenant] == base[tenant], f"{tenant} diverged"
+
+
+# ---------------------------------------------------------------------------
+# prune must never break a live delta chain (regression)
+# ---------------------------------------------------------------------------
+
+class TestPruneChainSafety:
+    def test_prune_keeps_live_chain_base(self, tmp_path):
+        """keep=1 with [snapshot, segment, segment] must delete nothing:
+        the newest snapshot is the live chain's replay base."""
+        store, _seg = _store_with_chain(tmp_path, n_records=3)
+        assert store.prune("t", keep=1) == 0
+        payload, _meta, records = store.load_latest_chain("t")
+        assert payload == {"state": 0} and len(records) == 3
+
+    def test_prune_deletes_orphaned_segments_of_old_snapshots(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"gen": 1}, metadata={"n_observations": 0})
+        store.save_delta("t", {"i": 0}, position=1)
+        store.save("t", {"gen": 2}, metadata={"n_observations": 1})
+        store.save_delta("t", {"i": 1}, position=2)
+        store.close()
+        # [ckpt-1, seg-2, ckpt-3, seg-4]: prune to the newest restore point
+        assert store.prune("t", keep=1) == 2   # ckpt-1 and its seg-2
+        payload, _meta, records = store.load_latest_chain("t")
+        assert payload == {"gen": 2}
+        assert [r["i"] for r in records] == [1]
+
+    def test_service_resumes_after_aggressive_prune(self, tmp_path):
+        seed = 3
+        baseline, history = drive_tuner(build_tuner(seed), build_db(seed),
+                                        0, ITERS)
+        service = _delta_service(tmp_path, snapshot_every=3)
+        service.create("t", TenantSpec(space="case_study", seed=seed))
+        k = 8
+        drive_service(service, "t", build_db(seed), 0, k, history.copy())
+        service.store.close()
+        store = CheckpointStore(tmp_path)
+        store.prune("t", keep=1)
+        _expire_leases()
+        fresh = _delta_service(tmp_path, snapshot_every=3)
+        suffix, _ = drive_service(fresh, "t", build_db(seed), k, ITERS,
+                                  history)
+        assert suffix == baseline[k:]
+
+
+# ---------------------------------------------------------------------------
+# regressions from the pre-merge review
+# ---------------------------------------------------------------------------
+
+class TestReviewRegressions:
+    def test_eviction_closes_open_segment_writer(self, tmp_path):
+        """A cleanly evicted delta session must not leave its segment
+        writer open: once the lease is released another frontend may
+        extend the chain, and a later stale append would break it."""
+        service = _delta_service(tmp_path, max_live_sessions=1)
+        service.create("t1", TenantSpec(space="case_study", seed=0))
+        drive_service(service, "t1", build_db(0), 0, 1)
+        assert "t1" in service.store._writers      # chain open mid-session
+        service.create("t2", TenantSpec(space="case_study", seed=1))
+        assert "t1" not in service._live           # evicted...
+        assert "t1" not in service.store._writers  # ...writer closed with it
+
+    def test_duplicate_create_keeps_live_lease(self, tmp_path):
+        """create() on an already-live tenant must raise without touching
+        the live session's lease (the old error path unlinked it)."""
+        service = _delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=0))
+        with pytest.raises(ValueError, match="already exists"):
+            service.create("t", TenantSpec(space="case_study", seed=0))
+        # the lease file survived: a second frontend still sees one writer
+        from repro.service import LeaseHeldError, LeaseManager
+        other = LeaseManager(tmp_path / "leases", ttl=5.0, owner="other")
+        with pytest.raises(LeaseHeldError):
+            other.acquire("t")
+        # and the live session keeps working
+        drive_service(service, "t", build_db(0), 0, 1)
