@@ -1,7 +1,7 @@
 PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
-.PHONY: test test-service perf-test bench bench-baseline service-demo
+.PHONY: test test-service perf-test bench bench-baseline bench-check service-demo
 
 test:            ## tier-1 suite (perf microbenchmarks + slow stress excluded)
 	$(PYTHON) -m pytest -x -q
@@ -25,3 +25,6 @@ bench:           ## refresh BENCH_perf.json ('current' key + speedup)
 
 bench-baseline:  ## record the current tree as the perf baseline
 	$(PYTHON) -m benchmarks.bench_perf --as-baseline
+
+bench-check:     ## perf-regression gate: fail if history-500 suggest+observe regresses >20% vs BENCH_perf.json
+	$(PYTHON) -m pytest -m perf -q benchmarks/test_perf_gate.py

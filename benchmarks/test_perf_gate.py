@@ -1,0 +1,51 @@
+"""Perf-regression gate for the per-interval hot path.
+
+Measures suggest+observe at history 500 (the paper's overhead-critical
+regime) with the in-tree microbenchmark and fails when it regresses more
+than ``TOLERANCE`` against the numbers recorded in ``BENCH_perf.json``
+at the repository root — the file every perf PR refreshes via ``make
+bench``.  Run via ``make bench-check`` (or ``pytest -m perf``); the
+``perf`` marker keeps wall-clock-sensitive tests out of tier-1.
+
+The comparison is absolute wall-clock against numbers recorded on the
+machine that last ran ``make bench``, so it is only meaningful on
+comparable hardware: on a substantially slower box, re-record with
+``make bench`` first and gate against your own numbers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+
+import pytest
+
+from bench_perf import OUTPUT_PATH, run_benchmark
+
+#: allowed slowdown vs the recorded numbers before the gate trips.
+#: Generous enough for machine jitter on shared runners, tight enough
+#: that an accidental O(n) regression on the suggest path cannot hide.
+TOLERANCE = 1.20
+
+GATE_HISTORY = 500
+WINDOW = 20
+
+
+@pytest.mark.perf
+def test_history500_suggest_observe_within_budget():
+    if not OUTPUT_PATH.exists():
+        pytest.skip("no recorded BENCH_perf.json; run `make bench` first")
+    recorded = json.loads(Path(OUTPUT_PATH).read_text())
+    current = recorded.get("current")
+    if not current or str(GATE_HISTORY) not in current.get("by_history", {}):
+        pytest.skip(f"recorded report lacks history {GATE_HISTORY}")
+    budget = current["by_history"][str(GATE_HISTORY)]["mean_seconds"]
+
+    measured = run_benchmark(history_sizes=[GATE_HISTORY], window=WINDOW,
+                             verbose=False)
+    mean = measured["by_history"][str(GATE_HISTORY)]["mean_seconds"]
+    assert mean <= TOLERANCE * budget, (
+        f"suggest+observe at history {GATE_HISTORY} regressed: "
+        f"{1e3 * mean:.2f} ms measured vs {1e3 * budget:.2f} ms recorded "
+        f"(tolerance x{TOLERANCE}); if intentional, refresh the record "
+        f"with `make bench`")

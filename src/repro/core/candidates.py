@@ -31,10 +31,12 @@ def select_candidate(assessment: SafetyAssessment, epsilon: float,
     safe = assessment.safe_indices
     if safe.size == 0:
         return None
+    # interval width doubles as both the exploration score and (rescaled)
+    # the predictive sigma, so compute it once for either branch
+    widths = assessment.upper[safe] - assessment.lower[safe]
     if safe.size > 1 and rng.random() < epsilon:
         # boundary exploration: maximal uncertainty among safe candidates
-        widths = assessment.upper[safe] - assessment.lower[safe]
         return int(safe[int(np.argmax(widths))])
-    sigma = (assessment.upper[safe] - assessment.lower[safe]) / (2.0 * safety_beta)
+    sigma = widths / (2.0 * safety_beta)
     ucb = assessment.mean[safe] + selection_beta * sigma
     return int(safe[int(np.argmax(ucb))])

@@ -64,19 +64,68 @@ class SafetyAssessor:
         self.margin = float(margin)
         self.use_blackbox = use_blackbox
         self.use_whitebox = use_whitebox and rulebook is not None
+        # decoded-candidate table keyed by the discretization token: the
+        # decode depends only on the candidate array, so while the
+        # subspace serves the same discretization the table is reused
+        # verbatim (rule evaluation itself re-runs every interval — the
+        # rule context and relaxation counters change).
+        self._decoded_token: Optional[int] = None
+        self._decoded_candidates: Optional[np.ndarray] = None
+        self._decoded_table = None
+
+    def __getstate__(self):
+        """Pickle without the decode cache (tokens are process-local)."""
+        state = self.__dict__.copy()
+        state["_decoded_token"] = None
+        state["_decoded_candidates"] = None
+        state["_decoded_table"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_decoded_token", None)
+        self.__dict__.setdefault("_decoded_candidates", None)
+        self.__dict__.setdefault("_decoded_table", None)
 
     def threshold(self, tau: float) -> float:
         return tau - self.margin * abs(tau)
 
+    def _decode_cached(self, candidates: np.ndarray,
+                       token: Optional[int]):
+        if token is None:
+            return self.space.decode_columns(candidates)
+        if (token != self._decoded_token
+                or candidates is not self._decoded_candidates):
+            self._decoded_table = self.space.decode_columns(candidates)
+            self._decoded_token = token
+            self._decoded_candidates = candidates
+        return self._decoded_table
+
     def assess(self, model: Optional[ContextualGP], candidates: np.ndarray,
                context: np.ndarray, tau: float,
-               rule_ctx: Optional[RuleContext] = None) -> SafetyAssessment:
-        """Assess candidates; returns masks plus the GP bounds."""
+               rule_ctx: Optional[RuleContext] = None,
+               cache_token: Optional[int] = None) -> SafetyAssessment:
+        """Assess candidates; returns masks plus the GP bounds.
+
+        ``cache_token`` identifies the candidate discretization; when
+        given, the GP kernel-block cache and the decoded-candidate table
+        are reused across intervals that keep the same discretization.
+        """
+        raw = candidates
         candidates = np.atleast_2d(candidates)
+        if candidates is not raw:
+            cache_token = None       # 1-D input was re-wrapped; identity lost
         n = candidates.shape[0]
 
         if model is not None and model.n_observations > 0:
-            mean, lower, upper = model.confidence_bounds(candidates, context)
+            # the kwarg is only passed when caching is requested, so
+            # stub/ablation models with the plain signature keep working
+            if cache_token is None:
+                mean, lower, upper = model.confidence_bounds(candidates,
+                                                             context)
+            else:
+                mean, lower, upper = model.confidence_bounds(
+                    candidates, context, cache_token=cache_token)
         else:
             mean = np.zeros(n)
             lower = np.full(n, -np.inf)
@@ -92,7 +141,7 @@ class SafetyAssessor:
             # columnar fast path: one array op per rule instead of
             # rules x candidates Python dispatches; row-identical to
             # calling rulebook.satisfies per decoded candidate
-            table = self.space.decode_columns(candidates)
+            table = self._decode_cached(candidates, cache_token)
             whitebox = self.rulebook.satisfies_batch(table, rule_ctx, n)
 
         return SafetyAssessment(

@@ -15,6 +15,7 @@ All geometry lives in the unit hypercube.
 
 from __future__ import annotations
 
+import itertools
 from typing import List, Optional
 
 import numpy as np
@@ -22,6 +23,14 @@ import numpy as np
 from ..ml.fanova import fanova_importance
 
 __all__ = ["Subspace"]
+
+#: process-global discretization tokens: every *new* candidate set handed
+#: out by any :meth:`Subspace.discretize` gets the next value, so a token
+#: uniquely identifies one concrete candidate array for the lifetime of
+#: the process.  Downstream kernel-block caches key on it (plus array
+#: identity) to detect re-discretization.  Tokens carry no randomness and
+#: never influence trajectories; they are not persisted in checkpoints.
+_DISCRETIZE_TOKENS = itertools.count(1)
 
 
 class Subspace:
@@ -54,6 +63,15 @@ class Subspace:
         self._recent_improvement = 0.0
         self._importances: Optional[np.ndarray] = None
         self._prior_importances: Optional[np.ndarray] = None
+        # cross-iteration discretization cache.  Line regions are a pure
+        # function of (center, direction, extent, n) — no RNG draws — so
+        # consecutive unchanged iterations reuse the exact same candidate
+        # array (and its token), which is what lets the GP kernel-block
+        # cache survive across iterations.  Hypercube regions draw fresh
+        # random candidates every call and always mint a new token.
+        self._disc_key: Optional[tuple] = None
+        self._disc_points: Optional[np.ndarray] = None
+        self.discretize_token: int = 0
 
     # -- initialization -------------------------------------------------
     def initialize(self, center: np.ndarray) -> None:
@@ -182,7 +200,13 @@ class Subspace:
         return bool(np.linalg.norm(residual) <= 1e-6 + tol)
 
     def discretize(self, n: int) -> np.ndarray:
-        """Candidate unit-space configurations inside the subspace."""
+        """Candidate unit-space configurations inside the subspace.
+
+        Line-region discretizations are deterministic, so while the region
+        is unchanged the same array object (under the same
+        ``discretize_token``) is returned every call; hypercube regions
+        sample fresh candidates and mint a new token each time.
+        """
         if self.center is None:
             raise RuntimeError("Subspace used before initialize()")
         if self.kind == self.HYPERCUBE:
@@ -190,15 +214,46 @@ class Subspace:
             hi = np.clip(self.center + self.radius, 0.0, 1.0)
             points = lo + self.rng.random((n, self.dim)) * (hi - lo)
             points[0] = self.center
+            self._disc_key = None
+            self._disc_points = None
+            self.discretize_token = next(_DISCRETIZE_TOKENS)
             return points
         # the line extent is trust-region-limited: far extrapolations along
         # a line are exactly where the GP's safety estimate is least reliable
         extent = max(0.35, 2.0 * self.radius)
+        key = (int(n), float(extent), self.center.tobytes(),
+               self.direction.tobytes())
+        if key == self._disc_key:
+            return self._disc_points
         alphas = np.linspace(-extent, extent, n)
         points = self.center[None, :] + alphas[:, None] * self.direction[None, :]
         points = np.clip(points, 0.0, 1.0)
         # dedupe points clipped onto the same corner
-        return np.unique(points, axis=0)
+        points = np.unique(points, axis=0)
+        self._disc_key = key
+        self._disc_points = points
+        self.discretize_token = next(_DISCRETIZE_TOKENS)
+        return points
+
+    def __getstate__(self):
+        """Pickle without the discretization cache.
+
+        Tokens are only unique within one process; a resumed subspace
+        re-discretizes (and re-mints a token) on its first use, which is
+        also what keeps checkpoints free of redundant candidate arrays.
+        """
+        state = self.__dict__.copy()
+        state["_disc_key"] = None
+        state["_disc_points"] = None
+        state["discretize_token"] = 0
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # checkpoints from before the discretization cache lack its fields
+        self.__dict__.setdefault("_disc_key", None)
+        self.__dict__.setdefault("_disc_points", None)
+        self.__dict__.setdefault("discretize_token", 0)
 
     def distance_from(self, point: np.ndarray) -> float:
         """Euclidean distance of the subspace centre from a reference."""

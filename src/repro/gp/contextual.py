@@ -5,6 +5,25 @@ kernel and a convenience API that accepts configurations and contexts
 separately.  Given a fixed observed context ``c_t`` the model exposes
 mean / lower / upper confidence bounds over candidate configurations
 (Equation 3), which the safety assessment and candidate selection use.
+
+Cross-iteration kernel-block cache
+----------------------------------
+The per-interval hot path evaluates the same candidate discretization
+against a training set that grows by one row per interval.  With the
+additive kernel the cross-covariance splits as ``K* = M + l·1^T`` where
+``M = k_Theta(X_cfg, candidates)`` is the Matérn block over the config
+slice (stationary while the discretization is unchanged) and ``l =
+k_C(X_ctx, c_t)`` is a single column (one context per interval).  When
+the caller passes a ``cache_token`` identifying the candidate set,
+:meth:`ContextualGP.predict` caches ``M`` *and* the dominant GEMM
+``V·M`` (``V = L^-1``), extending both by one row per appended
+observation instead of recomputing the full ``n x m`` products.  The
+cache invalidates on re-discretization (token/array change), on any full
+refactorization of the GP (hyperparameter refit, unstable-append
+fallback, periodic drift-bounding refactor — all bump
+``GaussianProcess.factor_version``), and trivially on cluster
+reassignment (cluster relearning rebuilds the models, and caches are
+never pickled into checkpoints).
 """
 
 from __future__ import annotations
@@ -14,9 +33,49 @@ from typing import Optional, Tuple
 import numpy as np
 
 from .gpr import GaussianProcess
-from .kernels import Kernel, additive_contextual_kernel
+from .kernels import Kernel, additive_contextual_kernel, additive_split
 
 __all__ = ["ContextualGP"]
+
+
+class _BlockCache:
+    """One cached candidate block: identity key + derived matrices.
+
+    ``M = k_Theta(X_cfg, candidates)`` and ``vM = V @ M`` live in
+    geometrically-grown row buffers so per-interval extensions write one
+    new row in place instead of reallocating the n x m blocks; the
+    running per-candidate column sums of ``vM**2`` make the predictive
+    variance an O(n m) GEMV away (no n x m temporaries on the hot path).
+    """
+
+    __slots__ = ("token", "candidates", "n", "factor_version",
+                 "Mbuf", "vMbuf", "colsq")
+
+    def __init__(self, token, candidates, n, factor_version,
+                 M, vM) -> None:
+        self.token = token
+        self.candidates = candidates
+        self.n = n
+        self.factor_version = factor_version
+        cap = max(64, 1 << (n - 1).bit_length()) if n > 0 else 64
+        m = M.shape[1]
+        self.Mbuf = np.empty((cap, m))
+        self.vMbuf = np.empty((cap, m))
+        self.Mbuf[:n] = M
+        self.vMbuf[:n] = vM
+        self.colsq = np.sum(vM ** 2, axis=0)
+
+    def reserve(self, n: int) -> None:
+        """Grow the row buffers (geometrically) to hold ``n`` rows."""
+        cap = self.Mbuf.shape[0]
+        if n <= cap:
+            return
+        new_cap = 1 << (n - 1).bit_length()
+        Mbuf = np.empty((new_cap, self.Mbuf.shape[1]))
+        vMbuf = np.empty((new_cap, self.vMbuf.shape[1]))
+        Mbuf[:self.n] = self.Mbuf[:self.n]
+        vMbuf[:self.n] = self.vMbuf[:self.n]
+        self.Mbuf, self.vMbuf = Mbuf, vMbuf
 
 
 class ContextualGP:
@@ -44,6 +103,30 @@ class ContextualGP:
         self.gp = GaussianProcess(kernel=kernel, noise=noise,
                                   warm_start_refits=warm_start_refits)
         self.beta = float(beta)
+        self._split = additive_split(self.gp.kernel)
+        self._cache: Optional[_BlockCache] = None
+        self.cache_hits = 0
+        self.cache_extensions = 0
+        self.cache_misses = 0
+
+    def __getstate__(self):
+        """Pickle without the kernel-block cache.
+
+        Tokens are process-local and the cached matrices are derivable,
+        so a resumed model simply rebuilds the cache on first use —
+        through the miss path, whose outputs are bit-identical anyway.
+        """
+        state = self.__dict__.copy()
+        state["_cache"] = None
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        # models checkpointed before the cache existed lack its fields
+        self.__dict__.setdefault("_cache", None)
+        self.__dict__.setdefault("_split", additive_split(self.gp.kernel))
+        for counter in ("cache_hits", "cache_extensions", "cache_misses"):
+            self.__dict__.setdefault(counter, 0)
 
     # -- data handling --------------------------------------------------
     def _join(self, configs: np.ndarray, contexts: np.ndarray) -> np.ndarray:
@@ -90,16 +173,92 @@ class ContextualGP:
         return self
 
     # -- prediction ------------------------------------------------------
-    def predict(self, configs: np.ndarray, context: np.ndarray) -> Tuple[np.ndarray, np.ndarray]:
-        """Posterior mean and std for candidate configs at one context."""
+    def predict(self, configs: np.ndarray, context: np.ndarray,
+                cache_token: Optional[int] = None) -> Tuple[np.ndarray, np.ndarray]:
+        """Posterior mean and std for candidate configs at one context.
+
+        ``cache_token`` identifies the candidate discretization (see
+        :attr:`repro.core.subspace.Subspace.discretize_token`); passing it
+        enables the cross-iteration kernel-block cache.  ``None`` (the
+        default, and every non-candidate caller) takes the plain path.
+        """
         X = self._join(configs, context)
-        return self.gp.predict(X)
+        if (cache_token is None or self._split is None
+                or self.gp._X is None
+                or np.atleast_2d(np.asarray(context)).shape[0] != 1):
+            return self.gp.predict(X)
+        return self._predict_candidates(configs, X, cache_token)
+
+    def _predict_candidates(self, configs, Xq: np.ndarray,
+                            token: int) -> Tuple[np.ndarray, np.ndarray]:
+        """Candidate-block prediction backed by the kernel-block cache.
+
+        Miss path: computes the Matérn block ``M`` and context block
+        explicitly and sums them — the exact arithmetic of
+        :meth:`~repro.gp.kernels.SumKernel.__call__` — so outputs are
+        bit-identical to :meth:`GaussianProcess.predict`; the only extra
+        work is the ``V @ M`` GEMM that seeds the cache.  Hit path:
+        extends ``M`` and ``V @ M`` by the rows appended since the cache
+        was built and recomputes only the rank-1 context column, turning
+        the per-interval O(n^2 m) GEMM into O(n m).
+        """
+        gp = self.gp
+        config_part, context_part = self._split
+        n = gp.n_observations
+        cache = self._cache
+        X_train = gp._X
+        V = gp._V
+        if (cache is not None and cache.token == token
+                and cache.candidates is configs
+                and cache.factor_version == gp.factor_version
+                and cache.n <= n):
+            if cache.n < n:
+                cache.reserve(n)
+                cache.Mbuf[cache.n:n] = config_part(X_train[cache.n:], Xq)
+                v_rows = V[cache.n:] @ cache.Mbuf[:n]
+                cache.vMbuf[cache.n:n] = v_rows
+                cache.colsq += np.sum(v_rows ** 2, axis=0)
+                cache.n = n
+                self.cache_extensions += 1
+            self.cache_hits += 1
+            M = cache.Mbuf[:n]
+            vM = cache.vMbuf[:n]
+            l_col = context_part(X_train, Xq[:1])[:, 0]  # (n,) context column
+            vl = V @ l_col                               # one n^2 GEMV
+            # mean/var assembled from the additive structure without
+            # materializing the n x m cross-covariance:
+            #   K*^T alpha  = M^T alpha + (l . alpha)
+            #   sum(v**2,0) = colsq(vM) + 2 vM^T vl + (vl . vl)
+            mean = M.T @ gp._alpha + float(l_col @ gp._alpha)
+            var = (gp.kernel.diag(Xq)
+                   - (cache.colsq + 2.0 * (vM.T @ vl) + float(vl @ vl)))
+        else:
+            M = config_part(X_train, Xq)
+            lin = context_part(X_train, Xq)
+            Ks = M + lin                               # == SumKernel.__call__
+            v = V @ Ks
+            # seed the cache without a second n^2 m GEMM: V @ M is
+            # recovered from v by subtracting the rank-1 context column's
+            # image (one n^2 GEMV) — accurate to roundoff, which is all
+            # later extensions need
+            vM = v - V @ lin[:, :1]
+            self._cache = _BlockCache(token, configs, n, gp.factor_version,
+                                      M, vM)
+            self.cache_misses += 1
+            mean = Ks.T @ gp._alpha
+            var = gp.kernel.diag(Xq) - np.sum(v ** 2, axis=0)
+        mean = mean * gp._y_std + gp._y_mean
+        np.maximum(var, 1e-12, out=var)
+        std = np.sqrt(var) * gp._y_std
+        return mean, std
 
     def confidence_bounds(self, configs: np.ndarray, context: np.ndarray,
-                          beta: Optional[float] = None) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+                          beta: Optional[float] = None,
+                          cache_token: Optional[int] = None
+                          ) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
         """(mean, lower, upper) bounds — Equation 3 of the paper."""
         beta = self.beta if beta is None else beta
-        mean, std = self.predict(configs, context)
+        mean, std = self.predict(configs, context, cache_token=cache_token)
         return mean, mean - beta * std, mean + beta * std
 
     def lcb(self, configs: np.ndarray, context: np.ndarray,

@@ -108,6 +108,13 @@ class GaussianProcess:
         self._alpha: Optional[np.ndarray] = None
         self._diag_add = self.noise + 2.0 * _JITTER  # diagonal used in _Lbuf
         self._appends_since_refactor = 0
+        #: bumped by every full (re)factorization — hyperparameter refits,
+        #: unstable-append fallbacks, and the periodic drift-bounding
+        #: refactorization all rebuild ``L``/``V`` wholesale, so any cache
+        #: derived from the old factor (the candidate kernel-block cache)
+        #: must be dropped.  Pure rank-1 appends *extend* the factor and
+        #: leave the version unchanged.
+        self.factor_version = 0
         self.last_opt_warm = False
         self.last_opt_nit = 0
         self.hyperopt_count = 0
@@ -146,13 +153,19 @@ class GaussianProcess:
         return self._n
 
     def _ensure_capacity(self, n: int, dim: int) -> None:
+        # the factor buffers are allocated uninitialized: every cell the
+        # math reads is written first (the [:n, :n] views by _factorize,
+        # the new row/column by add_point, which also zeroes the upper
+        # column stub), and __getstate__ trims to [:n, :n] — so the
+        # O(cap^2) zeroing pass would be pure memory traffic on the
+        # capacity-doubling hot path
         if self._Xbuf is None or self._dim != dim:
             cap = max(64, 1 << (n - 1).bit_length())
             self._dim = dim
             self._Xbuf = np.empty((cap, dim))
             self._ybuf = np.empty(cap)
-            self._Lbuf = np.zeros((cap, cap))
-            self._Vbuf = np.zeros((cap, cap))
+            self._Lbuf = np.empty((cap, cap))
+            self._Vbuf = np.empty((cap, cap))
             return
         cap = self._Xbuf.shape[0]
         if n <= cap:
@@ -160,8 +173,8 @@ class GaussianProcess:
         new_cap = 1 << (n - 1).bit_length()
         Xbuf = np.empty((new_cap, dim))
         ybuf = np.empty(new_cap)
-        Lbuf = np.zeros((new_cap, new_cap))
-        Vbuf = np.zeros((new_cap, new_cap))
+        Lbuf = np.empty((new_cap, new_cap))
+        Vbuf = np.empty((new_cap, new_cap))
         Xbuf[:self._n] = self._Xbuf[:self._n]
         ybuf[:self._n] = self._ybuf[:self._n]
         Lbuf[:self._n, :self._n] = self._Lbuf[:self._n, :self._n]
@@ -344,6 +357,7 @@ class GaussianProcess:
         # which is what every incrementally appended point uses
         self._diag_add = self.noise + _JITTER + jitter
         self._appends_since_refactor = 0
+        self.factor_version += 1
         self._refresh_alpha()
 
     def _refresh_alpha(self) -> None:

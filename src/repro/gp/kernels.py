@@ -26,6 +26,7 @@ __all__ = [
     "SumKernel",
     "ColumnSliceKernel",
     "additive_contextual_kernel",
+    "additive_split",
     "product_contextual_kernel",
     "AdditiveKernelFactory",
     "ProductKernel",
@@ -302,6 +303,25 @@ def additive_contextual_kernel(config_dim: int, context_dim: int) -> Kernel:
     context_part = ColumnSliceKernel(LinearKernel(),
                                      slice(config_dim, config_dim + context_dim))
     return SumKernel([config_part, context_part])
+
+
+def additive_split(kernel: Kernel):
+    """Split an additive two-block kernel into its column-slice parts.
+
+    Returns ``(config_part, context_part)`` — the two
+    :class:`ColumnSliceKernel` summands, in order — when ``kernel`` has
+    the paper's structure ``k([theta|c], [theta'|c']) = k_Theta + k_C``,
+    else ``None``.  The cross-iteration kernel-block cache uses the split
+    to reuse the (expensive, stationary-candidate) config block while
+    recomputing only the rank-1 context column each interval; summing the
+    parts reproduces :meth:`SumKernel.__call__`'s arithmetic exactly.
+    """
+    if isinstance(kernel, SumKernel) and len(kernel.parts) == 2:
+        first, second = kernel.parts
+        if (isinstance(first, ColumnSliceKernel)
+                and isinstance(second, ColumnSliceKernel)):
+            return first, second
+    return None
 
 
 class AdditiveKernelFactory:

@@ -23,6 +23,7 @@ from ..dbms.engine import SimulatedMySQL
 
 __all__ = ["IterationRecord", "SessionResult", "TuningSession",
            "SessionSpec", "SessionOutcome", "ParallelRunner",
+           "ShardRun", "shard_specs", "merge_shard_runs",
            "build_session_from_spec", "run_session_spec",
            "run_session_spec_detailed"]
 
@@ -50,6 +51,25 @@ class IterationRecord:
     def improvement(self) -> float:
         tau = self.default_performance
         return (self.performance - tau) / max(abs(tau), 1e-9)
+
+    def to_dict(self) -> Dict[str, object]:
+        """JSON-safe encoding (floats round-trip exactly via repr)."""
+        return {
+            "iteration": self.iteration,
+            "performance": self.performance,
+            "default_performance": self.default_performance,
+            "throughput": self.throughput,
+            "latency_p99": self.latency_p99,
+            "exec_seconds": self.exec_seconds,
+            "failed": self.failed,
+            "unsafe": self.unsafe,
+            "suggest_seconds": self.suggest_seconds,
+            "config": dict(self.config),
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "IterationRecord":
+        return cls(**data)
 
 
 @dataclass
@@ -99,6 +119,21 @@ class SessionResult:
             return 0.0
         return float(np.mean([r.suggest_seconds for r in self.records]))
 
+    # -- serialization (cross-host shard merge) ----------------------------
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "tuner_name": self.tuner_name,
+            "is_olap": self.is_olap,
+            "records": [r.to_dict() for r in self.records],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "SessionResult":
+        return cls(tuner_name=data["tuner_name"],
+                   records=[IterationRecord.from_dict(r)
+                            for r in data["records"]],
+                   is_olap=bool(data.get("is_olap", False)))
+
 
 class TuningSession:
     """Run one tuner against one simulated instance."""
@@ -119,48 +154,67 @@ class TuningSession:
         db = self.db
         tuner = self.tuner
         tuner.start(dict(db.reference_config), db.default_performance(0))
+        # overlapped featurization: tuners exposing prefetch_context get
+        # the *next* interval's snapshot right after the current suggest,
+        # so featurization overlaps the interval execution + observe.
+        # Snapshots are a pure function of the iteration (per-iteration
+        # seeded RNGs), so fetching one early is bit-identical; only
+        # run_interval consumes the instance's sequential RNG, and its
+        # call order is unchanged.
+        prefetch = getattr(tuner, "prefetch_context", None)
 
         last_metrics: Dict[str, float] = {}
         records: List[IterationRecord] = []
         any_olap = False
+        snapshot = db.observe_snapshot(0, n_queries=self.snapshot_queries)
 
-        for t in range(self.n_iterations):
-            profile = db.profile(t)
-            any_olap = any_olap or profile.is_olap
-            snapshot = db.observe_snapshot(t, n_queries=self.snapshot_queries)
-            tau = db.default_performance(t)
+        try:
+            for t in range(self.n_iterations):
+                profile = db.profile(t)
+                any_olap = any_olap or profile.is_olap
+                tau = db.default_performance(t)
 
-            inp = SuggestInput(iteration=t, snapshot=snapshot,
-                               metrics=last_metrics,
-                               default_performance=tau,
-                               is_olap=profile.is_olap)
-            t0 = time.perf_counter()
-            config = tuner.suggest(inp)
-            suggest_seconds = time.perf_counter() - t0
+                inp = SuggestInput(iteration=t, snapshot=snapshot,
+                                   metrics=last_metrics,
+                                   default_performance=tau,
+                                   is_olap=profile.is_olap)
+                t0 = time.perf_counter()
+                config = tuner.suggest(inp)
+                suggest_seconds = time.perf_counter() - t0
 
-            result = db.run_interval(t, config)
-            perf = result.objective(profile.is_olap)
-            unsafe = result.failed or (
-                perf < tau - self.unsafe_tolerance * abs(tau))
+                if t + 1 < self.n_iterations:
+                    snapshot = db.observe_snapshot(
+                        t + 1, n_queries=self.snapshot_queries)
+                    if prefetch is not None:
+                        prefetch(snapshot)
 
-            tuner.observe(Feedback(
-                iteration=t, config=config, performance=perf,
-                metrics=result.metrics, failed=result.failed,
-                default_performance=tau))
+                result = db.run_interval(t, config)
+                perf = result.objective(profile.is_olap)
+                unsafe = result.failed or (
+                    perf < tau - self.unsafe_tolerance * abs(tau))
 
-            last_metrics = result.metrics
-            records.append(IterationRecord(
-                iteration=t,
-                performance=perf,
-                default_performance=tau,
-                throughput=result.throughput,
-                latency_p99=result.latency_p99,
-                exec_seconds=result.exec_seconds,
-                failed=result.failed,
-                unsafe=bool(unsafe),
-                suggest_seconds=suggest_seconds,
-                config=dict(config) if self.record_configs else {},
-            ))
+                tuner.observe(Feedback(
+                    iteration=t, config=config, performance=perf,
+                    metrics=result.metrics, failed=result.failed,
+                    default_performance=tau))
+
+                last_metrics = result.metrics
+                records.append(IterationRecord(
+                    iteration=t,
+                    performance=perf,
+                    default_performance=tau,
+                    throughput=result.throughput,
+                    latency_p99=result.latency_p99,
+                    exec_seconds=result.exec_seconds,
+                    failed=result.failed,
+                    unsafe=bool(unsafe),
+                    suggest_seconds=suggest_seconds,
+                    config=dict(config) if self.record_configs else {},
+                ))
+        finally:
+            close = getattr(tuner, "close", None)
+            if close is not None:
+                close()     # release the prefetch worker thread
         return SessionResult(tuner.name, records, is_olap=any_olap)
 
 
@@ -296,3 +350,100 @@ class ParallelRunner:
             raise ValueError("duplicate session names; label the specs or "
                              "use run() instead")
         return dict(zip(names, self.run(specs)))
+
+    def run_shard(self, specs: Sequence[SessionSpec], shard_index: int,
+                  shard_count: int) -> "ShardRun":
+        """Run one deterministic shard of a spec list (multi-host sweeps).
+
+        The partition is strided over the *spec order* — shard ``i`` owns
+        every spec at index ``j`` with ``j % shard_count == i`` — so any
+        host can compute its share from nothing but the shared spec list
+        and its ``--shard-index/--shard-count``, and
+        :func:`merge_shard_runs` can reassemble results in original
+        order.  Each session is still bit-identical to its unsharded
+        run: specs carry all the seeding.
+        """
+        specs = list(specs)
+        picked = shard_specs(specs, shard_index, shard_count)
+        results = self._map(run_session_spec, [spec for _, spec in picked])
+        return ShardRun(shard_index=shard_index, shard_count=shard_count,
+                        n_specs=len(specs),
+                        indices=[i for i, _ in picked], results=results)
+
+
+def shard_specs(specs: Sequence[SessionSpec], shard_index: int,
+                shard_count: int) -> List[tuple]:
+    """Deterministic ``(original_index, spec)`` partition for one shard."""
+    if shard_count < 1:
+        raise ValueError(f"shard_count must be >= 1, got {shard_count}")
+    if not 0 <= shard_index < shard_count:
+        raise ValueError(f"shard_index {shard_index} outside "
+                         f"[0, {shard_count})")
+    return [(i, spec) for i, spec in enumerate(specs)
+            if i % shard_count == shard_index]
+
+
+@dataclass
+class ShardRun:
+    """One shard's results plus everything needed to merge safely."""
+
+    shard_index: int
+    shard_count: int
+    n_specs: int                     # length of the full spec list
+    indices: List[int]               # original spec indices, ascending
+    results: List[SessionResult]     # aligned with ``indices``
+
+    def to_dict(self) -> Dict[str, object]:
+        return {
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
+            "n_specs": self.n_specs,
+            "indices": list(self.indices),
+            "results": [r.to_dict() for r in self.results],
+        }
+
+    @classmethod
+    def from_dict(cls, data: Dict[str, object]) -> "ShardRun":
+        return cls(shard_index=int(data["shard_index"]),
+                   shard_count=int(data["shard_count"]),
+                   n_specs=int(data["n_specs"]),
+                   indices=[int(i) for i in data["indices"]],
+                   results=[SessionResult.from_dict(r)
+                            for r in data["results"]])
+
+
+def merge_shard_runs(shards: Iterable[ShardRun]) -> List[SessionResult]:
+    """Reassemble shard outputs into the unsharded result list.
+
+    Validates that the shards come from the same sweep (consistent
+    ``shard_count``/``n_specs``), that no spec index is covered twice,
+    and that together they cover every spec — a partial merge would
+    silently misreport a sweep, so it is an error.
+    """
+    shards = list(shards)
+    if not shards:
+        raise ValueError("no shards to merge")
+    shard_count = shards[0].shard_count
+    n_specs = shards[0].n_specs
+    merged: Dict[int, SessionResult] = {}
+    for shard in shards:
+        if shard.shard_count != shard_count or shard.n_specs != n_specs:
+            raise ValueError(
+                f"shard {shard.shard_index} disagrees on sweep shape "
+                f"({shard.shard_count}/{shard.n_specs} vs "
+                f"{shard_count}/{n_specs})")
+        if len(shard.indices) != len(shard.results):
+            raise ValueError(f"shard {shard.shard_index} is inconsistent: "
+                             f"{len(shard.indices)} indices vs "
+                             f"{len(shard.results)} results")
+        for index, result in zip(shard.indices, shard.results):
+            if index in merged:
+                raise ValueError(f"spec index {index} covered twice")
+            if index % shard_count != shard.shard_index:
+                raise ValueError(f"spec index {index} does not belong to "
+                                 f"shard {shard.shard_index}/{shard_count}")
+            merged[index] = result
+    missing = sorted(set(range(n_specs)) - set(merged))
+    if missing:
+        raise ValueError(f"incomplete merge: missing spec indices {missing}")
+    return [merged[i] for i in range(n_specs)]

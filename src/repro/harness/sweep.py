@@ -1,0 +1,158 @@
+"""Shardable figure sweeps: fan REPRO_FULL experiment grids across hosts.
+
+The paper-scale (400-interval) figure reproductions are embarrassingly
+parallel across (tuner x workload x seed) sessions, but a single host
+caps out at its core count.  This module names the figure grids as
+deterministic :class:`~repro.harness.runner.SessionSpec` lists so several
+hosts can each run one stride of the grid and a final merge step
+reassembles the exact unsharded result::
+
+    # host 0 of 3                              # host 1, 2 likewise
+    python -m repro.harness.sweep run --sweep fig06 \
+        --shard-index 0 --shard-count 3 --out results/
+
+    # any host, after collecting the shard files
+    python -m repro.harness.sweep merge --sweep fig06 \
+        results/fig06-shard0of3.json results/fig06-shard1of3.json \
+        results/fig06-shard2of3.json
+
+Shard partitions are strided over spec order (``index % shard_count``),
+so every host derives its share from nothing but the shared sweep name
+and its ``--shard-index/--shard-count``; sessions are rebuilt from specs
+inside each worker, which is what makes the union of shard runs
+bit-identical to the unsharded run (see ``tests/test_shard_merge.py``).
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import sys
+from pathlib import Path
+from typing import Dict, List, Optional
+
+from .reporting import format_cumulative_table
+from .runner import (
+    ParallelRunner,
+    SessionResult,
+    SessionSpec,
+    ShardRun,
+    merge_shard_runs,
+)
+
+__all__ = ["SWEEPS", "sweep_specs", "run_sweep_shard", "merge_sweep_files",
+           "main"]
+
+_TUNERS = ("OnlineTune", "BO", "DDPG", "ResTune", "QTune", "MysqlTuner")
+
+
+def _full_iters(default: int = 400) -> int:
+    """Paper scale unless REPRO_QUICK_ITERS overrides (tests/smoke runs)."""
+    env = os.environ.get("REPRO_QUICK_ITERS")
+    return int(env) if env else default
+
+
+def _fig05(workload: str, seeds=(0,), **workload_kwargs) -> List[SessionSpec]:
+    iters = _full_iters()
+    kwargs = dict(workload_kwargs)
+    if workload == "tpcc":
+        kwargs.setdefault("growth_iters", iters)
+    return [SessionSpec(tuner=name, workload=workload, seed=seed,
+                        n_iterations=iters,
+                        label=f"{name}@seed{seed}" if len(seeds) > 1 else None,
+                        workload_kwargs=tuple(sorted(kwargs.items())))
+            for seed in seeds for name in _TUNERS]
+
+
+def _fig06(seeds=(0,)) -> List[SessionSpec]:
+    iters = _full_iters()
+    period = max(iters // 4, 6)
+    return [SessionSpec(tuner=name, workload="oltp_olap_cycle", seed=seed,
+                        n_iterations=iters,
+                        label=f"{name}@seed{seed}" if len(seeds) > 1 else None,
+                        workload_kwargs=(("growth_iters", iters),
+                                         ("period", period)))
+            for seed in seeds for name in _TUNERS]
+
+
+#: sweep name -> zero-argument spec-list factory (evaluated lazily so the
+#: REPRO_QUICK_ITERS override is read at run time, not import time)
+SWEEPS = {
+    "fig05a": lambda: _fig05("tpcc"),
+    "fig05b": lambda: _fig05("twitter"),
+    "fig05c": lambda: _fig05("job"),
+    "fig06": lambda: _fig06(),
+}
+
+
+def sweep_specs(name: str) -> List[SessionSpec]:
+    if name not in SWEEPS:
+        raise ValueError(f"unknown sweep {name!r}; choose from {sorted(SWEEPS)}")
+    return SWEEPS[name]()
+
+
+def run_sweep_shard(name: str, shard_index: int, shard_count: int,
+                    out_dir: Path, max_workers: Optional[int] = None) -> Path:
+    """Run one shard of a named sweep and persist it as JSON."""
+    specs = sweep_specs(name)
+    shard = ParallelRunner(max_workers=max_workers).run_shard(
+        specs, shard_index, shard_count)
+    out_dir = Path(out_dir)
+    out_dir.mkdir(parents=True, exist_ok=True)
+    path = out_dir / f"{name}-shard{shard_index}of{shard_count}.json"
+    payload = {"sweep": name, **shard.to_dict()}
+    path.write_text(json.dumps(payload, sort_keys=True) + "\n")
+    return path
+
+
+def merge_sweep_files(name: str, paths: List[Path]) -> Dict[str, SessionResult]:
+    """Merge shard JSON files back into the full named result set."""
+    shards = []
+    for path in paths:
+        data = json.loads(Path(path).read_text())
+        if data.get("sweep") != name:
+            raise ValueError(f"{path} holds sweep {data.get('sweep')!r}, "
+                             f"expected {name!r}")
+        shards.append(ShardRun.from_dict(data))
+    results = merge_shard_runs(shards)
+    specs = sweep_specs(name)
+    if len(specs) != len(results):
+        raise ValueError(f"sweep {name!r} now has {len(specs)} specs but the "
+                         f"shards recorded {len(results)}; merge with the "
+                         f"same code/REPRO_QUICK_ITERS the shards ran under")
+    return {spec.name: result for spec, result in zip(specs, results)}
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="python -m repro.harness.sweep",
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter)
+    sub = parser.add_subparsers(dest="command", required=True)
+
+    run_p = sub.add_parser("run", help="run one shard of a sweep")
+    run_p.add_argument("--sweep", required=True, choices=sorted(SWEEPS))
+    run_p.add_argument("--shard-index", type=int, default=0)
+    run_p.add_argument("--shard-count", type=int, default=1)
+    run_p.add_argument("--out", type=Path, default=Path("sweep-results"))
+    run_p.add_argument("--max-workers", type=int, default=None)
+
+    merge_p = sub.add_parser("merge", help="merge shard files into a table")
+    merge_p.add_argument("--sweep", required=True, choices=sorted(SWEEPS))
+    merge_p.add_argument("paths", nargs="+", type=Path)
+
+    args = parser.parse_args(argv)
+    if args.command == "run":
+        path = run_sweep_shard(args.sweep, args.shard_index, args.shard_count,
+                               args.out, max_workers=args.max_workers)
+        print(f"wrote {path}")
+        return 0
+    results = merge_sweep_files(args.sweep, args.paths)
+    print(format_cumulative_table(
+        list(results.values()),
+        title=f"{args.sweep} merged from {len(args.paths)} shard file(s)"))
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -34,6 +34,15 @@ _SQL_KEYWORDS = {
 }
 
 
+#: memo of raw identifier/keyword -> normalized token.  Identifiers and
+#: keywords come from a bounded vocabulary (schemas + SQL grammar), so the
+#: table stays small; literals (quoted strings, numbers) are unbounded and
+#: are normalized by first-character dispatch instead of being cached.
+#: Featurization tokenizes ~30 queries per tuning interval, making this
+#: lookup part of the suggest hot path.
+_NORMALIZED: Dict[str, str] = {}
+
+
 def tokenize_sql(sql: str) -> List[str]:
     """Tokenize a SQL string with literal normalization.
 
@@ -41,15 +50,23 @@ def tokenize_sql(sql: str) -> List[str]:
     become ``<num>`` and string literals become ``<str>``.
     """
     tokens: List[str] = []
+    append = tokens.append
+    memo = _NORMALIZED
     for raw in _TOKEN_RE.findall(sql):
-        if raw.startswith("'"):
-            tokens.append("<str>")
-        elif raw[0].isdigit():
-            tokens.append("<num>")
-        elif raw.lower() in _SQL_KEYWORDS:
-            tokens.append(raw.lower())
+        norm = memo.get(raw)
+        if norm is not None:
+            append(norm)
+            continue
+        head = raw[0]
+        if head == "'":
+            append("<str>")
+        elif head.isdigit():
+            append("<num>")
         else:
-            tokens.append(raw)
+            lowered = raw.lower()
+            norm = lowered if lowered in _SQL_KEYWORDS else raw
+            memo[raw] = norm
+            append(norm)
     return tokens
 
 

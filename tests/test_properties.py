@@ -263,3 +263,110 @@ class TestTransferWeighting:
         full = mean_at_outlier(1.0)
         muted = mean_at_outlier(100.0)
         assert abs(muted) < abs(full)
+
+
+class TestKernelBlockCacheProperties:
+    """Random-interleaving property tests (stdlib ``random``) for the
+    cross-iteration kernel-block cache.
+
+    Whatever order appends, hyperparameter refits, re-discretizations and
+    cluster switches arrive in, a cached prediction must agree with one
+    computed from freshly evaluated kernels — i.e. the cache never serves
+    a stale Matérn block or a stale ``V @ M`` product.
+    """
+
+    CONFIG_DIM = 5
+    CONTEXT_DIM = 3
+    N_CANDIDATES = 24
+
+    def _fresh_model(self, rnd):
+        import numpy as np
+        from repro.gp.contextual import ContextualGP
+        model = ContextualGP(self.CONFIG_DIM, self.CONTEXT_DIM)
+        n0 = rnd.randint(5, 12)
+        data = {
+            "X": [[rnd.random() for _ in range(self.CONFIG_DIM)]
+                  for _ in range(n0)],
+            "C": [[rnd.random() for _ in range(self.CONTEXT_DIM)]
+                  for _ in range(n0)],
+            "y": [rnd.random() for _ in range(n0)],
+        }
+        model.fit(np.array(data["X"]), np.array(data["C"]),
+                  np.array(data["y"]), optimize=False)
+        return model, data
+
+    def _candidates(self, rnd):
+        import numpy as np
+        return np.array([[rnd.random() for _ in range(self.CONFIG_DIM)]
+                         for _ in range(self.N_CANDIDATES)])
+
+    def _check(self, model, cands, token, rnd):
+        """Cached prediction vs freshly computed kernels + block equality."""
+        import numpy as np
+        from repro.gp.kernels import additive_split
+        ctx = np.array([rnd.random() for _ in range(self.CONTEXT_DIM)])
+        got_mean, got_std = model.predict(cands, ctx, cache_token=token)
+        ref_mean, ref_std = model.predict(cands, ctx)      # fresh kernels
+        np.testing.assert_allclose(got_mean, ref_mean, rtol=1e-9, atol=1e-9)
+        np.testing.assert_allclose(got_std, ref_std, rtol=1e-9, atol=1e-9)
+        cache = model._cache
+        if cache is not None and cache.candidates is cands:
+            config_part, _ = additive_split(model.gp.kernel)
+            Xq = model._join(cands, ctx)
+            fresh_M = config_part(model.gp._X, Xq)
+            np.testing.assert_allclose(cache.Mbuf[:cache.n], fresh_M,
+                                       rtol=1e-12, atol=1e-12)
+            fresh_vM = model.gp._V @ fresh_M
+            np.testing.assert_allclose(cache.vMbuf[:cache.n], fresh_vM,
+                                       rtol=1e-8, atol=1e-10)
+
+    def test_random_interleavings_never_serve_stale_blocks(self):
+        import random
+
+        import numpy as np
+        for case in range(6):
+            rnd = random.Random(1000 + case)
+            models = [self._fresh_model(rnd) for _ in range(2)]
+            active = 0
+            cands = self._candidates(rnd)
+            token = 1
+            for _ in range(50):
+                op = rnd.choice(("add", "add", "refit", "rediscretize",
+                                 "cluster_switch", "predict", "predict"))
+                model, data = models[active]
+                if op == "add":
+                    x = [rnd.random() for _ in range(self.CONFIG_DIM)]
+                    c = [rnd.random() for _ in range(self.CONTEXT_DIM)]
+                    y = rnd.random()
+                    data["X"].append(x)
+                    data["C"].append(c)
+                    data["y"].append(y)
+                    model.update(np.array(x), np.array(c), y)
+                elif op == "refit":
+                    model.fit(np.array(data["X"]), np.array(data["C"]),
+                              np.array(data["y"]),
+                              optimize=rnd.random() < 0.3)
+                elif op == "rediscretize":
+                    cands = self._candidates(rnd)
+                    token += 1
+                elif op == "cluster_switch":
+                    active = 1 - active
+                    continue
+                self._check(models[active][0], cands, token, rnd)
+
+    def test_stale_array_same_token_is_recomputed(self):
+        """Defence in depth: even a (buggy) caller reusing a token for a
+        different candidate array must not get the old block."""
+        import random
+
+        import numpy as np
+        rnd = random.Random(7)
+        model, _ = self._fresh_model(rnd)
+        a = self._candidates(rnd)
+        b = self._candidates(rnd)
+        ctx = np.array([rnd.random() for _ in range(self.CONTEXT_DIM)])
+        model.predict(a, ctx, cache_token=3)
+        got = model.predict(b, ctx, cache_token=3)
+        ref = model.predict(b, ctx)
+        np.testing.assert_array_equal(got[0], ref[0])
+        np.testing.assert_array_equal(got[1], ref[1])
