@@ -1,0 +1,144 @@
+"""CI-safe perf gate: same-runner baseline, relative regression only.
+
+``make bench-check`` compares against the absolute numbers recorded in
+``BENCH_perf.json`` — meaningful on the developer machine that recorded
+them, flaky on shared CI runners whose hardware varies run to run.  This
+mode removes the cross-machine comparison entirely: it measures a
+*baseline tree* on the same runner, in the same job, and gates only on
+the ratio.
+
+Baseline sources, in priority order:
+
+1. ``--baseline-json FILE`` (if the file exists) — a baseline measured
+   earlier on this same runner, e.g. restored from a CI cache keyed by
+   runner class + base commit.  Skips the baseline re-measure.
+2. ``--base-ref REF`` (default ``HEAD``) — the baseline tree is checked
+   out into a temporary ``git worktree`` and timed in a subprocess with
+   its own ``PYTHONPATH``, so the working tree (including uncommitted
+   changes) is measured against the committed base without any stashing.
+
+``--save-baseline FILE`` writes the measured baseline for caching.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.bench_relative \
+        --base-ref origin/main --tolerance 1.25 \
+        --baseline-json .bench-baseline.json \
+        --save-baseline .bench-baseline.json
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import os
+import subprocess
+import sys
+import tempfile
+from pathlib import Path
+
+REPO_ROOT = Path(__file__).resolve().parent.parent
+GATE_HISTORY = 500
+WINDOW = 20
+#: relative slowdown allowed before the gate trips; looser than the
+#: absolute gate's 1.20 because two full measurement runs double the
+#: sampling noise
+DEFAULT_TOLERANCE = 1.25
+
+_BASELINE_SNIPPET = (
+    "import json, sys\n"
+    "from benchmarks.bench_perf import run_benchmark\n"
+    "result = run_benchmark(history_sizes=[{history}], window={window}, "
+    "verbose=False)\n"
+    "print(json.dumps(result['by_history']['{history}']))\n"
+)
+
+
+def measure_current(history: int, window: int) -> float:
+    from benchmarks.bench_perf import run_benchmark
+    result = run_benchmark(history_sizes=[history], window=window,
+                           verbose=False)
+    return float(result["by_history"][str(history)]["mean_seconds"])
+
+
+def measure_ref(ref: str, history: int, window: int) -> float:
+    """Time the benchmark at ``ref`` in a disposable git worktree."""
+    tmp = tempfile.mkdtemp(prefix="repro-bench-base-")
+    worktree = Path(tmp) / "tree"
+    subprocess.run(["git", "worktree", "add", "--detach",
+                    str(worktree), ref],
+                   cwd=REPO_ROOT, check=True, capture_output=True)
+    try:
+        env = dict(os.environ)
+        env["PYTHONPATH"] = str(worktree / "src")
+        snippet = _BASELINE_SNIPPET.format(history=history, window=window)
+        proc = subprocess.run([sys.executable, "-c", snippet],
+                              cwd=worktree, env=env, check=True,
+                              capture_output=True, text=True)
+        # run_benchmark prints nothing with verbose=False; the last line
+        # is our JSON either way
+        payload = json.loads(proc.stdout.strip().splitlines()[-1])
+        return float(payload["mean_seconds"])
+    finally:
+        subprocess.run(["git", "worktree", "remove", "--force",
+                        str(worktree)],
+                       cwd=REPO_ROOT, check=False, capture_output=True)
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--base-ref", default=os.environ.get("BASE_REF",
+                                                             "HEAD"),
+                        help="git ref to measure the baseline from "
+                             "(default: $BASE_REF or HEAD)")
+    parser.add_argument("--baseline-json", type=Path, default=None,
+                        help="reuse this same-runner baseline if it exists")
+    parser.add_argument("--save-baseline", type=Path, default=None,
+                        help="write the measured baseline here (CI cache)")
+    parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
+                        help="allowed current/baseline ratio "
+                             f"(default {DEFAULT_TOLERANCE})")
+    parser.add_argument("--history", type=int, default=GATE_HISTORY)
+    parser.add_argument("--window", type=int, default=WINDOW)
+    args = parser.parse_args(argv)
+
+    baseline = None
+    source = None
+    if args.baseline_json and args.baseline_json.exists():
+        data = json.loads(args.baseline_json.read_text())
+        if data.get("history") == args.history \
+                and data.get("window") == args.window:
+            baseline = float(data["mean_seconds"])
+            source = f"cached baseline {args.baseline_json}"
+        else:
+            print(f"ignoring {args.baseline_json}: recorded for "
+                  f"history={data.get('history')}/window="
+                  f"{data.get('window')}, gate wants "
+                  f"{args.history}/{args.window}")
+    if baseline is None:
+        print(f"measuring baseline at {args.base_ref!r} on this runner ...")
+        baseline = measure_ref(args.base_ref, args.history, args.window)
+        source = f"ref {args.base_ref!r} measured on this runner"
+    if args.save_baseline:
+        args.save_baseline.write_text(json.dumps(
+            {"mean_seconds": baseline, "history": args.history,
+             "window": args.window, "base_ref": args.base_ref},
+            indent=1, sort_keys=True) + "\n")
+
+    print("measuring current tree ...")
+    current = measure_current(args.history, args.window)
+
+    ratio = current / baseline if baseline > 0 else float("inf")
+    print(f"suggest+observe @ history {args.history}: "
+          f"current {1e3 * current:.2f} ms vs baseline "
+          f"{1e3 * baseline:.2f} ms ({source}) -> ratio {ratio:.3f} "
+          f"(tolerance {args.tolerance:.2f})")
+    if ratio > args.tolerance:
+        print("FAIL: relative perf regression")
+        return 1
+    print("ok: within relative budget")
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

@@ -65,8 +65,9 @@ def _run():
         tuner = make_tuner(name, space, seed=0)
         results[name] = build_session(tuner, YCSBWorkload(seed=0), space=space,
                                       n_iterations=iters, seed=0).run()
+    dba = dba_default_config(full)
     ref_db = SimulatedMySQL(space, YCSBWorkload(seed=0),
-                            reference_config={k.name: dba_default_config(full).get(k.name, k.default)
+                            reference_config={k.name: dba.get(k.name, k.default)
                                               for k in space}, seed=0)
     best_perf, best_vec = _grid_best(space, ref_db, 0)
     tau0 = ref_db.default_performance(0)

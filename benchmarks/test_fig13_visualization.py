@@ -2,7 +2,6 @@
 iterations, subspace-centre distance from the default, and the safety-set
 size alongside improvement."""
 
-import numpy as np
 import pytest
 
 from repro.core import OnlineTune

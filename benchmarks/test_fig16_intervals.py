@@ -8,7 +8,7 @@ import pytest
 
 from repro.harness import ParallelRunner, SessionSpec
 
-from _common import emit, quick_iters
+from _common import emit
 
 INTERVALS = {"I-5S": 5.0, "I-1M": 60.0, "I-3M": 180.0, "I-6M": 360.0,
              "I-12M": 720.0}

@@ -5,7 +5,6 @@ optimum) for every tuner on TPC-C, Twitter, and JOB.
 Per-tuner sessions are independent and fan out across the
 :class:`~repro.harness.ParallelRunner` process pool."""
 
-import numpy as np
 import pytest
 
 from repro.dbms import SimulatedMySQL

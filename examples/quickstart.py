@@ -10,7 +10,6 @@ Usage::
 
 import sys
 
-import numpy as np
 
 from repro import (
     OnlineTune,

@@ -11,7 +11,7 @@ Networks are the from-scratch numpy MLPs in :mod:`repro.ml.mlp`.
 from __future__ import annotations
 
 from collections import deque
-from typing import Deque, Dict, List, Optional, Tuple
+from typing import Deque, Dict, Optional, Tuple
 
 import numpy as np
 

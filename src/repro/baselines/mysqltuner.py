@@ -7,7 +7,7 @@ the paper shows it is safe but plateaus in a local optimum.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 from ..knobs.knob import Configuration, KnobSpace
 from ..knobs.mysql_knobs import INSTANCE_MEMORY_BYTES, INSTANCE_VCPUS

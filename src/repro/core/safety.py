@@ -9,8 +9,8 @@ dismissed, subject to the conflict/relaxation protocol of
 
 from __future__ import annotations
 
-from dataclasses import dataclass, field
-from typing import List, Optional
+from dataclasses import dataclass
+from typing import Optional
 
 import numpy as np
 

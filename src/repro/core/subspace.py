@@ -16,7 +16,7 @@ All geometry lives in the unit hypercube.
 from __future__ import annotations
 
 import itertools
-from typing import List, Optional
+from typing import Optional
 
 import numpy as np
 

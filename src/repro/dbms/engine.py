@@ -20,7 +20,7 @@ intervention after a system hang.
 
 from __future__ import annotations
 
-from typing import Dict, Optional
+from typing import Optional
 
 import numpy as np
 

@@ -10,7 +10,6 @@ size, and this module aggregates them into the data-feature vector.
 
 from __future__ import annotations
 
-from typing import Tuple
 
 import numpy as np
 

@@ -315,7 +315,8 @@ class PerformanceModel:
             "log_buffer_bytes": float(config["innodb_log_buffer_size"]),
             "io_capacity": float(config["innodb_io_capacity"]),
             "cpu_util": 0.0 if failed else min(0.99, 0.5 + 0.4 * profile.lock_contention),
-            "io_util": 0.0 if failed else min(0.99, 0.3 + 0.6 * (1.0 - metrics["buffer_pool_hit_rate"])),
+            "io_util": 0.0 if failed else min(
+                0.99, 0.3 + 0.6 * (1.0 - metrics["buffer_pool_hit_rate"])),
             "open_tables": min(float(config["table_open_cache"]), 1500.0),
             "threads_cached": float(config["thread_cache_size"]),
             "connections_active": 16.0 if profile.is_olap else 64.0,

@@ -2,9 +2,8 @@
 
 from __future__ import annotations
 
-from typing import Dict, List, Optional, Sequence
+from typing import Sequence
 
-import numpy as np
 
 from .evaluation import StaticStats, safety_stats
 from .runner import SessionResult

@@ -352,7 +352,7 @@ class ParallelRunner:
         return dict(zip(names, self.run(specs)))
 
     def run_shard(self, specs: Sequence[SessionSpec], shard_index: int,
-                  shard_count: int) -> "ShardRun":
+                  shard_count: int, detailed: bool = False) -> "ShardRun":
         """Run one deterministic shard of a spec list (multi-host sweeps).
 
         The partition is strided over the *spec order* — shard ``i`` owns
@@ -362,13 +362,26 @@ class ParallelRunner:
         :func:`merge_shard_runs` can reassemble results in original
         order.  Each session is still bit-identical to its unsharded
         run: specs carry all the seeding.
+
+        With ``detailed=True`` the shard also carries each session's
+        final tuner state (``ShardRun.outcomes``) — the service layer's
+        sharded ``run_batch`` persists those as tenant checkpoints.
+        Outcomes hold live tuners and are deliberately *not* part of the
+        JSON round-trip (``to_dict`` ships results only).
         """
         specs = list(specs)
         picked = shard_specs(specs, shard_index, shard_count)
-        results = self._map(run_session_spec, [spec for _, spec in picked])
+        if detailed:
+            outcomes = self._map(run_session_spec_detailed,
+                                 [spec for _, spec in picked])
+            results = [outcome.result for outcome in outcomes]
+        else:
+            outcomes = None
+            results = self._map(run_session_spec, [spec for _, spec in picked])
         return ShardRun(shard_index=shard_index, shard_count=shard_count,
                         n_specs=len(specs),
-                        indices=[i for i, _ in picked], results=results)
+                        indices=[i for i, _ in picked], results=results,
+                        outcomes=outcomes)
 
 
 def shard_specs(specs: Sequence[SessionSpec], shard_index: int,
@@ -392,6 +405,9 @@ class ShardRun:
     n_specs: int                     # length of the full spec list
     indices: List[int]               # original spec indices, ascending
     results: List[SessionResult]     # aligned with ``indices``
+    #: final tuner states (run_shard(detailed=True) only); excluded from
+    #: the JSON round-trip — tuners travel as checkpoints, not shard files
+    outcomes: Optional[List[SessionOutcome]] = None
 
     def to_dict(self) -> Dict[str, object]:
         return {

@@ -12,7 +12,7 @@ from __future__ import annotations
 
 import math
 from dataclasses import dataclass, field
-from typing import Dict, Iterator, List, Mapping, Optional, Sequence, Tuple
+from typing import Dict, Iterator, List, Mapping, Sequence
 
 import numpy as np
 
@@ -93,7 +93,8 @@ class IntegerKnob(Knob):
     def to_unit(self, value) -> float:
         value = self.clip(value)
         if self.log_scale:
-            return (math.log(value) - math.log(self.low)) / (math.log(self.high) - math.log(self.low))
+            return ((math.log(value) - math.log(self.low))
+                    / (math.log(self.high) - math.log(self.low)))
         return (value - self.low) / (self.high - self.low)
 
     def from_unit(self, u: float) -> int:
@@ -132,13 +133,15 @@ class FloatKnob(Knob):
     def to_unit(self, value) -> float:
         value = self.clip(value)
         if self.log_scale:
-            return (math.log(value) - math.log(self.low)) / (math.log(self.high) - math.log(self.low))
+            return ((math.log(value) - math.log(self.low))
+                    / (math.log(self.high) - math.log(self.low)))
         return (value - self.low) / (self.high - self.low)
 
     def from_unit(self, u: float) -> float:
         u = min(1.0, max(0.0, float(u)))
         if self.log_scale:
-            return float(math.exp(math.log(self.low) + u * (math.log(self.high) - math.log(self.low))))
+            span = math.log(self.high) - math.log(self.low)
+            return float(math.exp(math.log(self.low) + u * span))
         return float(self.low + u * (self.high - self.low))
 
     def clip(self, value) -> float:

@@ -15,7 +15,7 @@ from __future__ import annotations
 
 from typing import Dict
 
-from .knob import Configuration, EnumKnob, FloatKnob, IntegerKnob, KnobSpace
+from .knob import Configuration, EnumKnob, IntegerKnob, KnobSpace
 
 __all__ = [
     "MIB",

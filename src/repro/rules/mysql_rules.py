@@ -68,7 +68,8 @@ def _memory_cap_bound(config: Configuration, ctx: RuleContext) -> Optional[Tuple
     return (0.0, max(headroom, 128 * MIB))
 
 
-def _thread_concurrency_bound(config: Configuration, ctx: RuleContext) -> Optional[Tuple[float, float]]:
+def _thread_concurrency_bound(config: Configuration,
+                              ctx: RuleContext) -> Optional[Tuple[float, float]]:
     """tc = 0 (unlimited) or at least half the vCPUs (the paper's rule)."""
     value = float(config.get("innodb_thread_concurrency", 0))
     if value == 0:

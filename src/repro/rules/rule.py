@@ -23,7 +23,7 @@ from typing import Callable, Dict, List, Mapping, Optional, Sequence, Tuple
 
 import numpy as np
 
-from ..knobs.knob import Configuration, KnobSpace
+from ..knobs.knob import Configuration
 
 __all__ = ["RuleContext", "Rule", "RangeRule", "RuleBook", "CandidateTable"]
 

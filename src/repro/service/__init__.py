@@ -18,7 +18,16 @@ service:
 * :mod:`~repro.service.service` — :class:`TuningService`: many concurrent
   tenant sessions behind a ``create/suggest/observe/checkpoint/resume/
   close`` API, an LRU of hydrated sessions backed by the store, and
-  batched session stepping on the :class:`~repro.harness.ParallelRunner`.
+  batched session stepping on the :class:`~repro.harness.ParallelRunner`
+  — shard-aware, so a fleet of frontends splits a tenant population
+  deterministically (``run_batch(shard_index=, shard_count=)`` +
+  :func:`merge_batch_shards`).
+* :mod:`~repro.service.client` — :class:`ServiceClient`: a thin SDK that
+  turns ``LeaseHeldError`` into a redirect to the holding frontend, with
+  jittered backoff and a bounded failover budget.
+* :mod:`~repro.service.janitor` — :class:`Janitor`: idle-time delta-chain
+  compaction and retention pruning under its own lease, keeping the
+  ~30 ms envelope write off the suggest/observe hot path.
 """
 
 from .checkpoint import (
@@ -26,11 +35,16 @@ from .checkpoint import (
     SEGMENT_VERSION,
     CheckpointError,
     SegmentError,
+    StaleFenceError,
+    count_segment_records,
     load_checkpoint,
+    read_fence,
     read_metadata,
     read_segment,
     save_checkpoint,
 )
+from .client import FailoverExhaustedError, ServiceClient
+from .janitor import Janitor, JanitorReport
 from .knowledge import (
     KnowledgeBase,
     KnowledgeEntry,
@@ -38,7 +52,7 @@ from .knowledge import (
     transfer_weight,
 )
 from .lease import Lease, LeaseError, LeaseHeldError, LeaseLostError, LeaseManager
-from .service import TenantSpec, TuningService
+from .service import TenantSpec, TuningService, merge_batch_shards
 from .store import CheckpointStore
 
 __all__ = [
@@ -46,11 +60,19 @@ __all__ = [
     "SEGMENT_VERSION",
     "CheckpointError",
     "SegmentError",
+    "StaleFenceError",
     "save_checkpoint",
     "load_checkpoint",
     "read_metadata",
+    "read_fence",
     "read_segment",
+    "count_segment_records",
     "CheckpointStore",
+    "ServiceClient",
+    "FailoverExhaustedError",
+    "Janitor",
+    "JanitorReport",
+    "merge_batch_shards",
     "Lease",
     "LeaseError",
     "LeaseHeldError",

@@ -31,17 +31,28 @@ from pathlib import Path
 from typing import Any, Dict, Optional, Tuple
 
 __all__ = ["CHECKPOINT_VERSION", "SEGMENT_VERSION", "CheckpointError",
-           "SegmentError", "save_checkpoint", "load_checkpoint",
-           "read_metadata", "SegmentWriter", "read_segment"]
+           "SegmentError", "StaleFenceError", "save_checkpoint",
+           "load_checkpoint", "read_metadata", "read_fence",
+           "SegmentWriter", "read_segment", "count_segment_records"]
 
 MAGIC = b"REPROCKP"
 #: v2: observation rows gained transfer-weight columns (weight /
-#: transferred), so v1 payloads no longer round-trip and are rejected
-CHECKPOINT_VERSION = 2
+#: transferred), so v1 payloads no longer round-trip and are rejected.
+#: v3: headers carry the writer's lease fencing token, letting the store
+#: and the chain reader reject a zombie writer that outlived its TTL.
+CHECKPOINT_VERSION = 3
+#: oldest envelope version this build still reads.  The v2→v3 change is
+#: purely additive (an optional "fence" header key), so v2 checkpoints
+#: load as unfenced instead of orphaning pre-upgrade tenants; v1 rows
+#: genuinely do not round-trip and stay rejected.
+CHECKPOINT_READ_MIN = 2
 _HEAD = struct.Struct("<II")  # version, header length
 
 SEG_MAGIC = b"REPROSEG"
-SEGMENT_VERSION = 1
+#: v2: segment headers carry the writer's fencing token (see v3 above)
+SEGMENT_VERSION = 2
+#: v1 segments (no fence key) read as unfenced — same additive change
+SEGMENT_READ_MIN = 1
 _REC_HEAD = struct.Struct("<II")   # payload length, chain position
 _CRC = struct.Struct("<I")         # crc32 over the packed record header
 _POS = struct.Struct("<I")
@@ -59,6 +70,12 @@ class SegmentError(CheckpointError):
     its base snapshot."""
 
 
+class StaleFenceError(CheckpointError):
+    """A writer presented a fencing token older than one the store has
+    already seen for this tenant — it lost its lease (TTL expiry +
+    takeover) and must not write."""
+
+
 def _fsync_dir(directory: Path) -> None:
     """Flush a directory entry so a completed rename survives power loss."""
     try:
@@ -74,16 +91,27 @@ def _fsync_dir(directory: Path) -> None:
 
 
 def save_checkpoint(path, payload: Any,
-                    metadata: Optional[Dict[str, object]] = None) -> Path:
-    """Atomically write ``payload`` to ``path`` in the envelope format."""
+                    metadata: Optional[Dict[str, object]] = None,
+                    fence: Optional[int] = None) -> Path:
+    """Atomically write ``payload`` to ``path`` in the envelope format.
+
+    ``fence`` stamps the writer's lease fencing token into the header so
+    readers (and the store's write-time check) can spot a snapshot
+    written by a zombie; ``None`` means the writer is unfenced
+    (standalone use outside a :class:`~repro.service.store.
+    CheckpointStore`).
+    """
     path = Path(path)
     path.parent.mkdir(parents=True, exist_ok=True)
     blob = pickle.dumps(payload, protocol=4)
-    header = json.dumps({
+    head: Dict[str, object] = {
         "payload_bytes": len(blob),
         "payload_sha256": hashlib.sha256(blob).hexdigest(),
         "metadata": dict(metadata or {}),
-    }, sort_keys=True).encode("utf-8")
+    }
+    if fence is not None:
+        head["fence"] = int(fence)
+    header = json.dumps(head, sort_keys=True).encode("utf-8")
     fd, tmp_name = tempfile.mkstemp(dir=str(path.parent),
                                     prefix=path.name, suffix=".tmp")
     try:
@@ -111,10 +139,10 @@ def _parse_header(path: Path, raw: bytes) -> Tuple[Dict[str, object], int]:
     if len(raw) < len(MAGIC) + _HEAD.size or not raw.startswith(MAGIC):
         raise CheckpointError(f"{path} is not a repro checkpoint (bad magic)")
     version, header_len = _HEAD.unpack_from(raw, len(MAGIC))
-    if version != CHECKPOINT_VERSION:
+    if not CHECKPOINT_READ_MIN <= version <= CHECKPOINT_VERSION:
         raise CheckpointError(
             f"{path} uses checkpoint format v{version}; this build reads "
-            f"only v{CHECKPOINT_VERSION}")
+            f"only v{CHECKPOINT_READ_MIN}-v{CHECKPOINT_VERSION}")
     start = len(MAGIC) + _HEAD.size
     header_bytes = raw[start: start + header_len]
     if len(header_bytes) != header_len:
@@ -167,6 +195,24 @@ def read_metadata(path) -> Dict[str, object]:
     return dict(header.get("metadata", {}))
 
 
+def read_fence(path) -> Optional[int]:
+    """The fencing token stamped into a checkpoint header, or ``None``
+    for an unfenced writer.  Header-only: the payload is not read."""
+    path = Path(path)
+    try:
+        with open(path, "rb") as fh:
+            prefix = fh.read(len(MAGIC) + _HEAD.size)
+            if len(prefix) == len(MAGIC) + _HEAD.size \
+                    and prefix.startswith(MAGIC):
+                _version, header_len = _HEAD.unpack_from(prefix, len(MAGIC))
+                prefix += fh.read(header_len)
+    except OSError as exc:
+        raise CheckpointError(f"cannot read checkpoint {path}: {exc}") from exc
+    header, _offset = _parse_header(path, prefix)
+    fence = header.get("fence")
+    return int(fence) if fence is not None else None
+
+
 def load_checkpoint(path) -> Tuple[Any, Dict[str, object]]:
     """Load ``(payload, metadata)`` from a checkpoint, validating integrity."""
     header, blob = _read_envelope(path)
@@ -207,19 +253,33 @@ def load_checkpoint(path) -> Tuple[Any, Dict[str, object]]:
 
 
 class SegmentWriter:
-    """Appends framed, checksummed records to one open segment file."""
+    """Appends framed, checksummed records to one open segment file.
+
+    ``fence`` stamps the writer's lease fencing token into the segment
+    header; ``fence_guard`` (if given) is invoked before *every* append
+    and should raise :class:`StaleFenceError` when a newer token has
+    been recorded for the tenant — that is what stops a zombie writer
+    holding an already-open file handle, which no create-time check can
+    catch.
+    """
 
     def __init__(self, path, tenant: str, sequence: int,
-                 base_sequence: int) -> None:
+                 base_sequence: int, fence: Optional[int] = None,
+                 fence_guard=None) -> None:
         self.path = Path(path)
         self.tenant = tenant
         self.sequence = int(sequence)
         self.base_sequence = int(base_sequence)
+        self.fence = int(fence) if fence is not None else None
+        self._fence_guard = fence_guard
         self.records = 0
         self._fh = None
-        header = json.dumps({"tenant": tenant, "sequence": self.sequence,
-                             "base_sequence": self.base_sequence},
-                            sort_keys=True).encode("utf-8")
+        head: Dict[str, object] = {"tenant": tenant,
+                                   "sequence": self.sequence,
+                                   "base_sequence": self.base_sequence}
+        if self.fence is not None:
+            head["fence"] = self.fence
+        header = json.dumps(head, sort_keys=True).encode("utf-8")
         # O_EXCL: a segment file is created exactly once by one writer
         fd = os.open(self.path, os.O_WRONLY | os.O_CREAT | os.O_EXCL, 0o644)
         self._fh = os.fdopen(fd, "wb")
@@ -234,6 +294,8 @@ class SegmentWriter:
         """Durably append one record; returns its encoded byte size."""
         if self._fh is None:
             raise SegmentError(f"segment {self.path} is closed")
+        if self._fence_guard is not None:
+            self._fence_guard()
         blob = pickle.dumps(payload, protocol=4)
         pos_bytes = _POS.pack(int(position))
         digest = hashlib.sha256(pos_bytes + blob).digest()
@@ -272,10 +334,10 @@ def read_segment(path) -> Tuple[Dict[str, object], list, bool]:
     if len(raw) < head_len or not raw.startswith(SEG_MAGIC):
         raise SegmentError(f"{path} is not a repro delta segment (bad magic)")
     version, header_len = _HEAD.unpack_from(raw, len(SEG_MAGIC))
-    if version != SEGMENT_VERSION:
+    if not SEGMENT_READ_MIN <= version <= SEGMENT_VERSION:
         raise SegmentError(
             f"{path} uses segment format v{version}; this build reads "
-            f"only v{SEGMENT_VERSION}")
+            f"only v{SEGMENT_READ_MIN}-v{SEGMENT_VERSION}")
     header_bytes = raw[head_len: head_len + header_len]
     if len(header_bytes) != header_len:
         raise SegmentError(f"{path} is truncated (incomplete header)")
@@ -317,3 +379,36 @@ def read_segment(path) -> Tuple[Dict[str, object], list, bool]:
         records.append((int(position), payload))
         offset = blob_start + length
     return header, records, torn
+
+
+def count_segment_records(path) -> int:
+    """Number of complete records in a segment, *without* unpickling any
+    payload — the cheap chain-length probe the idle-time janitor uses to
+    decide whether a tenant is due for compaction.  A torn tail counts
+    as zero extra records; genuinely corrupt framing raises
+    :class:`SegmentError` (same rules as :func:`read_segment`)."""
+    path = Path(path)
+    try:
+        raw = path.read_bytes()
+    except OSError as exc:
+        raise SegmentError(f"cannot read segment {path}: {exc}") from exc
+    head_len = len(SEG_MAGIC) + _HEAD.size
+    if len(raw) < head_len or not raw.startswith(SEG_MAGIC):
+        raise SegmentError(f"{path} is not a repro delta segment (bad magic)")
+    _version, header_len = _HEAD.unpack_from(raw, len(SEG_MAGIC))
+    count = 0
+    offset = head_len + header_len
+    while offset < len(raw):
+        if offset + _FRAME_LEN > len(raw):
+            break                       # torn tail
+        length, _position = _REC_HEAD.unpack_from(raw, offset)
+        (head_crc,) = _CRC.unpack_from(raw, offset + _REC_HEAD.size)
+        if zlib.crc32(raw[offset: offset + _REC_HEAD.size]) != head_crc:
+            raise SegmentError(
+                f"{path} record frame header at byte {offset} is corrupt "
+                f"(crc mismatch)")
+        if offset + _FRAME_LEN + length > len(raw):
+            break                       # torn tail (length is crc-verified)
+        count += 1
+        offset += _FRAME_LEN + length
+    return count

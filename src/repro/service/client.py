@@ -1,0 +1,176 @@
+"""Thin client SDK: lease-aware routing and failover across a fleet.
+
+A fleet deployment runs N :class:`~repro.service.service.TuningService`
+frontends over one shared store; exactly one frontend holds a tenant's
+lease at a time.  A client that addresses the wrong frontend gets a
+:class:`~repro.service.lease.LeaseHeldError` — previously a dead end.
+:class:`ServiceClient` turns it into a redirect:
+
+* **Discovery** — the error (and the lease file it mirrors) carries the
+  *owner identity* of the holding frontend; the client maps that
+  identity back to a frontend and retries there.
+* **Affinity** — the frontend that last served a tenant is tried first,
+  so a stable tenant costs zero extra hops.
+* **Bounded failover** — every redirect/retry consumes one unit of a
+  per-call failover budget, and each attempt backs off with full
+  jitter (``uniform(0, base * 2^attempt)``, capped), so a contended
+  tenant degrades into bounded, de-synchronized retries instead of a
+  stampede.  An exhausted budget raises :class:`FailoverExhaustedError`
+  with the last lease error chained.
+* **Lost leases** — a frontend that lost its own lease mid-session
+  raises :class:`~repro.service.lease.LeaseLostError`; the client
+  retries the same frontend once (it rehydrates or surfaces the new
+  holder via ``LeaseHeldError``), then follows the redirect.
+
+The SDK is transport-agnostic: frontends here are in-process
+``TuningService`` objects, but every routing decision uses only what a
+remote protocol would carry (owner identity in the lease/error, typed
+errors), so the same logic fronts an RPC stub.
+"""
+
+from __future__ import annotations
+
+import random
+import time
+from typing import Dict, Iterable, Optional
+
+from .lease import LeaseError, LeaseHeldError, LeaseLostError
+from .service import TuningService
+
+__all__ = ["FailoverExhaustedError", "ServiceClient"]
+
+#: per-call redirect/retry budget
+DEFAULT_FAILOVER_BUDGET = 4
+#: first-attempt backoff ceiling, seconds (full jitter, doubles per attempt)
+DEFAULT_BACKOFF_BASE = 0.02
+#: hard backoff ceiling, seconds
+DEFAULT_BACKOFF_CAP = 0.5
+
+
+class FailoverExhaustedError(LeaseError):
+    """The failover budget ran out before any frontend accepted the call.
+
+    The last :class:`LeaseHeldError`/:class:`LeaseLostError` is chained
+    as ``__cause__``; ``attempts`` records how many calls were made.
+    """
+
+    def __init__(self, message: str, attempts: int) -> None:
+        super().__init__(message)
+        self.attempts = attempts
+
+
+class ServiceClient:
+    """Route tenant calls across a fleet of service frontends.
+
+    Parameters
+    ----------
+    frontends:
+        The fleet.  Each frontend is keyed by its lease-owner identity
+        (``frontend.leases.owner``) — the same string lease files (and
+        :class:`LeaseHeldError`) report, which is what makes redirects
+        possible.
+    max_failovers:
+        Redirect/retry budget per client call.
+    backoff_base / backoff_cap:
+        Full-jitter backoff: attempt ``k`` sleeps
+        ``uniform(0, min(cap, base * 2**k))`` seconds.
+    seed:
+        Seeds the jitter RNG (deterministic tests).
+    sleep:
+        Injection point for the backoff sleep (tests pass a no-op).
+    """
+
+    def __init__(self, frontends: Iterable[TuningService],
+                 max_failovers: int = DEFAULT_FAILOVER_BUDGET,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 seed: Optional[int] = None,
+                 sleep=time.sleep) -> None:
+        self._frontends = list(frontends)
+        if not self._frontends:
+            raise ValueError("a ServiceClient needs at least one frontend")
+        self._by_owner: Dict[str, TuningService] = {
+            fe.leases.owner: fe for fe in self._frontends}
+        if len(self._by_owner) != len(self._frontends):
+            raise ValueError("frontends must have distinct lease-owner "
+                             "identities")
+        self.max_failovers = max(0, int(max_failovers))
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = random.Random(seed)
+        self._sleep = sleep
+        self._affinity: Dict[str, TuningService] = {}
+        self.redirects = 0           # lifetime counters (observability)
+        self.retries = 0
+
+    # -- routing -------------------------------------------------------------
+    def _route(self, tenant_id: str) -> TuningService:
+        """Last-known-good frontend for the tenant, else the first one."""
+        return self._affinity.get(tenant_id, self._frontends[0])
+
+    def _frontend_for_owner(self,
+                            owner: Optional[str]) -> Optional[TuningService]:
+        if owner is None:
+            return None
+        return self._by_owner.get(owner)
+
+    def _backoff(self, attempt: int) -> float:
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
+
+    def _call(self, tenant_id: str, method: str, *args, **kwargs):
+        frontend = self._route(tenant_id)
+        budget = self.max_failovers
+        attempt = 0
+        while True:
+            try:
+                result = getattr(frontend, method)(tenant_id, *args, **kwargs)
+            except (LeaseHeldError, LeaseLostError) as exc:
+                if budget <= 0:
+                    raise FailoverExhaustedError(
+                        f"tenant {tenant_id!r}: {method} failed after "
+                        f"{attempt + 1} attempt(s) across the fleet "
+                        f"(budget {self.max_failovers} exhausted)",
+                        attempts=attempt + 1) from exc
+                budget -= 1
+                if isinstance(exc, LeaseHeldError):
+                    target = self._frontend_for_owner(exc.holder)
+                    if target is not None and target is not frontend:
+                        # the lease names the holding frontend: go there
+                        frontend = target
+                        self.redirects += 1
+                    else:
+                        # holder unknown to this fleet (a janitor, a
+                        # foreign writer) or already the one we asked:
+                        # stay put and wait the lease out
+                        self.retries += 1
+                else:
+                    # LeaseLostError: the frontend dropped its stale
+                    # session; an immediate retry rehydrates — or
+                    # surfaces the new holder as a redirectable
+                    # LeaseHeldError on the next loop
+                    self.retries += 1
+                self._sleep(self._backoff(attempt))
+                attempt += 1
+                continue
+            self._affinity[tenant_id] = frontend
+            return result
+
+    # -- tenant API (mirrors TuningService) ----------------------------------
+    def create(self, tenant_id: str, *args, **kwargs):
+        return self._call(tenant_id, "create", *args, **kwargs)
+
+    def suggest(self, tenant_id: str, inp):
+        return self._call(tenant_id, "suggest", inp)
+
+    def observe(self, tenant_id: str, feedback) -> None:
+        return self._call(tenant_id, "observe", feedback)
+
+    def checkpoint(self, tenant_id: str):
+        return self._call(tenant_id, "checkpoint")
+
+    def resume(self, tenant_id: str):
+        return self._call(tenant_id, "resume")
+
+    def close(self, tenant_id: str, **kwargs):
+        return self._call(tenant_id, "close", **kwargs)

@@ -18,6 +18,8 @@ from __future__ import annotations
 import json
 import os
 import tempfile
+import time
+from contextlib import contextmanager
 from dataclasses import asdict, dataclass
 from pathlib import Path
 from typing import List, Optional, Sequence
@@ -40,6 +42,10 @@ MAX_ENTRY_SEEDS = 16
 #: length scale of the signature-distance weighting: a donor whose masked
 #: signature distance equals this contributes at half weight
 TRANSFER_WEIGHT_SCALE = 1.0
+
+#: seconds before a registration lock left by a crashed writer is broken
+#: (a registration is one JSON rewrite — normally microseconds)
+_LOCK_TIMEOUT = 10.0
 
 
 def transfer_weight(distance: float, scale: float = TRANSFER_WEIGHT_SCALE) -> float:
@@ -164,11 +170,54 @@ class KnowledgeBase:
                 pass
             raise
 
+    @contextmanager
+    def _registration_lock(self):
+        """Cross-process mutual exclusion for read-modify-write of the
+        index file.  Several fleet frontends (e.g. sharded ``run_batch``
+        runs) share one ``knowledge.json``; without this, each would
+        rewrite the whole file from its own in-memory view and silently
+        drop the entries other frontends registered in between.  A lock
+        file older than ``_LOCK_TIMEOUT`` is treated as a crashed
+        writer's leftover and broken."""
+        lock = self.path.with_name(self.path.name + ".lock")
+        self.path.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.time() + _LOCK_TIMEOUT
+        while True:
+            try:
+                os.close(os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY))
+                break
+            except FileExistsError:
+                try:
+                    stale = time.time() - lock.stat().st_mtime > _LOCK_TIMEOUT
+                except OSError:
+                    continue             # holder just released; retry
+                if stale:
+                    try:
+                        os.unlink(lock)
+                    except OSError:
+                        pass
+                    continue
+                if time.time() > deadline:
+                    raise CheckpointError(
+                        f"knowledge index lock {lock} held for over "
+                        f"{_LOCK_TIMEOUT}s; giving up")
+                time.sleep(0.005)
+        try:
+            yield
+        finally:
+            try:
+                os.unlink(lock)
+            except OSError:
+                pass
+
     # -- registration -----------------------------------------------------
     def register(self, tenant: str, tuner: OnlineTune, checkpoint_path) -> Optional[KnowledgeEntry]:
         """Index a tenant's repository; replaces any previous entry.
 
         Returns None (and indexes nothing) for sessions with no history.
+        Concurrency-safe across processes: the on-disk index is reloaded
+        and rewritten under a lock file, so entries registered by other
+        fleet frontends survive this registration.
         """
         if len(tuner.repo) == 0:
             return None
@@ -187,9 +236,12 @@ class KnowledgeBase:
             knobs=list(tuner.space.names),
             seeds=_best_observations(tuner.repo, MAX_ENTRY_SEEDS),
         )
-        self.entries = [e for e in self.entries if e.tenant != tenant]
-        self.entries.append(entry)
-        self._persist()
+        with self._registration_lock():
+            if self.path.exists():
+                self._load()     # pick up other frontends' registrations
+            self.entries = [e for e in self.entries if e.tenant != tenant]
+            self.entries.append(entry)
+            self._persist()
         return entry
 
     # -- retrieval ----------------------------------------------------------

@@ -12,6 +12,11 @@ succeeds for exactly one creator — under ``<root>/<tenant>.lease``:
   (owner crashed or lost the plot).  The taker atomically *renames* the
   stale file aside — ``os.rename`` succeeds for exactly one contender —
   then O_EXCL-creates the new lease with an incremented fencing token.
+* **Monotone tokens**: the highest token ever issued per tenant is kept
+  in a ``<tenant>.token`` sidecar, so a clean release/re-acquire cycle
+  still increments — required by the store-level fencing check, which
+  would otherwise mistake the next legitimate owner (restarting at
+  token 1) for a zombie.
 * **Typed errors**: a live conflicting lease raises
   :class:`LeaseHeldError`; renewing or releasing a lease that expired
   and was taken over (or vanished) raises :class:`LeaseLostError`.
@@ -49,7 +54,20 @@ class LeaseError(RuntimeError):
 
 
 class LeaseHeldError(LeaseError):
-    """Another owner holds a live lease on the tenant."""
+    """Another owner holds a live lease on the tenant.
+
+    ``holder`` is the owner identity recorded in the lease file (None
+    when contention never settled on a readable holder) and
+    ``retry_after`` the seconds until that lease would expire — enough
+    for a client SDK to redirect to the holding frontend, or to back
+    off for a bounded time instead of guessing.
+    """
+
+    def __init__(self, message: str, holder: Optional[str] = None,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.holder = holder
+        self.retry_after = retry_after
 
 
 class LeaseLostError(LeaseError):
@@ -101,6 +119,27 @@ class LeaseManager:
         from .store import CheckpointStore
         return self.root / f"{CheckpointStore.validate_tenant_id(tenant)}.lease"
 
+    def _token_path(self, tenant: str) -> Path:
+        return self._path(tenant).with_suffix(".token")
+
+    def _token_floor(self, tenant: str) -> int:
+        """Highest token ever issued for the tenant — persisted in a
+        sidecar so tokens stay monotone across clean release/re-acquire
+        cycles (the lease file itself is unlinked on release, but a
+        store that saw token N must never meet a *new* owner at N-1)."""
+        try:
+            return int(self._token_path(tenant).read_text())
+        except (OSError, ValueError):
+            return 0
+
+    def _record_token(self, tenant: str, token: int) -> None:
+        if token <= self._token_floor(tenant):
+            return
+        path = self._token_path(tenant)
+        tmp = path.with_name(path.name + f".tmp-{uuid.uuid4().hex[:8]}")
+        tmp.write_text(str(int(token)))
+        os.replace(tmp, path)
+
     def holder(self, tenant: str) -> Optional[Dict[str, object]]:
         """The current lease record with computed liveness, or None."""
         path = self._path(tenant)
@@ -148,6 +187,7 @@ class LeaseManager:
                 os.unlink(tmp)
             except OSError:
                 pass
+        self._record_token(tenant, token)
         return self._materialize(tenant, path, token)
 
     # -- lifecycle -----------------------------------------------------------
@@ -160,7 +200,8 @@ class LeaseManager:
         path = self._path(tenant)
         for _attempt in range(8):   # bounded retries around rename races
             try:
-                return self._create(tenant, path, token=1)
+                return self._create(tenant, path,
+                                    token=self._token_floor(tenant) + 1)
             except FileExistsError:
                 pass
             try:
@@ -190,14 +231,17 @@ class LeaseManager:
             if live:
                 raise LeaseHeldError(
                     f"tenant {tenant!r} is leased to {data.get('owner')!r} "
-                    f"for another {mtime + ttl - now:.1f}s")
+                    f"for another {mtime + ttl - now:.1f}s",
+                    holder=data.get("owner"),
+                    retry_after=mtime + ttl - now)
             # stale: exactly one contender wins the rename
             aside = path.with_name(path.name + f".stale-{uuid.uuid4().hex[:8]}")
             try:
                 os.rename(path, aside)
             except FileNotFoundError:
                 continue             # lost the takeover race; re-evaluate
-            token = int(data.get("token", 0)) + 1
+            token = max(int(data.get("token", 0)),
+                        self._token_floor(tenant)) + 1
             try:
                 lease = self._create(tenant, path, token=token)
             except FileExistsError:

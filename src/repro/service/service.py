@@ -38,14 +38,24 @@ from typing import Dict, List, Mapping, Optional
 from ..baselines.base import Feedback, SuggestInput
 from ..core.config import OnlineTuneConfig
 from ..core.tuner import OnlineTune
-from ..harness.runner import ParallelRunner, SessionResult, SessionSpec
+from ..harness.runner import (
+    ParallelRunner,
+    SessionResult,
+    SessionSpec,
+    shard_specs,
+)
 from ..workloads.base import WorkloadSnapshot
 from .checkpoint import CheckpointError
 from .knowledge import KnowledgeBase
 from .lease import DEFAULT_TTL, Lease, LeaseLostError, LeaseManager
 from .store import CheckpointStore
 
-__all__ = ["TenantSpec", "TuningService"]
+__all__ = ["TenantSpec", "TuningService", "merge_batch_shards"]
+
+#: under ``compaction="janitor"`` the hot path still compacts once a
+#: chain grows past ``snapshot_every * JANITOR_BACKSTOP_FACTOR`` records
+#: — a bound on replay cost if the janitor is down, not a cadence
+JANITOR_BACKSTOP_FACTOR = 8
 
 
 @dataclass(frozen=True)
@@ -94,6 +104,15 @@ class TuningService:
         ``snapshot_every`` intervals.
     snapshot_every:
         Delta-mode compaction cadence, in chain records.
+    compaction:
+        ``"inline"`` (default) writes the compaction snapshot inside
+        ``observe`` once ``snapshot_every`` records accumulate — simple,
+        but the ~30 ms envelope write lands on the hot path.
+        ``"janitor"`` defers compaction to an idle-time
+        :class:`~repro.service.janitor.Janitor` (or explicit
+        :meth:`compact_if_due` calls); ``observe`` then only ever pays
+        the few-KB delta append, with an inline backstop once a chain
+        grows past ``snapshot_every * JANITOR_BACKSTOP_FACTOR`` records.
     lease_ttl / owner:
         Forwarded to the :class:`LeaseManager` guarding tenant writes.
     runner:
@@ -105,11 +124,15 @@ class TuningService:
                  runner: Optional[ParallelRunner] = None,
                  durability: str = "snapshot",
                  snapshot_every: int = 64,
+                 compaction: str = "inline",
                  lease_ttl: float = DEFAULT_TTL,
                  owner: Optional[str] = None) -> None:
         if durability not in ("snapshot", "delta"):
             raise ValueError(f"durability must be 'snapshot' or 'delta', "
                              f"not {durability!r}")
+        if compaction not in ("inline", "janitor"):
+            raise ValueError(f"compaction must be 'inline' or 'janitor', "
+                             f"not {compaction!r}")
         self.store = CheckpointStore(root)
         self.knowledge = KnowledgeBase(Path(root) / "knowledge.json")
         self.leases = LeaseManager(Path(root) / "leases", ttl=lease_ttl,
@@ -118,6 +141,7 @@ class TuningService:
         self.checkpoint_every = max(0, int(checkpoint_every))
         self.durability = durability
         self.snapshot_every = max(1, int(snapshot_every))
+        self.compaction = compaction
         self.runner = runner or ParallelRunner()
         self._live: "OrderedDict[str, _LiveSession]" = OrderedDict()
 
@@ -184,7 +208,8 @@ class TuningService:
         path = self.store.save(
             tenant_id, session.tuner,
             metadata={"tuner_class": type(session.tuner).__name__,
-                      "n_observations": len(session.tuner.repo)})
+                      "n_observations": len(session.tuner.repo)},
+            fence=session.lease.token if session.lease else None)
         session.dirty_steps = 0
         session.observed = 0
         session.delta_records = 0
@@ -308,14 +333,42 @@ class TuningService:
         """
         if session.pending_suggests <= 1:
             record = {"input": session.pending_input, "feedback": feedback}
-            self.store.save_delta(tenant_id, record,
-                                  position=len(session.tuner.repo))
+            self.store.save_delta(
+                tenant_id, record, position=len(session.tuner.repo),
+                fence=session.lease.token if session.lease else None)
             session.delta_records += 1
             session.dirty_steps = 0      # durable via the chain
-            if session.delta_records >= self.snapshot_every:
+            if session.delta_records >= self._compaction_threshold():
                 self._save(tenant_id, session)   # compaction snapshot
         else:
             self._save(tenant_id, session)
+
+    def _compaction_threshold(self) -> int:
+        """Chain length at which ``observe`` itself compacts: the normal
+        cadence inline, only the janitor-down backstop otherwise."""
+        if self.compaction == "inline":
+            return self.snapshot_every
+        return self.snapshot_every * JANITOR_BACKSTOP_FACTOR
+
+    def compact_if_due(self, tenant_id: str) -> Optional[Path]:
+        """Compact the tenant's delta chain into a snapshot if it has
+        reached ``snapshot_every`` records; returns the snapshot path or
+        None when nothing was due.
+
+        This is the idle-time entry point ``compaction="janitor"``
+        defers to: a frontend calls it (directly or via a
+        :class:`~repro.service.janitor.Janitor`) for its *live* tenants
+        between intervals, so the envelope write happens off the
+        suggest/observe hot path but under the session's own lease — no
+        handoff, no second writer.  Evicted/offline tenants are instead
+        compacted by the janitor under its own lease.
+        """
+        self.store.validate_tenant_id(tenant_id)
+        session = self._live.get(tenant_id)
+        if session is None or session.delta_records < self.snapshot_every:
+            return None
+        self._ensure_lease(tenant_id, session)
+        return self._save(tenant_id, session)
 
     def checkpoint(self, tenant_id: str) -> Path:
         """Persist a full snapshot of the tenant's current state (ends any
@@ -358,20 +411,37 @@ class TuningService:
 
     # -- batched stepping ------------------------------------------------------
     def run_batch(self, specs: Mapping[str, SessionSpec],
-                  register_knowledge: bool = True) -> Dict[str, SessionResult]:
+                  register_knowledge: bool = True,
+                  shard_index: int = 0,
+                  shard_count: int = 1) -> Dict[str, SessionResult]:
         """Run one full session per tenant across the process pool.
 
         Each tenant's final tuner state is persisted as its checkpoint
         (and indexed in the knowledge base), so batch tenants are
-        immediately resumable and queryable like interactive ones.  The
-        batch holds every tenant's lease for its duration.
+        immediately resumable and queryable like interactive ones.
+
+        ``shard_index``/``shard_count`` split the tenant population
+        across a fleet of frontends: shard ``i`` owns every tenant at
+        position ``j`` in the mapping's order with ``j % shard_count ==
+        i`` (the same strided partition as :meth:`ParallelRunner.
+        run_shard`), so each frontend computes its share from nothing
+        but the shared spec mapping and its shard coordinates.  Only the
+        shard's own tenants are leased, stepped, and persisted; the
+        returned dict covers exactly those tenants, and
+        :func:`merge_batch_shards` validates and reassembles the full
+        population — bit-identical to an unsharded ``run_batch``,
+        because each session is rebuilt from its spec's seeding either
+        way.
         """
         tenant_ids = list(specs)
         for tenant_id in tenant_ids:
             self.store.validate_tenant_id(tenant_id)
-        held: List[Lease] = []
+        # validates shard coordinates and fixes the strided partition
+        picked = shard_specs(tenant_ids, shard_index, shard_count)
+        shard_tenants = [tenant_id for _, tenant_id in picked]
+        held: Dict[str, Lease] = {}
         try:
-            for tenant_id in tenant_ids:
+            for tenant_id in shard_tenants:
                 stale = self._live.pop(tenant_id, None)
                 if stale is not None:
                     # drop any stale hydrated session: the batch-trained
@@ -379,10 +449,12 @@ class TuningService:
                     # not be shadowed (or later re-checkpointed over) by a
                     # pre-batch tuner
                     self._drop_tenant_hold(tenant_id, stale)
-                held.append(self.leases.acquire(tenant_id))
-            outcomes = self.runner.run_detailed([specs[t] for t in tenant_ids])
+                held[tenant_id] = self.leases.acquire(tenant_id)
+            shard = self.runner.run_shard([specs[t] for t in tenant_ids],
+                                          shard_index, shard_count,
+                                          detailed=True)
             results: Dict[str, SessionResult] = {}
-            for tenant_id, outcome in zip(tenant_ids, outcomes):
+            for tenant_id, outcome in zip(shard_tenants, shard.outcomes):
                 results[tenant_id] = outcome.result
                 meta_n = (len(outcome.tuner.repo)
                           if isinstance(outcome.tuner, OnlineTune)
@@ -394,13 +466,40 @@ class TuningService:
                               "spec": {"tuner": outcome.spec.tuner,
                                        "workload": outcome.spec.workload,
                                        "seed": outcome.spec.seed,
-                                       "n_iterations": outcome.spec.n_iterations}})
+                                       "n_iterations": outcome.spec.n_iterations}},
+                    fence=held[tenant_id].token)
                 if register_knowledge and isinstance(outcome.tuner, OnlineTune):
                     self.knowledge.register(tenant_id, outcome.tuner, path)
             return results
         finally:
-            for lease in held:
+            for lease in held.values():
                 try:
                     self.leases.release(lease)
                 except LeaseLostError:
                     pass
+
+
+def merge_batch_shards(tenant_ids: List[str],
+                       shards: List[Dict[str, SessionResult]]
+                       ) -> Dict[str, SessionResult]:
+    """Reassemble per-shard :meth:`TuningService.run_batch` results.
+
+    Validates that no tenant is covered twice and that together the
+    shards cover the whole population — a silent partial merge would
+    misreport a fleet sweep.  Returns the merged results keyed in
+    ``tenant_ids`` order, exactly what an unsharded ``run_batch`` over
+    the same specs returns.
+    """
+    known = set(tenant_ids)
+    merged: Dict[str, SessionResult] = {}
+    for shard in shards:
+        for tenant_id, result in shard.items():
+            if tenant_id not in known:
+                raise ValueError(f"shard reports unknown tenant {tenant_id!r}")
+            if tenant_id in merged:
+                raise ValueError(f"tenant {tenant_id!r} covered twice")
+            merged[tenant_id] = result
+    missing = [t for t in tenant_ids if t not in merged]
+    if missing:
+        raise ValueError(f"incomplete merge: missing tenants {missing}")
+    return {t: merged[t] for t in tenant_ids}

@@ -25,6 +25,7 @@ never address another tenant's files (path-traversal isolation).
 
 from __future__ import annotations
 
+import os
 import re
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
@@ -33,13 +34,18 @@ from .checkpoint import (
     CheckpointError,
     SegmentError,
     SegmentWriter,
+    StaleFenceError,
+    count_segment_records,
     load_checkpoint,
+    read_fence,
     read_metadata,
     read_segment,
     save_checkpoint,
 )
 
 __all__ = ["CheckpointStore"]
+
+_FENCE_FILE = "FENCE"
 
 _TENANT_RE = re.compile(r"^[A-Za-z0-9][A-Za-z0-9._-]{0,63}$")
 _CKPT_RE = re.compile(r"^ckpt-(\d{6,})\.ckpt$")   # %06d pads, never truncates
@@ -107,20 +113,72 @@ class CheckpointStore:
         arts = self.artifacts(tenant_id)
         return arts[-1][0] + 1 if arts else 1
 
+    # -- fencing -------------------------------------------------------------
+    #
+    # The lease layer hands every writer a monotonically increasing
+    # fencing token (incremented on each stale takeover).  The store
+    # records the highest token it has ever admitted for a tenant in a
+    # tiny ``FENCE`` file and rejects any write presenting an older one
+    # — so a zombie frontend that outlived its TTL (GC pause, network
+    # partition) is stopped *at the store*, even if it never noticed
+    # losing its lease.  ``fence=None`` writes are unfenced (standalone
+    # store use without a lease layer) and bypass the check.
+
+    def _fence_path(self, tenant_id: str) -> Path:
+        return self.tenant_dir(tenant_id) / _FENCE_FILE
+
+    def recorded_fence(self, tenant_id: str) -> Optional[int]:
+        """Highest fencing token ever admitted for the tenant, or None."""
+        try:
+            return int(self._fence_path(tenant_id).read_text())
+        except (OSError, ValueError):
+            return None
+
+    def check_fence(self, tenant_id: str, fence: Optional[int]) -> None:
+        """Raise :class:`StaleFenceError` if ``fence`` is older than a
+        token already admitted for this tenant."""
+        if fence is None:
+            return
+        recorded = self.recorded_fence(tenant_id)
+        if recorded is not None and int(fence) < recorded:
+            raise StaleFenceError(
+                f"tenant {tenant_id!r}: writer presents fencing token "
+                f"{fence} but token {recorded} has already written — the "
+                f"lease was taken over; this writer is a zombie")
+
+    def _advance_fence(self, tenant_id: str, fence: Optional[int]) -> None:
+        """Record ``fence`` as admitted (monotone; atomic replace)."""
+        if fence is None:
+            return
+        recorded = self.recorded_fence(tenant_id)
+        if recorded is not None and int(fence) <= recorded:
+            return
+        path = self._fence_path(tenant_id)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        tmp = path.with_name(path.name + ".tmp")
+        tmp.write_text(str(int(fence)))
+        os.replace(tmp, path)
+
     # -- full snapshots ------------------------------------------------------
     def save(self, tenant_id: str, payload: Any,
-             metadata: Optional[Dict[str, object]] = None) -> Path:
+             metadata: Optional[Dict[str, object]] = None,
+             fence: Optional[int] = None) -> Path:
         """Write the next sequence-numbered full snapshot for the tenant.
 
         Ends any open delta chain: the snapshot becomes the new replay
         base and the next :meth:`save_delta` starts a fresh segment.
+        ``fence`` is the writer's lease fencing token; a token older
+        than one already admitted raises :class:`StaleFenceError`.
         """
+        self.check_fence(tenant_id, fence)
         self._close_writer(tenant_id)
         seq = self._next_seq(tenant_id)
         meta = {"tenant": tenant_id, "sequence": seq}
         meta.update(metadata or {})
         path = self.tenant_dir(tenant_id) / f"ckpt-{seq:06d}.ckpt"
-        return save_checkpoint(path, payload, metadata=meta)
+        result = save_checkpoint(path, payload, metadata=meta, fence=fence)
+        self._advance_fence(tenant_id, fence)
+        return result
 
     # -- delta segments ------------------------------------------------------
     def _close_writer(self, tenant_id: str) -> None:
@@ -142,7 +200,8 @@ class CheckpointStore:
         for tenant_id in list(self._writers):
             self._close_writer(tenant_id)
 
-    def save_delta(self, tenant_id: str, payload: Any, position: int) -> Path:
+    def save_delta(self, tenant_id: str, payload: Any, position: int,
+                   fence: Optional[int] = None) -> Path:
         """Durably append one interval record to the tenant's delta chain.
 
         ``position`` is the observation count after applying the record;
@@ -152,12 +211,20 @@ class CheckpointStore:
         after a snapshot, a roll, or a process restart) always starts a
         *new* segment file rather than appending to an existing one, so a
         previous crash's torn tail stays inert.  Returns the segment path.
+
+        A fenced writer (``fence`` not None) is checked against the
+        tenant's recorded token on *every* append, not just at segment
+        creation — a zombie holding an already-open segment is rejected
+        the moment a successor has written with a newer token.
         """
         writer = self._writers.get(tenant_id)
-        if writer is not None and writer.records >= self.segment_roll_records:
+        if writer is not None and (
+                writer.records >= self.segment_roll_records
+                or writer.fence != (int(fence) if fence is not None else None)):
             self._close_writer(tenant_id)
             writer = None
         if writer is None:
+            self.check_fence(tenant_id, fence)
             arts = self.artifacts(tenant_id)
             snapshots = [s for s, kind, _ in arts if kind == "snapshot"]
             if not snapshots:
@@ -166,9 +233,14 @@ class CheckpointStore:
                     f"chain on; call save() first")
             seq = arts[-1][0] + 1
             path = self.tenant_dir(tenant_id) / f"seg-{seq:06d}.seg"
+            guard = None
+            if fence is not None:
+                guard = lambda: self.check_fence(tenant_id, fence)  # noqa: E731
             writer = SegmentWriter(path, tenant_id, sequence=seq,
-                                   base_sequence=snapshots[-1])
+                                   base_sequence=snapshots[-1],
+                                   fence=fence, fence_guard=guard)
             self._writers[tenant_id] = writer
+            self._advance_fence(tenant_id, fence)
         writer.append(payload, position)
         return writer.path
 
@@ -203,8 +275,21 @@ class CheckpointStore:
         records: List[Any] = []
         expected = meta.get("n_observations")
         expected = int(expected) if expected is not None else None
+        last_fence = read_fence(base_path)
+        chain_max_fence = last_fence
         for _seq, path in segments:
             header, seg_records, _torn = read_segment(path)
+            fence = header.get("fence")
+            if fence is not None and last_fence is not None \
+                    and int(fence) < last_fence:
+                raise SegmentError(
+                    f"{path} was written under fencing token {fence} but an "
+                    f"earlier chain artifact already carries token "
+                    f"{last_fence} — a zombie writer extended this chain")
+            if fence is not None:
+                last_fence = int(fence)
+                if chain_max_fence is None or last_fence > chain_max_fence:
+                    chain_max_fence = last_fence
             if int(header.get("base_sequence", -1)) != base_seq:
                 raise SegmentError(
                     f"{path} declares base snapshot "
@@ -226,10 +311,37 @@ class CheckpointStore:
             # next segment's records prove a writer already recovered the
             # same prefix — and the position-continuity check above
             # rejects any actual gap that truncation would otherwise hide
+        # write-time fencing is check-then-act: a zombie that passed
+        # check_fence just before its successor advanced the record can
+        # still complete a (higher-sequence, stale) snapshot.  Every
+        # fenced write stamps its token, so a chain whose newest fenced
+        # artifact is older than the recorded high-water mark can only
+        # be that zombie's — refuse to rehydrate from it.  (Chains with
+        # no fenced artifacts are standalone/unfenced use and skip this.)
+        recorded = self.recorded_fence(tenant_id)
+        if recorded is not None and chain_max_fence is not None \
+                and chain_max_fence < recorded:
+            raise StaleFenceError(
+                f"tenant {tenant_id!r}: chain's newest fencing token "
+                f"{chain_max_fence} is older than admitted token {recorded} "
+                f"— a zombie writer's snapshot supersedes fenced history; "
+                f"remove it to fall back to the previous restore point")
         return payload, meta, records
 
     def metadata(self, tenant_id: str) -> List[Dict[str, object]]:
         return [read_metadata(p) for p in self.list(tenant_id)]
+
+    def chain_length(self, tenant_id: str) -> int:
+        """Complete delta records after the newest snapshot, counted
+        without unpickling any payload — the janitor's cheap is-this-
+        tenant-due-for-compaction probe."""
+        arts = self.artifacts(tenant_id)
+        snapshots = [s for s, kind, _ in arts if kind == "snapshot"]
+        if not snapshots:
+            return 0
+        base_seq = snapshots[-1]
+        return sum(count_segment_records(p) for s, kind, p in arts
+                   if kind == "segment" and s > base_seq)
 
     # -- retention -----------------------------------------------------------
     def prune(self, tenant_id: str, keep: int = 3) -> int:

@@ -15,7 +15,6 @@ from typing import Optional
 import numpy as np
 
 from .base import QueryClass, Workload, WorkloadProfile, WorkloadSnapshot
-from .twitter import TWITTER_CLASSES
 
 __all__ = ["AlternatingWorkload", "RealWorldTrace"]
 

@@ -18,7 +18,7 @@ from repro.baselines import (
     workload_feature,
 )
 from repro.gp import GaussianProcess, Matern52Kernel
-from repro.knobs import case_study_space, dba_default_config, mysql57_space
+from repro.knobs import case_study_space, mysql57_space
 from repro.workloads import TPCCWorkload
 
 

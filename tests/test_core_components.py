@@ -14,7 +14,7 @@ from repro.core import (
     select_candidate,
 )
 from repro.core.safety import SafetyAssessment
-from repro.knobs import case_study_space, mysql57_space
+from repro.knobs import case_study_space
 from repro.rules import RuleBook, RangeRule, RuleContext
 from repro.workloads import TPCCWorkload, TwitterWorkload
 

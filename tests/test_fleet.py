@@ -1,0 +1,406 @@
+"""Fleet-scale serving tests.
+
+Covers the three fleet pieces as one story: a tenant population split
+across frontends with shard-aware ``run_batch`` (union of shards must
+equal the unsharded batch), a client SDK that follows lease ownership
+across the fleet instead of erroring out, and the idle-time janitor
+that compacts delta chains off the suggest/observe hot path.
+"""
+
+from __future__ import annotations
+
+import os
+import time
+
+import pytest
+
+from repro.harness.runner import ParallelRunner, SessionSpec
+from repro.service import (
+    FailoverExhaustedError,
+    Janitor,
+    LeaseHeldError,
+    LeaseManager,
+    ServiceClient,
+    TenantSpec,
+    TuningService,
+    merge_batch_shards,
+)
+from repro.service.service import JANITOR_BACKSTOP_FACTOR
+
+from service_utils import build_db, build_tuner, drive_service, drive_tuner, step
+
+N_TENANTS = 5
+
+
+def _specs(n_iterations: int = 4):
+    return {f"t{i}": SessionSpec(tuner="OnlineTune", workload="tpcc", seed=i,
+                                 n_iterations=n_iterations,
+                                 space="case_study")
+            for i in range(N_TENANTS)}
+
+
+def _canon(result) -> dict:
+    """Deterministic encoding of a SessionResult: everything except the
+    wall-clock suggest timing, which can never be bit-stable."""
+    data = result.to_dict()
+    for record in data["records"]:
+        record["suggest_seconds"] = 0.0
+    return data
+
+
+class TestShardedRunBatch:
+    @pytest.mark.parametrize("shard_count", [1, 2, 3, 4])
+    def test_union_of_shards_equals_unsharded(self, tmp_path, shard_count):
+        specs = _specs()
+        runner = ParallelRunner(max_workers=2)
+        base = TuningService(tmp_path / "unsharded",
+                             runner=runner).run_batch(specs)
+        shards = []
+        frontends = []
+        for index in range(shard_count):
+            frontend = TuningService(tmp_path / f"shard{index}", runner=runner)
+            frontends.append(frontend)
+            shards.append(frontend.run_batch(specs, shard_index=index,
+                                             shard_count=shard_count))
+        # strided ownership: shard i serves tenants at positions i, i+n, ...
+        tenant_ids = list(specs)
+        for index, shard in enumerate(shards):
+            assert list(shard) == tenant_ids[index::shard_count]
+        merged = merge_batch_shards(tenant_ids, shards)
+        assert list(merged) == tenant_ids
+        for tenant in specs:
+            assert _canon(merged[tenant]) == _canon(base[tenant])
+        # each frontend persisted (and owns checkpoints for) exactly its
+        # own shard — the others' namespaces don't exist on it
+        for index, frontend in enumerate(frontends):
+            assert frontend.store.tenants() == sorted(
+                tenant_ids[index::shard_count])
+
+    def test_sharded_checkpoints_are_resumable(self, tmp_path):
+        specs = _specs()
+        frontend = TuningService(tmp_path, runner=ParallelRunner(max_workers=1))
+        results = frontend.run_batch(specs, shard_index=1, shard_count=2)
+        for tenant in results:
+            payload, meta = frontend.store.load_latest(tenant)
+            assert meta["tuner_class"] == payload.__class__.__name__
+            assert meta["n_observations"] == specs[tenant].n_iterations
+
+    def test_merge_rejects_overlap(self):
+        tenants = ["a", "b"]
+        result = object()
+        with pytest.raises(ValueError, match="covered twice"):
+            merge_batch_shards(tenants, [{"a": result}, {"a": result,
+                                                         "b": result}])
+
+    def test_merge_rejects_missing(self):
+        with pytest.raises(ValueError, match="missing tenants"):
+            merge_batch_shards(["a", "b"], [{"a": object()}])
+
+    def test_merge_rejects_unknown_tenant(self):
+        with pytest.raises(ValueError, match="unknown tenant"):
+            merge_batch_shards(["a"], [{"a": object(), "z": object()}])
+
+    def test_bad_shard_coordinates_rejected(self, tmp_path):
+        service = TuningService(tmp_path)
+        with pytest.raises(ValueError, match="shard_index"):
+            service.run_batch(_specs(), shard_index=2, shard_count=2)
+
+
+class TestClientFailover:
+    TTL = 5.0
+
+    def _fleet(self, root, **kwargs):
+        a = TuningService(root, owner="fe-A", lease_ttl=self.TTL, **kwargs)
+        b = TuningService(root, owner="fe-B", lease_ttl=self.TTL, **kwargs)
+        return a, b
+
+    def test_redirect_to_lease_holder(self, tmp_path):
+        a, b = self._fleet(tmp_path)
+        sleeps = []
+        served = ServiceClient([a, b], sleep=sleeps.append, seed=0)
+        served.create("t", TenantSpec(space="case_study", seed=3))
+        db = build_db(3)
+        _, metrics = step(lambda i: served.suggest("t", i),
+                          lambda f: served.observe("t", f), db, 0, {})
+        assert served.redirects == 0        # first frontend just worked
+
+        # a second client defaults to the *other* frontend: its first
+        # call conflicts with fe-A's live lease and must redirect there
+        other = ServiceClient([b, a], sleep=sleeps.append, seed=0)
+        _, _ = step(lambda i: other.suggest("t", i),
+                    lambda f: other.observe("t", f), db, 1, metrics)
+        assert other.redirects >= 1
+        # affinity: later calls go straight to the holder, no new redirects
+        redirects = other.redirects
+        ckpt = other.checkpoint("t")
+        assert ckpt.exists()
+        assert other.redirects == redirects
+
+    def test_stolen_lease_failover_is_bit_identical(self, tmp_path):
+        """fe-A dies mid-session; fe-B takes over; the original client
+        follows the lease to fe-B and the trajectory stays exactly the
+        uninterrupted one (delta durability replays the chain)."""
+        ttl = 0.3
+        a = TuningService(tmp_path, owner="fe-A", lease_ttl=ttl,
+                          durability="delta", snapshot_every=100)
+        b = TuningService(tmp_path, owner="fe-B", lease_ttl=ttl,
+                          durability="delta", snapshot_every=100)
+        seed, total, crash_at = 3, 8, 4
+        baseline, history = drive_tuner(build_tuner(seed), build_db(seed),
+                                        0, total)
+
+        client = ServiceClient([a, b], sleep=time.sleep, seed=0)
+        client.create("t", TenantSpec(space="case_study", seed=seed))
+        db = build_db(seed)
+        configs, history2 = drive_service(client, "t", db, 0, crash_at)
+        assert configs == baseline[:crash_at]
+
+        time.sleep(ttl + 0.05)              # fe-A goes silent past its TTL
+        takeover = ServiceClient([b], sleep=time.sleep, seed=0)
+        mid, _ = drive_service(takeover, "t", db, crash_at, crash_at + 2,
+                               history2)
+        assert mid == baseline[crash_at:crash_at + 2]
+
+        # the original client still routes via fe-A: lost lease there,
+        # then a redirect to the new holder fe-B
+        suffix, _ = drive_service(client, "t", db, crash_at + 2, total,
+                                  history2)
+        assert suffix == baseline[crash_at + 2:]
+        assert client.redirects >= 1
+
+    def test_unknown_holder_budget_exhaustion(self, tmp_path):
+        """A lease held by someone outside the fleet (e.g. a janitor) is
+        waited out with jittered backoff; a budget's worth of retries
+        later the typed failover error surfaces with the cause chained."""
+        a, b = self._fleet(tmp_path)
+        a.create("t", TenantSpec(space="case_study", seed=0))
+        a.close("t")
+        foreign = LeaseManager(tmp_path / "leases", ttl=60.0, owner="intruder")
+        foreign.acquire("t")
+        sleeps = []
+        client = ServiceClient([a, b], max_failovers=3, sleep=sleeps.append,
+                               seed=7, backoff_base=0.02, backoff_cap=0.1)
+        with pytest.raises(FailoverExhaustedError) as info:
+            client.resume("t")
+        assert info.value.attempts == 4          # initial try + 3 retries
+        assert isinstance(info.value.__cause__, LeaseHeldError)
+        assert info.value.__cause__.holder == "intruder"
+        # full-jitter backoff: one sleep per retry, each under the cap
+        assert len(sleeps) == 3
+        assert all(0.0 <= s <= 0.1 for s in sleeps)
+        # distinct draws (jitter, not a fixed delay)
+        assert len(set(sleeps)) > 1
+
+    def test_waits_out_short_foreign_lease(self, tmp_path):
+        """A short-lived foreign lease (janitor mid-compaction) costs
+        retries, not an error: once it expires the call goes through."""
+        a, b = self._fleet(tmp_path)
+        a.create("t", TenantSpec(space="case_study", seed=0))
+        a.close("t")
+        foreign = LeaseManager(tmp_path / "leases", ttl=0.15, owner="janitor-x")
+        foreign.acquire("t")
+        client = ServiceClient([a, b], max_failovers=8, sleep=time.sleep,
+                               backoff_base=0.05, backoff_cap=0.2, seed=1)
+        tuner = client.resume("t")              # blocks briefly, then wins
+        assert len(tuner.repo) == 0
+        assert client.retries >= 1 and client.redirects == 0
+
+    def test_client_requires_distinct_owners(self, tmp_path):
+        a = TuningService(tmp_path / "a", owner="same")
+        b = TuningService(tmp_path / "b", owner="same")
+        with pytest.raises(ValueError, match="distinct"):
+            ServiceClient([a, b])
+
+
+class TestJanitor:
+    def _delta_service(self, root, **kwargs):
+        kwargs.setdefault("durability", "delta")
+        kwargs.setdefault("snapshot_every", 4)
+        kwargs.setdefault("compaction", "janitor")
+        kwargs.setdefault("lease_ttl", 5.0)
+        return TuningService(root, **kwargs)
+
+    def test_observe_never_snapshots_under_janitor_mode(self, tmp_path):
+        """The hot path pays only delta appends: snapshot count stays at
+        the birth checkpoint while the chain grows past snapshot_every."""
+        service = self._delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=1))
+        db = build_db(1)
+        drive_service(service, "t", db, 0, 6)
+        assert len(service.store.list("t")) == 1          # birth only
+        assert service.store.chain_length("t") == 6
+        # inline mode would have compacted at snapshot_every=4
+        inline = TuningService(tmp_path / "inline", durability="delta",
+                               snapshot_every=4)
+        inline.create("t", TenantSpec(space="case_study", seed=1))
+        drive_service(inline, "t", build_db(1), 0, 6)
+        assert len(inline.store.list("t")) == 2
+
+    def test_compact_if_due_compacts_live_session(self, tmp_path):
+        service = self._delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=1))
+        drive_service(service, "t", build_db(1), 0, 6)
+        assert service.compact_if_due("t") is not None
+        assert len(service.store.list("t")) == 2
+        assert service.store.chain_length("t") == 0
+        assert service.compact_if_due("t") is None        # nothing due now
+
+    def test_backstop_bounds_runaway_chain(self, tmp_path):
+        """With the janitor down, observe still compacts once the chain
+        hits snapshot_every * JANITOR_BACKSTOP_FACTOR."""
+        service = self._delta_service(tmp_path, snapshot_every=1)
+        service.create("t", TenantSpec(space="case_study", seed=1))
+        limit = JANITOR_BACKSTOP_FACTOR          # snapshot_every == 1
+        drive_service(service, "t", build_db(1), 0, limit)
+        assert len(service.store.list("t")) == 2          # backstop fired
+        assert service.store.chain_length("t") == 0
+
+    def test_janitor_skips_live_tenants(self, tmp_path):
+        service = self._delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=1))
+        drive_service(service, "t", build_db(1), 0, 5)
+        janitor = Janitor(tmp_path, snapshot_every=4, lease_ttl=5.0)
+        report = janitor.run_once()
+        assert report.compacted == [] and report.skipped_leased == ["t"]
+        assert service.store.chain_length("t") == 5       # untouched
+
+    def test_janitor_compacts_evicted_tenant_bit_identically(self, tmp_path):
+        """Eviction releases the lease but leaves the chain; the janitor
+        replays and compacts it, and the rehydrated tenant continues on
+        exactly the uninterrupted trajectory."""
+        seed, total, evict_at = 2, 8, 5
+        baseline, history = drive_tuner(build_tuner(seed), build_db(seed),
+                                        0, total)
+        service = self._delta_service(tmp_path, max_live_sessions=1)
+        service.create("t", TenantSpec(space="case_study", seed=seed))
+        db = build_db(seed)
+        configs, _ = drive_service(service, "t", db, 0, evict_at)
+        assert configs == baseline[:evict_at]
+        service.create("other", TenantSpec(space="case_study", seed=9))
+        assert "t" not in service.live_tenants()          # LRU evicted it
+        assert service.store.chain_length("t") == evict_at
+
+        janitor = Janitor(tmp_path, snapshot_every=4, lease_ttl=5.0)
+        report = janitor.run_once()
+        assert "t" in report.compacted
+        assert service.store.chain_length("t") == 0
+        meta = service.store.metadata("t")[-1]
+        assert meta["n_observations"] == evict_at
+        assert meta["compacted_by"] == janitor.leases.owner
+
+        suffix, _ = drive_service(service, "t", db, evict_at, total, history)
+        assert suffix == baseline[evict_at:]
+
+    def test_janitor_prunes_old_restore_points(self, tmp_path):
+        service = TuningService(tmp_path, durability="snapshot")
+        service.create("t", TenantSpec(space="case_study", seed=1))
+        for _ in range(4):
+            service.checkpoint("t")
+        service.close("t")
+        assert len(service.store.list("t")) == 5
+        janitor = Janitor(tmp_path, prune_keep=2, lease_ttl=5.0)
+        report = janitor.run_once()
+        assert report.pruned["t"] == 3
+        assert len(service.store.list("t")) == 2
+        assert service.resume("t") is not None            # still loadable
+
+    def test_janitor_recheck_under_lease_avoids_double_compaction(
+            self, tmp_path):
+        """Between the lock-free probe and winning the lease, a frontend
+        may already have compacted; the janitor must notice and not
+        write a redundant snapshot."""
+        service = self._delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=1))
+        drive_service(service, "t", build_db(1), 0, 5)
+        janitor = Janitor(tmp_path, snapshot_every=4, lease_ttl=5.0)
+        original = janitor.store.chain_length
+
+        def racing_probe(tenant_id):
+            length = original(tenant_id)
+            if service.live_tenants():      # only race the first probe
+                service.compact_if_due(tenant_id)
+                service.close(tenant_id, register_knowledge=False)
+            return length
+
+        janitor.store.chain_length = racing_probe
+        report = janitor.run_once()
+        assert report.compacted == []
+        janitor.store.chain_length = original
+        # exactly two snapshots: birth + the frontend's compaction
+        assert len(service.store.list("t")) == 2
+
+    def test_background_cadence_compacts_idle_tenant(self, tmp_path):
+        service = self._delta_service(tmp_path, max_live_sessions=1)
+        service.create("t", TenantSpec(space="case_study", seed=1))
+        drive_service(service, "t", build_db(1), 0, 5)
+        service.create("other", TenantSpec(space="case_study", seed=9))
+        janitor = Janitor(tmp_path, snapshot_every=4, lease_ttl=5.0,
+                          interval=0.05)
+        janitor.start()
+        try:
+            with pytest.raises(RuntimeError, match="already started"):
+                janitor.start()
+            deadline = time.time() + 10.0
+            while (service.store.chain_length("t")
+                   and time.time() < deadline):
+                time.sleep(0.05)
+        finally:
+            janitor.stop()
+        assert service.store.chain_length("t") == 0
+        assert janitor._thread is None
+
+
+class TestReviewRegressions:
+    """Regressions from the pre-merge review."""
+
+    def test_concurrent_knowledge_registration_merges(self, tmp_path):
+        """Two frontends sharing one knowledge.json must not clobber
+        each other's registrations: the index is reloaded and rewritten
+        under a lock, so the union survives whichever writes last."""
+        from repro.service import KnowledgeBase
+        t1 = build_tuner(seed=1)
+        t2 = build_tuner(seed=2)
+        db = build_db(1)
+        drive_tuner(t1, db, 0, 3)
+        drive_tuner(t2, build_db(2), 0, 3)
+        path = tmp_path / "knowledge.json"
+        # both frontends load the (empty) index before either registers
+        kb_a = KnowledgeBase(path)
+        kb_b = KnowledgeBase(path)
+        kb_a.register("alpha", t1, t1.checkpoint(tmp_path / "a.ckpt"))
+        kb_b.register("beta", t2, t2.checkpoint(tmp_path / "b.ckpt"))
+        reloaded = KnowledgeBase(path)
+        assert {e.tenant for e in reloaded.entries} == {"alpha", "beta"}
+        # stale lock files from a crashed writer are broken, not fatal
+        lock = path.with_name(path.name + ".lock")
+        lock.touch()
+        os.utime(lock, (time.time() - 60, time.time() - 60))
+        kb_a.register("alpha", t1, t1.checkpoint(tmp_path / "a2.ckpt"))
+        assert not lock.exists()
+
+    def test_janitor_survives_lease_loss_mid_sweep(self, tmp_path):
+        """A sweep that outlives its own lease TTL (takeover mid-
+        compaction) must record the tenant as skipped and keep sweeping
+        the rest of the fleet — not crash run_once."""
+        service = TuningService(tmp_path, durability="delta",
+                                snapshot_every=100, compaction="janitor",
+                                lease_ttl=0.3)
+        for tenant, seed in (("a", 1), ("b", 2)):
+            service.create(tenant, TenantSpec(space="case_study", seed=seed))
+            drive_service(service, tenant, build_db(seed), 0, 5)
+        service.store.close()               # crash: chains + leases left
+        time.sleep(0.35)                    # dead frontend's TTL passes
+        janitor = Janitor(tmp_path, snapshot_every=4, lease_ttl=0.2)
+        thief = LeaseManager(tmp_path / "leases", ttl=5.0, owner="thief")
+        original = janitor._compact
+
+        def slow_compact(tenant_id, fence):
+            if tenant_id == "a":
+                time.sleep(0.25)            # outlive the janitor's TTL
+                thief.acquire(tenant_id)    # frontend takes the tenant over
+            return original(tenant_id, fence)
+
+        janitor._compact = slow_compact
+        report = janitor.run_once()
+        assert "lease lost" in report.skipped_errors.get("a", "")
+        assert "b" in report.compacted      # the sweep carried on

@@ -123,3 +123,38 @@ def test_snapshot_delta_resume_replays_golden(workload, tmp_path, golden_dir,
     db2 = build_db(seed, workload=WORKLOADS[workload](seed))
     suffix, _ = drive_service(fresh, "g", db2, k, GOLDEN_ITERS, history)
     assert _encode(configs + suffix) == golden
+
+
+@pytest.mark.parametrize("workload", sorted(WORKLOADS))
+def test_janitor_compaction_preserves_golden(workload, tmp_path, golden_dir,
+                                             regen_golden):
+    """Crash a janitor-mode delta session, let the idle-time janitor
+    take over the dead lease and compact the chain, then resume from the
+    compacted snapshot — still exactly the golden trajectory."""
+    if regen_golden:
+        pytest.skip("fixtures are being re-recorded")
+    from repro.service import Janitor
+    seed = 0
+    k = 25
+    golden = _load_golden(golden_dir, workload, seed)
+    service = TuningService(tmp_path, durability="delta", snapshot_every=10,
+                            compaction="janitor", lease_ttl=1.0)
+    service.create("g", TenantSpec(space="case_study", seed=seed))
+    db = build_db(seed, workload=WORKLOADS[workload](seed))
+    configs, history = drive_service(service, "g", db, 0, k)
+    assert _encode(configs) == golden[:k]
+    # janitor mode kept every interval on one chain (birth snapshot only)
+    assert len(service.store.list("g")) == 1
+    assert service.store.chain_length("g") == k
+    service.store.close()                   # crash without lease release
+    time.sleep(1.05)                        # dead owner's lease expires
+
+    janitor = Janitor(tmp_path, snapshot_every=10, lease_ttl=1.0)
+    assert janitor.run_once().compacted == ["g"]
+    assert service.store.chain_length("g") == 0
+
+    fresh = TuningService(tmp_path, durability="delta", snapshot_every=10,
+                          compaction="janitor", lease_ttl=1.0)
+    db2 = build_db(seed, workload=WORKLOADS[workload](seed))
+    suffix, _ = drive_service(fresh, "g", db2, k, GOLDEN_ITERS, history)
+    assert _encode(configs + suffix) == golden

@@ -6,7 +6,7 @@ from hypothesis import given, settings, strategies as st
 
 from repro.dbms import PerformanceModel
 from repro.gp import GaussianProcess, Matern52Kernel
-from repro.knobs import GIB, dba_default_config, mysql57_space
+from repro.knobs import dba_default_config, mysql57_space
 from repro.ml import normalized_mutual_information
 from repro.workloads import TPCCWorkload, TwitterWorkload
 

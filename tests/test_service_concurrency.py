@@ -19,6 +19,7 @@ import pytest
 
 from repro.baselines.base import SuggestInput
 from repro.service import (
+    CheckpointStore,
     LeaseHeldError,
     LeaseLostError,
     LeaseManager,
@@ -26,7 +27,7 @@ from repro.service import (
     TuningService,
 )
 
-from service_utils import build_db
+from service_utils import build_db, drive_service
 
 
 class TestLeaseSemantics:
@@ -107,6 +108,98 @@ class TestLeaseSemantics:
             svc2.suggest("t", inp)
         svc1.close("t")                     # releases the lease
         assert svc2.suggest("t", inp) is not None
+
+
+class TestJanitorWriterInterleavings:
+    """The janitor is just another lease owner: every interleaving with
+    a writer frontend must resolve through the lease protocol — skip,
+    block, or fenced takeover — never through a second writer."""
+
+    def _delta_service(self, root, **kwargs):
+        kwargs.setdefault("durability", "delta")
+        kwargs.setdefault("snapshot_every", 100)
+        kwargs.setdefault("compaction", "janitor")
+        kwargs.setdefault("lease_ttl", 1.0)
+        return TuningService(root, **kwargs)
+
+    def test_writer_blocked_while_janitor_compacts(self, tmp_path):
+        """Mid-compaction the janitor holds the tenant lease; a frontend
+        arriving then gets a typed, redirect-able conflict and works
+        again the moment the janitor hands the lease back."""
+        from repro.service import Janitor
+        service = self._delta_service(tmp_path, lease_ttl=5.0)
+        service.create("t", TenantSpec(space="case_study", seed=0))
+        drive_service(service, "t", build_db(0), 0, 2)
+        service.close("t", register_knowledge=False)
+
+        janitor = Janitor(tmp_path, snapshot_every=1, lease_ttl=5.0,
+                          owner="janitor-1")
+        lease = janitor.leases.acquire("t")    # janitor mid-compaction
+        db = build_db(0)
+        inp = SuggestInput(iteration=2, snapshot=db.observe_snapshot(2),
+                           metrics={},
+                           default_performance=db.default_performance(2),
+                           is_olap=db.profile(2).is_olap)
+        with pytest.raises(LeaseHeldError) as info:
+            service.suggest("t", inp)
+        assert info.value.holder == "janitor-1"
+        janitor.leases.release(lease)          # handoff back
+        assert service.suggest("t", inp) is not None
+
+    def test_janitor_never_touches_heartbeating_writer(self, tmp_path):
+        """Repeated sweeps while a live writer heartbeats must skip the
+        tenant every time — chain length only ever grows under the one
+        writer."""
+        from repro.service import Janitor
+        service = self._delta_service(tmp_path, lease_ttl=5.0)
+        service.create("t", TenantSpec(space="case_study", seed=0))
+        janitor = Janitor(tmp_path, snapshot_every=1, lease_ttl=5.0)
+        history = None
+        for t in range(3):
+            _, history = drive_service(service, "t", build_db(0), t, t + 1,
+                                       history)
+            report = janitor.run_once()
+            assert report.compacted == []
+            assert "t" in report.skipped_leased
+        assert service.store.chain_length("t") == 3
+        assert len(service.store.list("t")) == 1
+
+    def test_janitor_takeover_after_writer_death(self, tmp_path):
+        """A crashed writer's tenant is compacted by the janitor under a
+        higher fencing token; the restarted frontend resumes from the
+        compacted snapshot bit-identically and the dead writer's token
+        can never write again."""
+        from repro.service import Janitor, StaleFenceError
+        from repro.service.checkpoint import read_fence
+        seed, k, total = 4, 3, 5
+        baseline, history = _baseline_run(seed, total)
+        service = self._delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=seed))
+        configs, _ = drive_service(service, "t", build_db(seed), 0, k)
+        assert configs == baseline[:k]
+        service.store.close()                  # crash: lease never released
+
+        janitor = Janitor(tmp_path, snapshot_every=1, lease_ttl=1.0)
+        assert janitor.run_once().skipped_leased == ["t"]   # still live
+        time.sleep(1.05)                       # dead writer's TTL passes
+        report = janitor.run_once()
+        assert report.compacted == ["t"]
+        compacted = service.store.latest_path("t")
+        assert read_fence(compacted) == 2      # takeover bumped the token
+
+        # the dead writer's fencing token is burned at the store
+        with pytest.raises(StaleFenceError):
+            CheckpointStore(tmp_path).save("t", {"zombie": True}, fence=1)
+
+        fresh = self._delta_service(tmp_path)
+        suffix, _ = drive_service(fresh, "t", build_db(seed), k, total,
+                                  history)
+        assert suffix == baseline[k:]
+
+
+def _baseline_run(seed: int, total: int):
+    from service_utils import build_tuner, drive_tuner
+    return drive_tuner(build_tuner(seed), build_db(seed), 0, total)
 
 
 # ---------------------------------------------------------------------------

@@ -10,15 +10,19 @@ mis-deserialization is never acceptable.
 from __future__ import annotations
 
 import struct
+import time
 
 import pytest
 
+from repro.baselines.base import Feedback, SuggestInput
 from repro.service import (
     CheckpointError,
     CheckpointStore,
     SegmentError,
+    StaleFenceError,
     TenantSpec,
     TuningService,
+    read_fence,
     read_segment,
 )
 from repro.service.checkpoint import SEG_MAGIC, SegmentWriter
@@ -398,3 +402,172 @@ class TestReviewRegressions:
             other.acquire("t")
         # and the live session keeps working
         drive_service(service, "t", build_db(0), 0, 1)
+
+
+# ---------------------------------------------------------------------------
+# fencing tokens: zombie writers are stopped at the store
+# ---------------------------------------------------------------------------
+
+class TestFencingTokens:
+    """The lease layer hands out monotone fencing tokens; the store must
+    reject a token older than one it has already admitted — a zombie
+    writer that outlived its TTL cannot corrupt a checkpoint chain even
+    when it never notices losing its lease."""
+
+    def test_stamped_into_snapshot_and_segment_headers(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        path = store.save("t", {"s": 0}, metadata={"n_observations": 0},
+                          fence=3)
+        assert read_fence(path) == 3
+        seg = store.save_delta("t", {"i": 0}, position=1, fence=3)
+        store.close()
+        header, _records, _torn = read_segment(seg)
+        assert header["fence"] == 3
+        assert store.recorded_fence("t") == 3
+
+    def test_unfenced_writes_stay_allowed(self, tmp_path):
+        """fence=None (standalone store use without a lease layer) never
+        trips enforcement, before or after fenced writers existed."""
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"s": 0}, metadata={"n_observations": 0})
+        store.save("t", {"s": 1}, metadata={"n_observations": 0}, fence=2)
+        store.save("t", {"s": 2}, metadata={"n_observations": 0})
+        assert store.recorded_fence("t") == 2
+
+    def test_stale_snapshot_token_rejected(self, tmp_path):
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"gen": 1}, metadata={"n_observations": 0}, fence=1)
+        store.save("t", {"gen": 2}, metadata={"n_observations": 0}, fence=2)
+        with pytest.raises(StaleFenceError, match="zombie"):
+            store.save("t", {"gen": "stale"}, fence=1)
+        payload, _meta = store.load_latest("t")
+        assert payload == {"gen": 2}               # chain uncorrupted
+
+    def test_zombie_open_writer_rejected_mid_append(self, tmp_path):
+        """Crash-mid-write fixture: writer A holds an *already open*
+        segment when its lease is taken over.  The successor's fenced
+        write must invalidate A's handle on the very next append — the
+        case a create-time check cannot catch."""
+        zombie = CheckpointStore(tmp_path)
+        zombie.save("t", {"s": 0}, metadata={"n_observations": 0}, fence=1)
+        zombie.save_delta("t", {"i": 0}, position=1, fence=1)  # writer open
+
+        successor = CheckpointStore(tmp_path)      # new frontend, token 2
+        payload, meta, records = successor.load_latest_chain("t")
+        assert [r["i"] for r in records] == [0]
+        successor.save("t", {"s": 1}, metadata={"n_observations": 1},
+                       fence=2)
+
+        with pytest.raises(StaleFenceError, match="zombie"):
+            zombie.save_delta("t", {"i": 1}, position=2, fence=1)
+        zombie.close()
+        # the rejected append left nothing behind: the chain reads as
+        # exactly the successor's snapshot
+        payload, meta, records = successor.load_latest_chain("t")
+        assert payload == {"s": 1} and records == []
+
+    def test_reader_rejects_fence_regression_in_chain(self, tmp_path):
+        """A segment extending a chain under an *older* token than its
+        base snapshot is a zombie artifact and must fail the load, not
+        silently replay."""
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"s": 0}, metadata={"n_observations": 0}, fence=2)
+        tdir = store.tenant_dir("t")
+        writer = SegmentWriter(tdir / "seg-000002.seg", "t", sequence=2,
+                               base_sequence=1, fence=1)
+        writer.append({"i": 0}, position=1)
+        writer.close()
+        with pytest.raises(SegmentError, match="zombie"):
+            store.load_latest_chain("t")
+
+    def test_service_zombie_write_rejected_at_store(self, tmp_path):
+        """End to end: frontend A pauses past its TTL *between heartbeat
+        and write* (so the lease layer never fires), a successor takes
+        over the tenant, and A's next durable write dies at the store."""
+        service = _delta_service(tmp_path)
+        service.create("t", TenantSpec(space="case_study", seed=0))
+        db = build_db(0)
+        _configs, history = drive_service(service, "t", db, 0, 2)
+        session = service._live["t"]
+        assert session.lease.token == 1
+
+        _expire_leases()                       # the long pause
+        successor = _delta_service(tmp_path, owner="successor")
+        db2 = build_db(0)
+        _mid, succ_history = drive_service(successor, "t", db2, 2, 3,
+                                           list(history))
+        assert successor._live["t"].lease.token == 2
+
+        # fake the zombie's clock: it still believes its lease is live,
+        # so _ensure_lease skips the renewal that would catch it
+        session.lease.expires_at = time.time() + 60.0
+        t = 2
+        snapshot = db.observe_snapshot(t)
+        inp = SuggestInput(iteration=t, snapshot=snapshot, metrics=history[t],
+                           default_performance=db.default_performance(t),
+                           is_olap=db.profile(t).is_olap)
+        config = service.suggest("t", inp)
+        result = db.run_interval(t, config)
+        with pytest.raises(StaleFenceError):
+            service.observe("t", Feedback(
+                iteration=t, config=config,
+                performance=result.objective(db.profile(t).is_olap),
+                metrics=result.metrics, failed=result.failed,
+                default_performance=db.default_performance(t)))
+        # the successor's chain is intact and still extendable: intervals
+        # 0-1 (pre-takeover) plus 2-3 (successor); the zombie's rejected
+        # interval-2 write left no trace
+        drive_service(successor, "t", db2, 3, 4, succ_history)
+        fresh = CheckpointStore(tmp_path)
+        _payload, meta, records = fresh.load_latest_chain("t")
+        assert int(meta["n_observations"]) + len(records) == 4
+
+    def test_previous_format_versions_still_load_unfenced(self, tmp_path):
+        """The v2→v3 envelope (and v1→v2 segment) change only *added* an
+        optional fence header key, so pre-upgrade tenants must rehydrate
+        — as unfenced — instead of being orphaned by the version gate."""
+        store = CheckpointStore(tmp_path)
+        ckpt = store.save("t", {"s": 0}, metadata={"n_observations": 0})
+        seg = store.save_delta("t", {"i": 0}, position=1)
+        store.close()
+        # rewrite the version fields to the previous on-disk formats
+        # (both headers carry no fence key, exactly what the previous
+        # release wrote)
+        raw = bytearray(ckpt.read_bytes())
+        raw[8:12] = struct.pack("<I", 2)
+        ckpt.write_bytes(bytes(raw))
+        raw = bytearray(seg.read_bytes())
+        raw[8:12] = struct.pack("<I", 1)
+        seg.write_bytes(bytes(raw))
+        payload, meta, records = CheckpointStore(tmp_path).load_latest_chain("t")
+        assert payload == {"s": 0} and [r["i"] for r in records] == [0]
+        assert read_fence(ckpt) is None
+        # v1 envelopes (pre-transfer-weight rows) stay rejected
+        raw = bytearray(ckpt.read_bytes())
+        raw[8:12] = struct.pack("<I", 1)
+        ckpt.write_bytes(bytes(raw))
+        with pytest.raises(CheckpointError, match="v1"):
+            read_fence(ckpt)
+
+    def test_completed_zombie_snapshot_rejected_at_load(self, tmp_path):
+        """Write-time fencing is check-then-act: a zombie that passed the
+        check just before its successor advanced the record can still
+        complete a higher-sequence stale snapshot.  The chain loader must
+        refuse to rehydrate from it."""
+        store = CheckpointStore(tmp_path)
+        store.save("t", {"gen": "A"}, metadata={"n_observations": 0}, fence=2)
+        store.save("t", {"gen": "B"}, metadata={"n_observations": 0}, fence=3)
+        # the zombie's save_checkpoint completes *after* the successor's:
+        # higher sequence, stale state, stale token (bypasses store.save
+        # exactly like the un-synchronized race window does)
+        from repro.service import save_checkpoint
+        save_checkpoint(store.tenant_dir("t") / "ckpt-000003.ckpt",
+                        {"gen": "zombie"},
+                        metadata={"tenant": "t", "sequence": 3,
+                                  "n_observations": 0}, fence=2)
+        with pytest.raises(StaleFenceError, match="zombie"):
+            store.load_latest_chain("t")
+        # removing the zombie artifact restores the successor's state
+        (store.tenant_dir("t") / "ckpt-000003.ckpt").unlink()
+        payload, _meta, _records = store.load_latest_chain("t")
+        assert payload == {"gen": "B"}

@@ -9,7 +9,6 @@ from repro import (
     OnlineTuneConfig,
     SimulatedMySQL,
     TPCCWorkload,
-    TuningSession,
     dba_default_config,
     mysql57_space,
 )
