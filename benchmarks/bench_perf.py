@@ -2,8 +2,11 @@
 
 Times the full per-iteration hot path (suggest + observe) of an
 :class:`~repro.core.OnlineTune` tuner against a static simulated TPC-C
-instance at several history sizes, and writes the results to
-``BENCH_perf.json`` at the repository root.  This is the perf trajectory
+instance at several history sizes, plus an ``append`` section — rank-k
+Cholesky-extension latency per appended row at several batch sizes, and
+the cross-tenant lockstep ``run_batch`` stepping cost with and without
+fused kernel evaluation — and writes the results to ``BENCH_perf.json``
+at the repository root.  This is the perf trajectory
 every scaling PR measures itself against (paper Table A1 keeps the same
 overhead sub-second at 400 intervals).
 
@@ -46,6 +49,7 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
     """
     from repro.baselines.base import Feedback, SuggestInput
     from repro.core import OnlineTune, OnlineTuneConfig
+    from repro.gp.batching import execute_appends
     from repro.harness import build_session
     from repro.knobs import mysql57_space
     from repro.workloads import TPCCWorkload
@@ -102,6 +106,11 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
                             default_performance=tau)
         tuner.observe(feedback)
         t3 = time.perf_counter()
+        # mirror TuningSession.step: drain the staged append in the
+        # interval-execution window (untimed — in production this runs
+        # between the observe and the next suggest RPC, off both
+        # critical paths)
+        execute_appends(tuner.stage_appends(), fuse=False)
         suggest_times.append(t1 - t0)
         observe_times.append(t3 - t2)
         last_metrics = result.metrics
@@ -167,6 +176,123 @@ def run_benchmark(history_sizes: Iterable[int] = HISTORY_SIZES,
         "checkpoint_delta": delta,
         "total_session_seconds": float(total.sum()),
     }
+
+
+#: batch sizes for the rank-k append micro (k=1 is the steady-state
+#: per-interval append; larger k are the grouped-absorption cases)
+APPEND_BATCH_SIZES = (1, 4, 16)
+#: synthetic joint-space dims for the append micro — sized like the
+#: mysql57 space (40 knobs) plus the workload featurization
+APPEND_CONFIG_DIM = 40
+APPEND_CONTEXT_DIM = 15
+
+
+def append_latency(history_sizes: Iterable[int] = HISTORY_SIZES,
+                   batch_sizes: Iterable[int] = APPEND_BATCH_SIZES,
+                   seed: int = 0, repeats: int = 7,
+                   verbose: bool = True) -> Dict[str, object]:
+    """Per-append latency of the rank-k Cholesky extension path.
+
+    For each history size ``h`` a contextual GP is fitted once on ``h``
+    synthetic rows; each measurement deep-copies it and times one
+    ``update_batch`` of ``k`` rows (median over ``repeats``), reported
+    as seconds *per appended row*.  ``sequential_k`` times the same
+    ``k=max`` rows through ``k`` rank-1 updates on another copy, so
+    ``batched_speedup`` isolates what the fused GEMM buys over the
+    k-GEMV loop at the same history.
+    """
+    import copy
+
+    from repro.gp import ContextualGP
+
+    rng = np.random.default_rng(seed)
+    batch_sizes = sorted(int(k) for k in batch_sizes)
+    k_max = batch_sizes[-1]
+    by_history: Dict[str, Dict[str, float]] = {}
+    for h in sorted(int(h) for h in history_sizes):
+        base = ContextualGP(APPEND_CONFIG_DIM, APPEND_CONTEXT_DIM)
+        base.fit(rng.random((h, APPEND_CONFIG_DIM)),
+                 rng.random((h, APPEND_CONTEXT_DIM)),
+                 rng.normal(100.0, 5.0, h), optimize=False)
+        new_cfg = rng.random((k_max, APPEND_CONFIG_DIM))
+        new_ctx = rng.random((k_max, APPEND_CONTEXT_DIM))
+        new_y = rng.normal(100.0, 5.0, k_max)
+        stats: Dict[str, float] = {}
+        for k in batch_sizes:
+            times = []
+            for _ in range(repeats):
+                model = copy.deepcopy(base)
+                t0 = time.perf_counter()
+                model.update_batch(new_cfg[:k], new_ctx[:k], new_y[:k])
+                times.append((time.perf_counter() - t0) / k)
+            stats[f"k{k}_per_append_seconds"] = float(np.median(times))
+        seq_times = []
+        for _ in range(repeats):
+            model = copy.deepcopy(base)
+            t0 = time.perf_counter()
+            for i in range(k_max):
+                model.update(new_cfg[i], new_ctx[i], float(new_y[i]))
+            seq_times.append((time.perf_counter() - t0) / k_max)
+        stats["sequential_per_append_seconds"] = float(np.median(seq_times))
+        stats["batched_speedup"] = (
+            stats["sequential_per_append_seconds"]
+            / stats[f"k{k_max}_per_append_seconds"])
+        by_history[str(h)] = stats
+        if verbose:
+            per_k = "  ".join(
+                f"k={k}: {1e3 * stats[f'k{k}_per_append_seconds']:.3f} ms"
+                for k in batch_sizes)
+            print(f"append history={h:>4}  {per_k}  "
+                  f"(sequential {1e3 * stats['sequential_per_append_seconds']:.3f} ms, "
+                  f"rank-{k_max} speedup {stats['batched_speedup']:.2f}x)")
+    return {
+        "config_dim": APPEND_CONFIG_DIM,
+        "context_dim": APPEND_CONTEXT_DIM,
+        "batch_sizes": list(batch_sizes),
+        "repeats": repeats,
+        "seed": seed,
+        "by_history": by_history,
+    }
+
+
+def lockstep_latency(n_tenants: int = 6, n_iterations: int = 40,
+                     seed: int = 0, verbose: bool = True) -> Dict[str, object]:
+    """Cross-tenant batched ``run_batch`` stepping cost.
+
+    Steps ``n_tenants`` same-knob-space sessions in lockstep twice —
+    once with every tenant evaluating its own kernel blocks, once with
+    the per-step appends fused into one stacked GEMM — and reports the
+    wall-clock of each mode plus the fusion counters.
+    """
+    from repro.harness.runner import SessionSpec
+    from repro.service.batching import run_lockstep
+
+    specs = [SessionSpec(tuner="OnlineTune", workload="tpcc",
+                         seed=seed + i, n_iterations=n_iterations)
+             for i in range(n_tenants)]
+    t0 = time.perf_counter()
+    _, unfused_stats = run_lockstep(specs, fuse_appends=False)
+    unfused_seconds = time.perf_counter() - t0
+    t0 = time.perf_counter()
+    _, fused_stats = run_lockstep(specs, fuse_appends=True)
+    fused_seconds = time.perf_counter() - t0
+    out = {
+        "n_tenants": n_tenants,
+        "n_iterations": n_iterations,
+        "seed": seed,
+        "unfused_seconds": float(unfused_seconds),
+        "fused_seconds": float(fused_seconds),
+        "fused_requests": int(fused_stats["fused"]),
+        "gemm_groups": int(fused_stats["groups"]),
+        "append_rows": int(fused_stats["rows"]),
+        "speedup": float(unfused_seconds / fused_seconds),
+    }
+    if verbose:
+        print(f"lockstep {n_tenants} tenants x {n_iterations} intervals: "
+              f"unfused {unfused_seconds:.2f} s, fused {fused_seconds:.2f} s "
+              f"({out['fused_requests']}/{out['append_rows']} appends fused "
+              f"into {out['gemm_groups']} GEMM groups)")
+    return out
 
 
 def _checkpoint_latency(tuner, repeats: int = 5) -> Dict[str, float]:
@@ -236,6 +362,8 @@ def refresh(as_baseline: bool = False, output: Path = OUTPUT_PATH,
             window: int = WINDOW, seed: int = 0) -> Dict[str, object]:
     """Run the benchmark and merge results into the JSON report."""
     measured = run_benchmark(history_sizes, window, seed)
+    measured["append"] = append_latency(history_sizes, seed=seed)
+    measured["append"]["lockstep"] = lockstep_latency(seed=seed)
     report: Dict[str, object] = {}
     if output.exists():
         try:

@@ -95,6 +95,9 @@ def main(argv=None) -> int:
                         help="reuse this same-runner baseline if it exists")
     parser.add_argument("--save-baseline", type=Path, default=None,
                         help="write the measured baseline here (CI cache)")
+    parser.add_argument("--report-json", type=Path, default=None,
+                        help="write the gate verdict (current, baseline, "
+                             "ratio, pass/fail) here for CI artifact upload")
     parser.add_argument("--tolerance", type=float, default=DEFAULT_TOLERANCE,
                         help="allowed current/baseline ratio "
                              f"(default {DEFAULT_TOLERANCE})")
@@ -129,11 +132,20 @@ def main(argv=None) -> int:
     current = measure_current(args.history, args.window)
 
     ratio = current / baseline if baseline > 0 else float("inf")
+    passed = ratio <= args.tolerance
+    if args.report_json:
+        args.report_json.write_text(json.dumps(
+            {"history": args.history, "window": args.window,
+             "current_mean_seconds": current,
+             "baseline_mean_seconds": baseline,
+             "baseline_source": source, "ratio": ratio,
+             "tolerance": args.tolerance, "passed": passed},
+            indent=1, sort_keys=True) + "\n")
     print(f"suggest+observe @ history {args.history}: "
           f"current {1e3 * current:.2f} ms vs baseline "
           f"{1e3 * baseline:.2f} ms ({source}) -> ratio {ratio:.3f} "
           f"(tolerance {args.tolerance:.2f})")
-    if ratio > args.tolerance:
+    if not passed:
         print("FAIL: relative perf regression")
         return 1
     print("ok: within relative budget")

@@ -20,7 +20,7 @@ from pathlib import Path
 
 import pytest
 
-from bench_perf import OUTPUT_PATH, run_benchmark
+from bench_perf import OUTPUT_PATH, append_latency, run_benchmark
 
 #: allowed slowdown vs the recorded numbers before the gate trips.
 #: Generous enough for machine jitter on shared runners, tight enough
@@ -49,3 +49,36 @@ def test_history500_suggest_observe_within_budget():
         f"{1e3 * mean:.2f} ms measured vs {1e3 * budget:.2f} ms recorded "
         f"(tolerance x{TOLERANCE}); if intentional, refresh the record "
         f"with `make bench`")
+
+
+@pytest.mark.perf
+def test_batched_append_within_budget():
+    """Gate the rank-k append path: per-append latency at history 500
+    for k in {1, 4, 16} must stay within TOLERANCE of the recorded
+    numbers, and batched (k=16) must stay cheaper per append than the
+    sequential loop — the whole point of the fused extension."""
+    if not OUTPUT_PATH.exists():
+        pytest.skip("no recorded BENCH_perf.json; run `make bench` first")
+    recorded = json.loads(Path(OUTPUT_PATH).read_text())
+    append = recorded.get("current", {}).get("append")
+    if not append or str(GATE_HISTORY) not in append.get("by_history", {}):
+        pytest.skip("recorded report lacks an append section; "
+                    "run `make bench` first")
+    budget = append["by_history"][str(GATE_HISTORY)]
+
+    measured = append_latency(history_sizes=[GATE_HISTORY], verbose=False)
+    got = measured["by_history"][str(GATE_HISTORY)]
+    for key in ("k1_per_append_seconds", "k4_per_append_seconds",
+                "k16_per_append_seconds"):
+        if key not in budget:
+            continue
+        assert got[key] <= TOLERANCE * budget[key], (
+            f"rank-k append regressed at history {GATE_HISTORY} ({key}): "
+            f"{1e3 * got[key]:.3f} ms measured vs "
+            f"{1e3 * budget[key]:.3f} ms recorded (tolerance x{TOLERANCE}); "
+            f"if intentional, refresh the record with `make bench`")
+    assert got["k16_per_append_seconds"] < got["sequential_per_append_seconds"], (
+        "rank-16 batched append is no cheaper per append than the "
+        "sequential loop — the fused Cholesky extension lost its edge: "
+        f"{1e3 * got['k16_per_append_seconds']:.3f} ms vs "
+        f"{1e3 * got['sequential_per_append_seconds']:.3f} ms")

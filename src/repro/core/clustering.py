@@ -11,9 +11,12 @@ Per-cluster index lists and best-observation indices are maintained
 incrementally on append (no O(n) scans), and when a cluster is dirty only
 because observations were appended — no re-clustering, no truncation, no
 hyperparameter re-optimization due under the doubling schedule — the GP
-absorbs them through :meth:`repro.gp.contextual.ContextualGP.update`
-(rank-1 Cholesky updates, O(n^2) per append) instead of a full O(n^3)
-refit.
+absorbs them through
+:meth:`repro.gp.contextual.ContextualGP.update_batch` (one rank-k
+Cholesky extension, O(kn^2)) instead of a full O(n^3) refit; a single
+pending row keeps the exact rank-1 path.  :meth:`ClusteredModels.
+stage_appends` exposes the same pending rows as fuseable batch requests
+for the cross-tenant GEMM batching layer.
 """
 
 from __future__ import annotations
@@ -171,16 +174,13 @@ class ClusteredModels:
         threshold = self._next_optimize.get(label, 5)
         optimize = len(window) >= threshold
         model = self.models[label]
-        fitted = self._fitted.get(label)
-        if (not optimize and fitted
-                and model.n_observations == len(fitted)
-                and len(window) > len(fitted)
-                and window[:len(fitted)] == fitted):
-            # appended-only dirtiness with hyperopt skipped: rank-1 updates
-            for i in window[len(fitted):]:
-                model.update(repo.config_at(i), repo.context_at(i),
-                             repo.performance_at(i))
-                self.incremental_updates += 1
+        new = self._incremental_rows(label, window, optimize)
+        if new is not None:
+            # appended-only dirtiness with hyperopt skipped: one rank-k
+            # Cholesky extension (k == 1 keeps the exact rank-1 path)
+            model.update_batch(repo.configs(new), repo.contexts(new),
+                               repo.performances(new))
+            self.incremental_updates += len(new)
             if self.verify_incremental:
                 self._assert_matches_full_fit(label, repo, window)
         else:
@@ -192,6 +192,68 @@ class ClusteredModels:
             self.full_refits += 1
         self._fitted[label] = list(window)
         self._dirty[label] = False
+
+    def _incremental_rows(self, label: int, window: List[int],
+                          optimize: bool) -> Optional[List[int]]:
+        """Rows the appended-only incremental branch would absorb.
+
+        ``None`` means the cluster needs the full-refit path (hyperopt
+        due, window truncated/reordered, or the model has never been
+        fitted).  Shared by :meth:`_fit_cluster` and
+        :meth:`stage_appends` so eligibility can never diverge between
+        the lazy and the staged absorption paths.
+        """
+        model = self.models.get(label)
+        fitted = self._fitted.get(label)
+        if (model is None or optimize or not fitted
+                or model.n_observations != len(fitted)
+                or len(window) <= len(fitted)
+                or window[:len(fitted)] != fitted):
+            return None
+        return window[len(fitted):]
+
+    def stage_appends(self, repo: DataRepository) -> list:
+        """Pending per-cluster appends as fuseable batch requests.
+
+        For every dirty cluster whose pending rows qualify for the
+        appended-only incremental branch, emit one
+        :class:`~repro.gp.batching.AppendRequest` carrying the rows of
+        that cluster; the request's commit callback performs exactly the
+        bookkeeping :meth:`_fit_cluster` would.  Clusters that need
+        truncation, re-clustering, or a hyperopt refit are *not* staged —
+        they stay dirty and take the normal lazy full-refit path on
+        their next :meth:`model_for`.  This is the observe-side
+        buffering hook the cross-tenant GEMM batching layer drains (see
+        :mod:`repro.gp.batching`).
+        """
+        from ..gp.batching import AppendRequest
+
+        requests = []
+        self._sync_indices()
+        for label in [l for l, d in self._dirty.items() if d]:
+            indices = self._indices.get(label, [])
+            if not indices:
+                continue
+            window = indices[-self.max_cluster_size:] if \
+                len(indices) > self.max_cluster_size else indices
+            optimize = len(window) >= self._next_optimize.get(label, 5)
+            new = self._incremental_rows(label, window, optimize)
+            if new is None:
+                continue
+            model = self.models[label]
+
+            def _commit(label=label, window=list(window), new=list(new)):
+                self.incremental_updates += len(new)
+                if self.verify_incremental:
+                    self._assert_matches_full_fit(label, repo, window)
+                self._fitted[label] = window
+                self._dirty[label] = False
+
+            requests.append(AppendRequest(
+                model=model, configs=repo.configs(new),
+                contexts=repo.contexts(new), y=repo.performances(new),
+                on_commit=_commit))
+        return requests
 
     def _transfer_noise_scale(self, repo: DataRepository,
                               window: List[int]) -> Optional[np.ndarray]:

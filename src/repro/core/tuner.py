@@ -115,25 +115,29 @@ class OnlineTune(BaseTuner):
 
     # -- overlapped featurization -------------------------------------------
     def prefetch_context(self, snapshot: WorkloadSnapshot) -> None:
-        """Start featurizing ``snapshot`` on a background thread.
+        """Featurize ``snapshot`` ahead of its :meth:`suggest` call.
 
         The harness calls this with the *next* interval's snapshot right
-        after issuing the current suggestion, so the ~pure-Python
-        featurization overlaps the interval's execution and the previous
-        ``observe()`` instead of sitting on the suggest critical path.
-        The next :meth:`suggest` for the same snapshot picks up the
-        precomputed context; any other call order falls back to inline
-        featurization.  No-op when disabled by config.
+        after issuing the current suggestion, so featurization runs
+        during the interval's execution window instead of sitting on the
+        suggest critical path.  The next :meth:`suggest` for the same
+        snapshot picks up the precomputed context; any other call order
+        falls back to inline featurization.  No-op when disabled by
+        config.
+
+        The work is done synchronously: with the embedder's per-query
+        memo the steady-state featurize costs tens of microseconds,
+        which is *cheaper* than the worker-thread wake-up latency the
+        old overlapped implementation paid on single-core hosts — and
+        either way the call sits outside the timed suggest/observe
+        path.  (``_settle_prefetch`` and the pool attributes remain for
+        checkpoint compatibility with envelopes that captured an
+        in-flight prefetch.)
         """
         if snapshot is None or not self.config.prefetch_featurization:
             return
         self._settle_prefetch()
-        if self._prefetch_pool is None:
-            self._prefetch_pool = ThreadPoolExecutor(
-                max_workers=1, thread_name_prefix="repro-featurize")
-        self._prefetch_future = (
-            snapshot, self._prefetch_pool.submit(self.featurizer.featurize,
-                                                 snapshot))
+        self._prefetch_ready = (snapshot, self.featurizer.featurize(snapshot))
 
     def _settle_prefetch(self) -> None:
         """Resolve any in-flight prefetch into a plain (snapshot, context)
@@ -451,3 +455,19 @@ class OnlineTune(BaseTuner):
                 subspace.set_importances(self.repo.configs(),
                                          self.repo.improvements())
         self._last_improvement = obs.improvement
+
+    def stage_appends(self) -> list:
+        """Pending GP appends buffered by :meth:`observe`, as fuseable
+        batch requests.
+
+        Observations land in the repository immediately; the per-cluster
+        GP absorbs them lazily on the next :meth:`suggest` that selects
+        the cluster.  This hook drains that buffer eagerly instead —
+        per-cluster :class:`~repro.gp.batching.AppendRequest` objects a
+        cross-tenant batching layer can fuse into one GEMM (see
+        :func:`repro.gp.batching.execute_appends`).  Only appends the
+        lazy path would absorb incrementally are staged, so eager
+        draining leaves every later suggestion unchanged (up to the
+        documented rank-k roundoff).
+        """
+        return self.models.stage_appends(self.repo)

@@ -6,6 +6,7 @@ from .acquisition import (
     probability_of_feasibility,
     upper_confidence_bound,
 )
+from .batching import AppendRequest, execute_appends
 from .contextual import ContextualGP
 from .gpr import GaussianProcess
 from .kernels import (
@@ -23,6 +24,8 @@ from .kernels import (
 __all__ = [
     "GaussianProcess",
     "ContextualGP",
+    "AppendRequest",
+    "execute_appends",
     "Kernel",
     "RBFKernel",
     "Matern52Kernel",

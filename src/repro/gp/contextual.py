@@ -159,17 +159,38 @@ class ContextualGP:
         return self
 
     def update(self, config: np.ndarray, context: np.ndarray,
-               y: float) -> "ContextualGP":
-        """Incrementally absorb one observation (rank-1 Cholesky update).
+               y) -> "ContextualGP":
+        """Incrementally absorb observations (rank-1/rank-k update).
 
-        O(n^2) instead of the O(n^3) a full :meth:`fit` pays; kernel
+        O(kn^2) instead of the O(n^3) a full :meth:`fit` pays; kernel
         hyperparameters are kept fixed, so callers re-optimize on their
-        own schedule via :meth:`fit`.
+        own schedule via :meth:`fit`.  A single row takes the exact
+        rank-1 path it always did; multiple rows route through
+        :meth:`update_batch`.
         """
         X = self._join(config, context)
-        if X.shape[0] != 1:
-            raise ValueError("update() accepts exactly one observation")
-        self.gp.add_point(X[0], float(y))
+        if X.shape[0] == 1:
+            self.gp.add_point(X[0], float(y))
+            return self
+        return self.update_batch(config, context, y)
+
+    def update_batch(self, configs: np.ndarray, contexts: np.ndarray,
+                     y: np.ndarray,
+                     cross_cov: Optional[np.ndarray] = None
+                     ) -> "ContextualGP":
+        """Absorb k observations via one rank-k Cholesky extension.
+
+        Equivalent (1e-8) to k sequential :meth:`update` calls; the k
+        column solves fuse into one GEMM (see
+        :meth:`GaussianProcess.add_points`).  ``cross_cov`` optionally
+        carries a precomputed ``K(X_old, X_new)`` block from a fused
+        cross-model kernel evaluation.
+        """
+        X = self._join(configs, contexts)
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("configs and y disagree on sample count")
+        self.gp.add_points(X, y, cross_cov=cross_cov)
         return self
 
     # -- prediction ------------------------------------------------------
@@ -221,15 +242,15 @@ class ContextualGP:
                 cache.n = n
                 self.cache_extensions += 1
             self.cache_hits += 1
-            M = cache.Mbuf[:n]
             vM = cache.vMbuf[:n]
             l_col = context_part(X_train, Xq[:1])[:, 0]  # (n,) context column
             vl = V @ l_col                               # one n^2 GEMV
+            beta = gp._beta_std()                        # O(n), no V pass
             # mean/var assembled from the additive structure without
-            # materializing the n x m cross-covariance:
-            #   K*^T alpha  = M^T alpha + (l . alpha)
+            # materializing the n x m cross-covariance or alpha:
+            #   K*^T alpha  = (V K*)^T beta = vM^T beta + (vl . beta)
             #   sum(v**2,0) = colsq(vM) + 2 vM^T vl + (vl . vl)
-            mean = M.T @ gp._alpha + float(l_col @ gp._alpha)
+            mean = vM.T @ beta + float(vl @ beta)
             var = (gp.kernel.diag(Xq)
                    - (cache.colsq + 2.0 * (vM.T @ vl) + float(vl @ vl)))
         else:
@@ -245,7 +266,10 @@ class ContextualGP:
             self._cache = _BlockCache(token, configs, n, gp.factor_version,
                                       M, vM)
             self.cache_misses += 1
-            mean = Ks.T @ gp._alpha
+            # same op as GaussianProcess.predict (bit-identical miss
+            # contract); the lazy alpha materialization is off the
+            # hot path — misses happen on re-discretization/refit only
+            mean = Ks.T @ gp._alpha_vec()
             var = gp.kernel.diag(Xq) - np.sum(v ** 2, axis=0)
         mean = mean * gp._y_std + gp._y_mean
         np.maximum(var, 1e-12, out=var)

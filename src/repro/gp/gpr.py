@@ -8,10 +8,20 @@ internally so kernel variance priors stay well-scaled.
 Storage is columnar: observations live in geometrically-grown capacity
 buffers so :meth:`GaussianProcess.add_point` can append in O(n^2) — a
 rank-1 Cholesky update of the existing factor — instead of the O(n^3)
-refactorization a full :meth:`GaussianProcess.fit` performs.  The update
-is exact (same factor a fresh Cholesky would produce, up to roundoff);
+refactorization a full :meth:`GaussianProcess.fit` performs, and
+:meth:`GaussianProcess.add_points` extends the factor by a k-row block
+with one triangular-solve GEMM (``L12 = L^-1 K12``), a small k x k
+pivot Cholesky, and one blocked inverse-factor extension.  The updates
+are exact (same factor a fresh Cholesky would produce, up to roundoff);
 a periodic full refactorization bounds numerical drift and a jitter
 fallback handles near-singular appends.
+
+Alongside the factor the model maintains the forward solves
+``fy = L^-1 y_raw`` and ``f1 = L^-1 1`` incrementally (O(kn) per
+append), so the standardized dual vector ``beta = (fy - mu*f1)/sigma``
+— and from it ``alpha = V^T beta`` — needs no V-sized passes on the
+append hot path; ``alpha`` is materialized lazily only when a caller
+actually predicts through it.
 """
 
 from __future__ import annotations
@@ -102,10 +112,12 @@ class GaussianProcess:
         self._ybuf: Optional[np.ndarray] = None     # raw targets
         self._Lbuf: Optional[np.ndarray] = None     # lower Cholesky factor
         self._Vbuf: Optional[np.ndarray] = None     # inverse factor L^-1
+        self._fybuf: Optional[np.ndarray] = None    # forward solve L^-1 y_raw
+        self._f1buf: Optional[np.ndarray] = None    # forward solve L^-1 1
         self._y_mean = 0.0
         self._y_std = 1.0
         self._ys: Optional[np.ndarray] = None       # standardized targets
-        self._alpha: Optional[np.ndarray] = None
+        self._alpha: Optional[np.ndarray] = None    # lazy cache of V^T beta
         self._diag_add = self.noise + 2.0 * _JITTER  # diagonal used in _Lbuf
         self._appends_since_refactor = 0
         #: bumped by every full (re)factorization — hyperparameter refits,
@@ -166,6 +178,8 @@ class GaussianProcess:
             self._ybuf = np.empty(cap)
             self._Lbuf = np.empty((cap, cap))
             self._Vbuf = np.empty((cap, cap))
+            self._fybuf = np.empty(cap)
+            self._f1buf = np.empty(cap)
             return
         cap = self._Xbuf.shape[0]
         if n <= cap:
@@ -175,11 +189,16 @@ class GaussianProcess:
         ybuf = np.empty(new_cap)
         Lbuf = np.empty((new_cap, new_cap))
         Vbuf = np.empty((new_cap, new_cap))
+        fybuf = np.empty(new_cap)
+        f1buf = np.empty(new_cap)
         Xbuf[:self._n] = self._Xbuf[:self._n]
         ybuf[:self._n] = self._ybuf[:self._n]
         Lbuf[:self._n, :self._n] = self._Lbuf[:self._n, :self._n]
         Vbuf[:self._n, :self._n] = self._Vbuf[:self._n, :self._n]
+        fybuf[:self._n] = self._fybuf[:self._n]
+        f1buf[:self._n] = self._f1buf[:self._n]
         self._Xbuf, self._ybuf, self._Lbuf, self._Vbuf = Xbuf, ybuf, Lbuf, Vbuf
+        self._fybuf, self._f1buf = fybuf, f1buf
 
     # -- serialization -------------------------------------------------------
     def __getstate__(self):
@@ -198,7 +217,27 @@ class GaussianProcess:
             state["_ybuf"] = self._ybuf[:n].copy()
             state["_Lbuf"] = self._Lbuf[:n, :n].copy()
             state["_Vbuf"] = self._Vbuf[:n, :n].copy()
+            state["_fybuf"] = self._fybuf[:n].copy()
+            state["_f1buf"] = self._f1buf[:n].copy()
+        # alpha is a lazily derived cache — dropping it keeps envelopes
+        # byte-stable regardless of whether a prediction happened to run
+        state["_alpha"] = None
         return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_alpha", None)
+        if "_fybuf" not in state:
+            # checkpoint from before the forward-solve buffers existed:
+            # both are derivable from the stored factor and raw targets
+            if self.__dict__.get("_Vbuf") is not None and self._n > 0:
+                n = self._n
+                V = self._Vbuf[:n, :n]
+                self._fybuf = V @ self._ybuf[:n]
+                self._f1buf = V.sum(axis=1)
+            else:
+                self._fybuf = None
+                self._f1buf = None
 
     # -- fitting -----------------------------------------------------------
     def fit(self, X: np.ndarray, y: np.ndarray, optimize: bool = True,
@@ -243,6 +282,7 @@ class GaussianProcess:
         else:
             self._y_mean, self._y_std = 0.0, 1.0
         self._ys = (y - self._y_mean) / self._y_std
+        self._alpha = None
 
     def _pack(self) -> np.ndarray:
         theta = self.kernel.theta
@@ -358,25 +398,43 @@ class GaussianProcess:
         self._diag_add = self.noise + _JITTER + jitter
         self._appends_since_refactor = 0
         self.factor_version += 1
-        self._refresh_alpha()
+        # rebuild the forward solves from scratch; incremental appends
+        # then extend them in O(kn) alongside the factor
+        self._fybuf[:n] = self._Vbuf[:n, :n] @ self._ybuf[:n]
+        self._f1buf[:n] = self._Vbuf[:n, :n].sum(axis=1)
+        self._alpha = None
 
-    def _refresh_alpha(self) -> None:
-        # alpha = K^-1 y = V^T (V y): two O(n^2) gemvs on buffer views
-        V = self._V
-        self._alpha = V.T @ (V @ self._ys)
+    def _beta_std(self) -> np.ndarray:
+        """Standardized dual vector ``beta = L^-1 ys`` in O(n).
+
+        ``L^-1 ys = (L^-1 y_raw - mu * L^-1 1) / sigma`` — assembled from
+        the incrementally maintained forward solves, so no V-sized pass."""
+        n = self._n
+        return (self._fybuf[:n] - self._y_mean * self._f1buf[:n]) / self._y_std
+
+    def _alpha_vec(self) -> np.ndarray:
+        # alpha = K^-1 ys = V^T beta: one O(n^2) gemv, computed lazily and
+        # cached until the targets or the factor change
+        if self._alpha is None:
+            self._alpha = self._V.T @ self._beta_std()
+        return self._alpha
 
     # -- incremental appends ------------------------------------------------
-    def add_point(self, x: np.ndarray, y: float) -> "GaussianProcess":
+    def add_point(self, x: np.ndarray, y: float,
+                  k_col: Optional[np.ndarray] = None) -> "GaussianProcess":
         """Append one observation via a rank-1 Cholesky update (O(n^2)).
 
         Extends the stored factor ``L`` of ``K + diag_add*I`` with one
         row — ``l12 = L^-1 k(X, x)`` and pivot ``l22 = sqrt(k(x,x) +
-        diag_add - |l12|^2)`` — then re-standardizes the targets exactly
-        (the target mean/std shift with every append) and refreshes
-        ``alpha`` with one O(n^2) triangular solve pair.  Hyperparameters
-        are left untouched; callers re-optimize on their own schedule via
-        :meth:`fit`.  Falls back to a full refactorization when the new
-        pivot is numerically unstable or every ``refactor_every`` appends.
+        diag_add - |l12|^2)`` — extends the forward solves ``fy``/``f1``
+        by their closed-form tails (O(n) dots), then re-standardizes the
+        targets exactly (the target mean/std shift with every append).
+        ``alpha`` is not refreshed here: it is derived lazily from the
+        forward solves on the next prediction that needs it.
+        Hyperparameters are left untouched; callers re-optimize on their
+        own schedule via :meth:`fit`.  Falls back to a full
+        refactorization when the new pivot is numerically unstable or
+        every ``refactor_every`` appends.
         """
         x = np.asarray(x, dtype=float).ravel()
         yf = float(y)
@@ -386,7 +444,14 @@ class GaussianProcess:
             raise ValueError(f"input dim {x.shape[0]} != {self._dim}")
         n = self._n
         self._ensure_capacity(n + 1, self._dim)
-        k = self.kernel(self._X, x[None, :]).ravel()
+        if k_col is None:
+            k = self.kernel(self._X, x[None, :]).ravel()
+        else:
+            # precomputed cross-covariance column from a fused
+            # cross-model kernel evaluation (repro.gp.batching)
+            k = np.asarray(k_col, dtype=float).ravel()
+            if k.shape[0] != n:
+                raise ValueError(f"k_col length {k.shape[0]} != {n}")
         k_ss = float(self.kernel.diag(x[None, :])[0]) + self._diag_add
         V = self._V
         l12 = V @ k                       # = L^-1 k, one O(n^2) gemv
@@ -413,8 +478,106 @@ class GaussianProcess:
         self._Vbuf[n, :n] = (l12 @ V) / (-pivot)
         self._Vbuf[n, n] = 1.0 / pivot
         self._Vbuf[:n, n] = 0.0
+        # forward solves gain one entry each: L'f' = [u; u_new] keeps the
+        # head and appends (u_new - l12 . f) / pivot
+        self._fybuf[n] = (yf - float(l12 @ self._fybuf[:n])) / pivot
+        self._f1buf[n] = (1.0 - float(l12 @ self._f1buf[:n])) / pivot
         self._standardize()
-        self._refresh_alpha()
+        return self
+
+    def add_points(self, X: np.ndarray, y: np.ndarray,
+                   cross_cov: Optional[np.ndarray] = None
+                   ) -> "GaussianProcess":
+        """Append ``k`` observations via one rank-k Cholesky extension.
+
+        Equivalent (to roundoff; see the 1e-8 equivalence suite) to ``k``
+        sequential :meth:`add_point` calls, but the k column solves fuse
+        into a single GEMM::
+
+            L12 = L^-1 K(X_old, X_new)          # (n,n)x(n,k) GEMM
+            S   = K(X_new, X_new) + diag_add*I - L12^T L12
+            L22 = chol(S)                       # k x k pivot block
+            V'  = [[V, 0], [-L22^-1 L12^T V, L22^-1]]
+
+        and the forward solves extend blockwise with two k x k triangular
+        solves.  ``cross_cov`` optionally supplies a precomputed
+        ``K(X_old, X_new)`` (shape ``(n, k)``) so a cross-model batching
+        layer can evaluate many models' kernel blocks in one fused GEMM
+        (see :mod:`repro.gp.batching`).  The diagonal pivots of ``L22``
+        undergo the same instability check as the sequential path — they
+        *are* the sequential pivots, just computed blockwise — and any
+        near-singular block falls back to the jitter-escalating full
+        refactorization.  ``factor_version`` is unchanged on the pure
+        extension path, so kernel-block caches extend by k rows instead
+        of invalidating.  ``k == 1`` delegates to :meth:`add_point`
+        bit-for-bit.
+        """
+        X = np.atleast_2d(np.asarray(X, dtype=float))
+        y = np.asarray(y, dtype=float).ravel()
+        if X.shape[0] != y.shape[0]:
+            raise ValueError("X and y disagree on sample count")
+        k = X.shape[0]
+        if k == 0:
+            return self
+        if self._n == 0 or self._Lbuf is None:
+            return self.fit(X, y, optimize=False)
+        if X.shape[1] != self._dim:
+            raise ValueError(f"input dim {X.shape[1]} != {self._dim}")
+        if k == 1:
+            # keep the exact rank-1 fast path; a fused cross-covariance
+            # column (the common fleet case) rides along
+            col = None if cross_cov is None else \
+                np.asarray(cross_cov, dtype=float).reshape(-1)
+            return self.add_point(X[0], float(y[0]), k_col=col)
+        n = self._n
+        self._ensure_capacity(n + k, self._dim)
+        if cross_cov is None:
+            K12 = self.kernel(self._X, X)
+        else:
+            K12 = np.asarray(cross_cov, dtype=float)
+            if K12.shape != (n, k):
+                raise ValueError(
+                    f"cross_cov shape {K12.shape} != {(n, k)}")
+        K22 = self.kernel(X, X) + self._diag_add * np.eye(k)
+        V = self._V
+        L12 = V @ K12                     # k column solves in one GEMM
+        S = K22 - L12.T @ L12
+        self._Xbuf[n:n + k] = X
+        self._ybuf[n:n + k] = y
+        self._n = n + k
+        if self._noise_scale is not None:
+            # appended observations are native (unit noise scale)
+            self._noise_scale = np.append(self._noise_scale, np.ones(k))
+        self._appends_since_refactor += k
+        try:
+            L22 = linalg.cholesky(S, lower=True)
+        except linalg.LinAlgError:
+            L22 = None
+        unstable = (L22 is None or not np.all(np.isfinite(L22))
+                    or bool(np.any(np.diag(L22) ** 2 <= _MIN_PIVOT_RATIO
+                                   * np.maximum(np.diag(K22), 1.0))))
+        if unstable or self._appends_since_refactor >= self.refactor_every:
+            self._standardize()
+            self._factorize()
+            return self
+        m = self._n
+        self._Lbuf[n:m, :n] = L12.T
+        self._Lbuf[n:m, n:m] = L22
+        self._Lbuf[:n, n:m] = 0.0
+        # blocked inverse-factor extension: one (k,n)x(n,n) GEMM plus two
+        # k x k triangular solves
+        self._Vbuf[n:m, :n] = -linalg.solve_triangular(
+            L22, L12.T @ V, lower=True, check_finite=False)
+        self._Vbuf[n:m, n:m] = linalg.solve_triangular(
+            L22, np.eye(k), lower=True, check_finite=False)
+        self._Vbuf[:n, n:m] = 0.0
+        # forward solves extend blockwise: tail = L22^-1 (u_new - L12^T f)
+        self._fybuf[n:m] = linalg.solve_triangular(
+            L22, y - L12.T @ self._fybuf[:n], lower=True, check_finite=False)
+        self._f1buf[n:m] = linalg.solve_triangular(
+            L22, np.ones(k) - L12.T @ self._f1buf[:n], lower=True,
+            check_finite=False)
+        self._standardize()
         return self
 
     # -- prediction -----------------------------------------------------------
@@ -424,7 +587,7 @@ class GaussianProcess:
             raise RuntimeError("GaussianProcess used before fit()")
         X = np.atleast_2d(np.asarray(X, dtype=float))
         Ks = self.kernel(self._X, X)
-        mean = Ks.T @ self._alpha
+        mean = Ks.T @ self._alpha_vec()
         mean = mean * self._y_std + self._y_mean
         if not return_std:
             return mean
@@ -438,7 +601,7 @@ class GaussianProcess:
         if self._L is None:
             raise RuntimeError("GaussianProcess used before fit()")
         n = self._n
-        return float(-(0.5 * self._y @ self._alpha
+        return float(-(0.5 * self._y @ self._alpha_vec()
                        + np.log(np.diag(self._L)).sum()
                        + 0.5 * n * math.log(2.0 * math.pi)))
 

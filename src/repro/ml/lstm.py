@@ -210,6 +210,20 @@ class QueryEmbedder:
         self.seed = seed
         self.model: Optional[LSTMAutoencoder] = None
         self._cache: dict[Tuple[str, ...], np.ndarray] = {}
+        # second memo level keyed by the raw SQL string: repeated queries
+        # skip tokenization entirely, not just the LSTM pass (tokenize_sql
+        # dominates featurization once embeddings are cached).  Process-
+        # local: dropped on pickle and rebuilt on demand.
+        self._sql_cache: dict[str, np.ndarray] = {}
+
+    def __getstate__(self):
+        state = self.__dict__.copy()
+        state["_sql_cache"] = {}
+        return state
+
+    def __setstate__(self, state):
+        self.__dict__.update(state)
+        self.__dict__.setdefault("_sql_cache", {})
 
     @property
     def dim(self) -> int:
@@ -230,19 +244,23 @@ class QueryEmbedder:
                 ids = self.vocab.encode(streams[idx], self.max_len)
                 self.model.train_step(ids)
         self._cache.clear()
+        self._sql_cache.clear()
         return self
 
     def embed(self, sql: str) -> np.ndarray:
         """Embed one SQL string (training must have happened)."""
+        hit = self._sql_cache.get(sql)
+        if hit is not None:
+            return hit
         if self.model is None:
             raise RuntimeError("QueryEmbedder used before fit()")
         tokens = tuple(tokenize_sql(sql))
-        hit = self._cache.get(tokens)
-        if hit is not None:
-            return hit
-        ids = self.vocab.encode(tokens, self.max_len)
-        vec = self.model.encode(ids)
-        self._cache[tokens] = vec
+        vec = self._cache.get(tokens)
+        if vec is None:
+            ids = self.vocab.encode(tokens, self.max_len)
+            vec = self.model.encode(ids)
+            self._cache[tokens] = vec
+        self._sql_cache[sql] = vec
         return vec
 
     def embed_workload(self, queries: Sequence[str]) -> np.ndarray:

@@ -30,6 +30,7 @@ service:
   ~30 ms envelope write off the suggest/observe hot path.
 """
 
+from .batching import run_lockstep
 from .checkpoint import (
     CHECKPOINT_VERSION,
     SEGMENT_VERSION,
@@ -73,6 +74,7 @@ __all__ = [
     "Janitor",
     "JanitorReport",
     "merge_batch_shards",
+    "run_lockstep",
     "Lease",
     "LeaseError",
     "LeaseHeldError",

@@ -1,0 +1,84 @@
+"""Cross-tenant lockstep stepping with fused GP appends.
+
+:meth:`~repro.service.service.TuningService.run_batch` normally runs
+each tenant's session to completion independently (process pool).  This
+module adds the alternative the ROADMAP's batched-append frontier calls
+for: step every tenant session *in lockstep*, one interval at a time,
+and between intervals drain all tenants' pending GP appends
+(:meth:`~repro.core.tuner.OnlineTune.stage_appends`) through one fused
+kernel evaluation (:func:`repro.gp.batching.execute_appends`) — tenants
+sharing a knob space stack their cross-covariance blocks into a single
+GEMM per step instead of N per-tenant GEMVs.  Per-tenant Cholesky
+factors stay separate; only the kernel/feature evaluation is fused.
+
+Each session still executes its exact solo statement order
+(:meth:`~repro.harness.runner.TuningSession.step`), and staged appends
+are restricted to rows the lazy path would absorb incrementally anyway,
+so lockstep trajectories match pooled/solo runs: bit-identical when
+clustering is off and every staged batch is a single row, and within
+the documented 1e-8 rank-k tolerance otherwise.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+from ..gp.batching import execute_appends
+from ..harness.runner import (
+    SessionOutcome,
+    SessionSpec,
+    build_session_from_spec,
+)
+
+__all__ = ["run_lockstep"]
+
+
+def run_lockstep(specs: Sequence[SessionSpec],
+                 fuse_appends: bool = True
+                 ) -> Tuple[List[SessionOutcome], Dict[str, int]]:
+    """Step the specs' sessions in lockstep, fusing appends per step.
+
+    Returns the outcomes aligned with ``specs`` plus fusion counters
+    (``steps``, ``requests``, ``rows``, ``fused``, ``groups``).  Before
+    each interval every live tuner's pending appends are staged and
+    executed together; tuners without a ``stage_appends`` hook (the
+    baselines) simply absorb their observations on their own schedule.
+    Sessions of unequal length drop out of the round-robin as they
+    finish.  ``fuse_appends=False`` keeps the lockstep order but lets
+    every model evaluate its own kernel block — the unfused reference
+    the equivalence suite compares against.
+    """
+    sessions = [build_session_from_spec(spec) for spec in specs]
+    for session in sessions:
+        # the lockstep driver drains every session's staged appends
+        # itself (fused, below); the in-step solo drain would empty the
+        # buffer one session at a time and defeat the cross-tenant GEMM
+        session.drain_appends = False
+    progresses = [session.begin() for session in sessions]
+    stats = {"steps": 0, "requests": 0, "rows": 0, "fused": 0, "groups": 0}
+    horizon = max((s.n_iterations for s in sessions), default=0)
+    try:
+        for t in range(horizon):
+            requests = []
+            for session in sessions:
+                if t >= session.n_iterations:
+                    continue
+                stage = getattr(session.tuner, "stage_appends", None)
+                if stage is not None:
+                    requests.extend(stage())
+            if requests:
+                round_stats = execute_appends(requests, fuse=fuse_appends)
+                for key in ("requests", "rows", "fused", "groups"):
+                    stats[key] += round_stats[key]
+            for session, progress in zip(sessions, progresses):
+                if t < session.n_iterations:
+                    session.step(t, progress)
+            stats["steps"] += 1
+    finally:
+        for session in sessions:
+            session.close()
+    outcomes = [SessionOutcome(spec=spec, result=session.finish(progress),
+                               tuner=session.tuner)
+                for spec, session, progress
+                in zip(specs, sessions, progresses)]
+    return outcomes, stats

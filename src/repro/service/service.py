@@ -413,7 +413,9 @@ class TuningService:
     def run_batch(self, specs: Mapping[str, SessionSpec],
                   register_knowledge: bool = True,
                   shard_index: int = 0,
-                  shard_count: int = 1) -> Dict[str, SessionResult]:
+                  shard_count: int = 1,
+                  lockstep: bool = False,
+                  fuse_appends: bool = True) -> Dict[str, SessionResult]:
         """Run one full session per tenant across the process pool.
 
         Each tenant's final tuner state is persisted as its checkpoint
@@ -432,6 +434,15 @@ class TuningService:
         population — bit-identical to an unsharded ``run_batch``,
         because each session is rebuilt from its spec's seeding either
         way.
+
+        ``lockstep=True`` trades the process pool for in-process
+        interval-by-interval stepping of the shard's tenants, draining
+        every tenant's pending GP appends through one fused
+        kernel-evaluation GEMM per step (``fuse_appends=False`` keeps
+        the lockstep order but skips the fusion) — see
+        :func:`repro.service.batching.run_lockstep`.  Persistence,
+        leasing, and knowledge registration are identical in both
+        modes.
         """
         tenant_ids = list(specs)
         for tenant_id in tenant_ids:
@@ -450,11 +461,18 @@ class TuningService:
                     # pre-batch tuner
                     self._drop_tenant_hold(tenant_id, stale)
                 held[tenant_id] = self.leases.acquire(tenant_id)
-            shard = self.runner.run_shard([specs[t] for t in tenant_ids],
-                                          shard_index, shard_count,
-                                          detailed=True)
+            if lockstep:
+                from .batching import run_lockstep
+                outcomes, _ = run_lockstep(
+                    [specs[t] for t in shard_tenants],
+                    fuse_appends=fuse_appends)
+            else:
+                shard = self.runner.run_shard([specs[t] for t in tenant_ids],
+                                              shard_index, shard_count,
+                                              detailed=True)
+                outcomes = shard.outcomes
             results: Dict[str, SessionResult] = {}
-            for tenant_id, outcome in zip(shard_tenants, shard.outcomes):
+            for tenant_id, outcome in zip(shard_tenants, outcomes):
                 results[tenant_id] = outcome.result
                 meta_n = (len(outcome.tuner.repo)
                           if isinstance(outcome.tuner, OnlineTune)

@@ -1,0 +1,27 @@
+"""Shared Hypothesis machinery for the test suite.
+
+Import the tiered profiles from here so call sites read as policy::
+
+    from strategies import DETERMINISM_SETTINGS
+
+    @given(...)
+    @DETERMINISM_SETTINGS
+    def test_batched_append_matches_sequential(...):
+        ...
+"""
+
+from .settings import (
+    DETERMINISM_SETTINGS,
+    QUICK_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+    STATE_MACHINE_SETTINGS,
+)
+
+__all__ = [
+    "DETERMINISM_SETTINGS",
+    "QUICK_SETTINGS",
+    "SLOW_SETTINGS",
+    "STANDARD_SETTINGS",
+    "STATE_MACHINE_SETTINGS",
+]

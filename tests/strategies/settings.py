@@ -1,0 +1,30 @@
+"""Tiered Hypothesis settings profiles for the property-test suite.
+
+One knob per *class* of invariant instead of ad-hoc ``max_examples``
+literals scattered across files.  Pick the tier by what a missed
+counterexample costs:
+
+- ``DETERMINISM_SETTINGS`` — bit-exactness / reproducibility / numeric
+  equivalence invariants.  A single counterexample here means silently
+  divergent tuning trajectories, so these run hundreds of examples.
+- ``STATE_MACHINE_SETTINGS`` — stateful interleaving properties where
+  each example replays a long operation sequence.
+- ``STANDARD_SETTINGS`` — cheap algebraic invariants over pure
+  functions.
+- ``SLOW_SETTINGS`` — properties whose single example is already
+  expensive (a GP fit, a simulator evaluation chain).
+- ``QUICK_SETTINGS`` — smoke-level coverage where the property is a
+  sanity guard rather than the main correctness argument.
+
+All tiers disable Hypothesis deadlines: the suite runs on shared
+1-vCPU runners where scheduler jitter dwarfs real per-example cost and
+deadline failures would only ever be flakes.
+"""
+
+from hypothesis import settings
+
+DETERMINISM_SETTINGS = settings(max_examples=500, deadline=None)
+STATE_MACHINE_SETTINGS = settings(max_examples=200, deadline=None)
+STANDARD_SETTINGS = settings(max_examples=100, deadline=None)
+SLOW_SETTINGS = settings(max_examples=50, deadline=None)
+QUICK_SETTINGS = settings(max_examples=20, deadline=None)

@@ -1,0 +1,356 @@
+"""Equivalence tests for the batched-append (rank-k) GP frontier.
+
+``GaussianProcess.add_points`` extends the Cholesky factor by k rows in
+one fused step (a GEMM triangular solve, a k x k pivot Cholesky, a
+blocked V extension, and a single re-standardization).  Every test here
+pins the contract the suggest path depends on: batched appends are
+1e-8-equivalent to the same points appended sequentially — across
+refits, re-discretizations, cluster bookkeeping, pickle round-trips,
+and the cross-tenant fused kernel evaluation — and degrade to the same
+jitter-escalating full refactorization when the pivot block collapses.
+"""
+
+import copy
+import pickle
+
+import numpy as np
+import pytest
+
+from repro.core import ClusteredModels, DataRepository, Observation
+from repro.gp import AppendRequest, ContextualGP, GaussianProcess, execute_appends
+from repro.gp.kernels import Matern52Kernel
+
+TOL = 1e-8
+
+
+def _probe_equal(a: ContextualGP, b: ContextualGP, rng, n=6):
+    probe = rng.random((n, a.config_dim))
+    at = rng.random(a.context_dim)
+    m_a, s_a = a.predict(probe, at)
+    m_b, s_b = b.predict(probe, at)
+    np.testing.assert_allclose(m_a, m_b, atol=TOL, rtol=0)
+    np.testing.assert_allclose(s_a, s_b, atol=TOL, rtol=0)
+
+
+class TestRankKEquivalence:
+    @pytest.mark.parametrize("k", [1, 3, 8])
+    def test_add_points_matches_sequential(self, k):
+        rng = np.random.default_rng(0)
+        d = 4
+        X0, y0 = rng.random((10, d)), rng.normal(100.0, 5.0, 10)
+        seq = GaussianProcess(kernel=Matern52Kernel())
+        seq.fit(X0, y0, optimize=False)
+        bat = GaussianProcess(kernel=Matern52Kernel())
+        bat.kernel.theta = seq.kernel.theta
+        bat.fit(X0, y0, optimize=False)
+        for _ in range(4):
+            X = rng.random((k, d))
+            y = rng.normal(110.0, 6.0, k)
+            for i in range(k):
+                seq.add_point(X[i], float(y[i]))
+            bat.add_points(X, y)
+            probe = rng.random((6, d))
+            m_s, s_s = seq.predict(probe)
+            m_b, s_b = bat.predict(probe)
+            np.testing.assert_allclose(m_b, m_s, atol=TOL, rtol=0)
+            np.testing.assert_allclose(s_b, s_s, atol=TOL, rtol=0)
+        assert bat.n_observations == seq.n_observations == 10 + 4 * k
+
+    def test_interleaved_appends_refits_and_batches(self):
+        """Mixed schedules (rank-1, rank-k, full refits) stay equivalent
+        to one from-scratch fit of the final data."""
+        rng = np.random.default_rng(1)
+        d = 3
+        X, y = rng.random((6, d)), rng.normal(50.0, 3.0, 6)
+        gp = GaussianProcess(kernel=Matern52Kernel())
+        gp.fit(X, y, optimize=False)
+        for round_ in range(6):
+            k = [1, 4, 2, 5, 1, 3][round_]
+            Xn, yn = rng.random((k, d)), rng.normal(50.0 + round_, 3.0, k)
+            if k == 1:
+                gp.add_point(Xn[0], float(yn[0]))
+            else:
+                gp.add_points(Xn, yn)
+            X, y = np.vstack([X, Xn]), np.append(y, yn)
+            if round_ == 3:         # mid-stream full refit, same hyperparams
+                gp.fit(X, y, optimize=False)
+        full = GaussianProcess(kernel=Matern52Kernel())
+        full.kernel.theta = gp.kernel.theta
+        full.fit(X, y, optimize=False)
+        probe = rng.random((8, d))
+        m_g, s_g = gp.predict(probe)
+        m_f, s_f = full.predict(probe)
+        np.testing.assert_allclose(m_g, m_f, atol=TOL, rtol=0)
+        np.testing.assert_allclose(s_g, s_f, atol=TOL, rtol=0)
+
+    def test_near_singular_pivot_block_falls_back(self):
+        """A batch whose rows duplicate training data (and each other)
+        collapses the k x k pivot block; the blockwise pivot check must
+        route through the jitter-escalating full refactorization and
+        still agree with a from-scratch fit of the degenerate data."""
+        rng = np.random.default_rng(2)
+        d = 3
+        X, y = rng.random((6, d)), rng.normal(0, 1, 6)
+        # near-zero noise plus a large signal variance: the duplicate
+        # pivot (~2 * jitter) lands far below the relative threshold
+        # _MIN_PIVOT_RATIO * diag(K22), so the blockwise check must trip
+        gp = GaussianProcess(kernel=Matern52Kernel(variance=1e6),
+                             noise=1e-12)
+        gp.fit(X, y, optimize=False)
+        version = gp.factor_version
+        dup = np.vstack([X[0], X[0], rng.random(d)])
+        dup_y = np.array([float(y[0]), float(y[0]), 0.5])
+        gp.add_points(dup, dup_y)
+        assert gp.factor_version > version          # fallback refactorized
+        X, y = np.vstack([X, dup]), np.append(y, dup_y)
+        full = GaussianProcess(kernel=Matern52Kernel(variance=1e6),
+                               noise=1e-12)
+        full.kernel.theta = gp.kernel.theta
+        full.fit(X, y, optimize=False)
+        probe = rng.random((5, d))
+        m_g, s_g = gp.predict(probe)
+        m_f, s_f = full.predict(probe)
+        assert np.all(np.isfinite(m_g)) and np.all(np.isfinite(s_g))
+        np.testing.assert_allclose(m_g, m_f, atol=TOL, rtol=0)
+        np.testing.assert_allclose(s_g, s_f, atol=TOL, rtol=0)
+
+    def test_stable_batch_does_not_refactorize(self):
+        """Well-separated batches take the extension path: the factor
+        version must not change (the kernel-block cache relies on it)."""
+        rng = np.random.default_rng(3)
+        gp = GaussianProcess(kernel=Matern52Kernel())
+        gp.fit(rng.random((8, 3)), rng.normal(0, 1, 8), optimize=False)
+        version = gp.factor_version
+        gp.add_points(rng.random((5, 3)), rng.normal(0, 1, 5))
+        assert gp.factor_version == version
+        assert gp.n_observations == 13
+
+    def test_empty_and_bootstrap_batches(self):
+        gp = GaussianProcess(kernel=Matern52Kernel())
+        gp.add_points(np.empty((0, 2)), np.empty(0))
+        assert gp.n_observations == 0
+        gp.add_points(np.array([[0.1, 0.9], [0.4, 0.2]]), np.array([1.0, 2.0]))
+        assert gp.n_observations == 2            # bootstrap == fit
+        mean, std = gp.predict(np.array([[0.1, 0.9]]))
+        assert np.isfinite(mean[0]) and np.isfinite(std[0])
+
+    def test_shape_validation(self):
+        rng = np.random.default_rng(4)
+        gp = GaussianProcess(kernel=Matern52Kernel())
+        gp.fit(rng.random((5, 3)), np.arange(5.0), optimize=False)
+        with pytest.raises(ValueError):
+            gp.add_points(rng.random((2, 4)), np.zeros(2))      # wrong dim
+        with pytest.raises(ValueError):
+            gp.add_points(rng.random((2, 3)), np.zeros(3))      # count mismatch
+        with pytest.raises(ValueError):
+            gp.add_points(rng.random((2, 3)), np.zeros(2),
+                          cross_cov=np.zeros((4, 2)))           # bad cross_cov
+
+
+class TestCrossCovAndFusedExecution:
+    def _models(self, n, rng, rows=8):
+        models = []
+        for _ in range(n):
+            m = ContextualGP(3, 2)
+            m.fit(rng.random((rows, 3)), rng.random((rows, 2)),
+                  rng.normal(20.0, 2.0, rows), optimize=False)
+            models.append(m)
+        return models
+
+    def test_precomputed_cross_cov_matches_internal_kernel(self):
+        rng = np.random.default_rng(5)
+        (a,) = self._models(1, rng)
+        b = copy.deepcopy(a)
+        configs, contexts = rng.random((3, 3)), rng.random((3, 2))
+        y = rng.normal(21.0, 2.0, 3)
+        Xq = a._join(configs, contexts)
+        K12 = a.gp.kernel(a.gp._X, Xq)
+        a.update_batch(configs, contexts, y, cross_cov=K12)
+        b.update_batch(configs, contexts, y)
+        _probe_equal(a, b, rng)
+
+    def test_fused_matches_unfused_execution(self):
+        rng = np.random.default_rng(6)
+        models = self._models(3, rng)
+        batches = [(rng.random((2, 3)), rng.random((2, 2)),
+                    rng.normal(20.0, 2.0, 2)) for _ in range(3)]
+        unfused = [copy.deepcopy(m) for m in models]
+
+        def requests(targets):
+            return [AppendRequest(model=m, configs=c, contexts=x, y=yv)
+                    for m, (c, x, yv) in zip(targets, batches)]
+
+        stats_f = execute_appends(requests(models), fuse=True)
+        stats_u = execute_appends(requests(unfused), fuse=False)
+        assert stats_f["fused"] == 3 and stats_f["groups"] >= 1
+        assert stats_u["fused"] == 0
+        for fused_m, plain_m in zip(models, unfused):
+            _probe_equal(fused_m, plain_m, rng)
+
+    def test_on_commit_fires_per_request(self):
+        rng = np.random.default_rng(7)
+        models = self._models(2, rng)
+        fired = []
+        reqs = [AppendRequest(model=m, configs=rng.random((1, 3)),
+                              contexts=rng.random((1, 2)),
+                              y=np.array([20.0]),
+                              on_commit=lambda i=i: fired.append(i))
+                for i, m in enumerate(models)]
+        execute_appends(reqs, fuse=True)
+        assert sorted(fired) == [0, 1]
+
+    def test_mixed_dimension_groups_stay_separate(self):
+        rng = np.random.default_rng(8)
+        small = ContextualGP(2, 2)
+        small.fit(rng.random((6, 2)), rng.random((6, 2)),
+                  rng.normal(0, 1, 6), optimize=False)
+        big = ContextualGP(4, 3)
+        big.fit(rng.random((6, 4)), rng.random((6, 3)),
+                rng.normal(0, 1, 6), optimize=False)
+        reqs = [
+            AppendRequest(model=small, configs=rng.random((1, 2)),
+                          contexts=rng.random((1, 2)), y=np.array([0.5])),
+            AppendRequest(model=big, configs=rng.random((1, 4)),
+                          contexts=rng.random((1, 3)), y=np.array([0.5])),
+        ]
+        stats = execute_appends(reqs, fuse=True)
+        # different knob spaces cannot share a GEMM: both go direct
+        assert stats["fused"] == 0
+        assert small.gp.n_observations == 7 and big.gp.n_observations == 7
+
+
+class TestKernelBlockCacheExtension:
+    def test_cache_extends_by_k_rows_after_add_points(self):
+        """A rank-k append must extend the cached candidate block by k
+        rows (no invalidation), and the extended hit must agree with a
+        plain prediction."""
+        rng = np.random.default_rng(9)
+        model = ContextualGP(3, 2)
+        model.fit(rng.random((12, 3)), rng.random((12, 2)),
+                  rng.normal(5.0, 1.0, 12), optimize=False)
+        candidates = rng.random((20, 3))
+        context = rng.random(2)
+        token = 71
+        model.predict(candidates, context, cache_token=token)
+        assert model.cache_misses == 1
+        model.update_batch(rng.random((4, 3)), rng.random((4, 2)),
+                           rng.normal(5.0, 1.0, 4))
+        m_hit, s_hit = model.predict(candidates, context, cache_token=token)
+        assert model.cache_extensions == 1 and model.cache_misses == 1
+        m_plain, s_plain = model.gp.predict(model._join(candidates, context))
+        np.testing.assert_allclose(m_hit, m_plain, atol=TOL, rtol=0)
+        np.testing.assert_allclose(s_hit, s_plain, atol=TOL, rtol=0)
+
+    def test_fallback_refactorization_invalidates_cache(self):
+        """When a batch lands on the periodic-refactorization schedule
+        (or trips the pivot check), the full refactorization bumps
+        factor_version and the next cached prediction must re-seed
+        (miss), not extend."""
+        rng = np.random.default_rng(10)
+        model = ContextualGP(3, 2)
+        configs = rng.random((10, 3))
+        contexts = rng.random((10, 2))
+        model.fit(configs, contexts, rng.normal(0, 1, 10), optimize=False)
+        model.gp.refactor_every = 2       # the k=2 batch below trips it
+        candidates = rng.random((15, 3))
+        context = rng.random(2)
+        model.predict(candidates, context, cache_token=5)
+        version = model.gp.factor_version
+        model.update_batch(rng.random((2, 3)), rng.random((2, 2)),
+                           np.array([0.0, 0.1]))
+        assert model.gp.factor_version > version
+        model.predict(candidates, context, cache_token=5)
+        assert model.cache_misses == 2 and model.cache_extensions == 0
+
+
+class TestPickleRoundTrips:
+    def test_mid_stream_pickle_resume_matches_uninterrupted(self):
+        """Checkpointing between batched appends must not perturb the
+        trajectory: resume the pickled GP, keep appending, and compare
+        against the uninterrupted twin."""
+        rng = np.random.default_rng(11)
+        plain = ContextualGP(3, 2)
+        plain.fit(rng.random((8, 3)), rng.random((8, 2)),
+                  rng.normal(30.0, 3.0, 8), optimize=False)
+        resumed = pickle.loads(pickle.dumps(plain))
+        for k in (2, 1, 4):
+            c, x = rng.random((k, 3)), rng.random((k, 2))
+            yv = rng.normal(30.0, 3.0, k)
+            plain.update_batch(c, x, yv)
+            resumed.update_batch(c, x, yv)
+            resumed = pickle.loads(pickle.dumps(resumed))
+        _probe_equal(plain, resumed, rng)
+
+    def test_setstate_migrates_pre_forward_solve_pickles(self):
+        """Envelopes written before the incremental forward solves
+        existed lack the fy/f1 buffers; __setstate__ must reconstruct
+        them from the stored factor."""
+        rng = np.random.default_rng(12)
+        gp = GaussianProcess(kernel=Matern52Kernel())
+        gp.fit(rng.random((7, 3)), rng.normal(4.0, 1.0, 7), optimize=False)
+        state = gp.__getstate__()
+        state.pop("_fybuf")
+        state.pop("_f1buf")
+        old = GaussianProcess.__new__(GaussianProcess)
+        old.__setstate__(state)
+        old.add_point(rng.random(3), 4.5)          # exercises fy/f1
+        twin = pickle.loads(pickle.dumps(gp))
+        twin.add_point(old._X[-1], 4.5)
+        probe = rng.random((5, 3))
+        m_o, s_o = old.predict(probe)
+        m_t, s_t = twin.predict(probe)
+        np.testing.assert_allclose(m_o, m_t, atol=TOL, rtol=0)
+        np.testing.assert_allclose(s_o, s_t, atol=TOL, rtol=0)
+
+
+class TestClusteredStaging:
+    def _obs(self, i, rng, shift=0.0):
+        return Observation(iteration=i, context=rng.normal(shift, 0.1, 2),
+                           config_vec=rng.random(3),
+                           performance=100.0 + rng.normal(0, 5),
+                           default_performance=100.0)
+
+    def test_staged_drain_matches_lazy_absorption(self):
+        """Draining staged appends eagerly (the off-critical-path route
+        TuningSession.step takes) must leave the model in exactly the
+        state lazy absorption inside model_for would produce."""
+        rng_a, rng_b = np.random.default_rng(13), np.random.default_rng(13)
+        repo_a = DataRepository(context_dim=2, config_dim=3)
+        repo_b = DataRepository(context_dim=2, config_dim=3)
+        lazy = ClusteredModels(config_dim=3, context_dim=2, enabled=False,
+                               seed=0, verify_incremental=True)
+        eager = ClusteredModels(config_dim=3, context_dim=2, enabled=False,
+                                seed=0, verify_incremental=True)
+        for i in range(35):
+            oa, ob = self._obs(i, rng_a), self._obs(i, rng_b)
+            repo_a.add(oa)
+            lazy.add_observation(oa.context, repo_a)
+            lazy.model_for(0, repo_a)              # absorb inside model_for
+            repo_b.add(ob)
+            eager.add_observation(ob.context, repo_b)
+            execute_appends(eager.stage_appends(repo_b), fuse=False)
+            eager.model_for(0, repo_b)             # must find a clean model
+        assert eager.incremental_updates == lazy.incremental_updates
+        assert eager.full_refits == lazy.full_refits
+        ma, mb = lazy.models[0], eager.models[0]
+        probe = np.random.default_rng(14).random((6, 3))
+        at = np.random.default_rng(14).random(2)
+        m_l, s_l = ma.predict(probe, at)
+        m_e, s_e = mb.predict(probe, at)
+        np.testing.assert_allclose(m_e, m_l, atol=0, rtol=0)   # bit-identical
+        np.testing.assert_allclose(s_e, s_l, atol=0, rtol=0)
+
+    def test_hyperopt_due_clusters_are_not_staged(self):
+        """Clusters whose doubling schedule calls for a hyperopt refit
+        must stay dirty (staging would skip the optimization)."""
+        rng = np.random.default_rng(15)
+        repo = DataRepository(context_dim=2, config_dim=3)
+        models = ClusteredModels(config_dim=3, context_dim=2, enabled=False,
+                                 seed=0)
+        for i in range(5):                         # reaches threshold 5
+            obs = self._obs(i, rng)
+            repo.add(obs)
+            models.add_observation(obs.context, repo)
+        assert models.stage_appends(repo) == []    # hyperopt due: not staged
+        models.model_for(0, repo)                  # lazy full refit instead
+        assert models.full_refits == 1

@@ -136,10 +136,32 @@ class TestContextualUpdateEquivalence:
         np.testing.assert_allclose(m_inc, m_full, atol=TOL, rtol=0)
         np.testing.assert_allclose(s_inc, s_full, atol=TOL, rtol=0)
 
-    def test_update_rejects_batches(self):
+    def test_update_rejects_mismatched_batches(self):
+        """Multi-row input with a sample-count mismatch still errors."""
         gp = ContextualGP(2, 2)
         with pytest.raises(ValueError):
             gp.update(np.zeros((2, 2)), np.zeros((2, 2)), 0.0)
+
+    def test_update_accepts_multirow_batches(self):
+        """Regression: update() used to raise on k>1 rows; it now routes
+        through the rank-k batch path and matches sequential updates."""
+        rng = np.random.default_rng(7)
+        seq = ContextualGP(3, 2)
+        bat = ContextualGP(3, 2)
+        configs, contexts = rng.random((6, 3)), rng.random((6, 2))
+        y = rng.normal(10.0, 2.0, 6)
+        seq.fit(configs, contexts, y, optimize=False)
+        bat.fit(configs, contexts, y, optimize=False)
+        new_c, new_x = rng.random((4, 3)), rng.random((4, 2))
+        new_y = rng.normal(12.0, 2.0, 4)
+        for i in range(4):
+            seq.update(new_c[i], new_x[i], float(new_y[i]))
+        bat.update(new_c, new_x, new_y)
+        probe, at = rng.random((5, 3)), rng.random(2)
+        m_s, s_s = seq.predict(probe, at)
+        m_b, s_b = bat.predict(probe, at)
+        np.testing.assert_allclose(m_b, m_s, atol=TOL, rtol=0)
+        np.testing.assert_allclose(s_b, s_s, atol=TOL, rtol=0)
 
 
 class TestClusteredIncrementalPath:

@@ -2,7 +2,13 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from strategies import (
+    DETERMINISM_SETTINGS,
+    SLOW_SETTINGS,
+    STANDARD_SETTINGS,
+)
 
 from repro.dbms import PerformanceModel
 from repro.gp import GaussianProcess, Matern52Kernel
@@ -20,7 +26,7 @@ unit_vec = st.lists(st.floats(min_value=0.0, max_value=1.0),
 
 
 @given(unit_vec)
-@settings(max_examples=30, deadline=None)
+@STANDARD_SETTINGS
 def test_memory_pressure_drives_failure_consistency(vec):
     """A config that always fails must have pressure beyond the hard cap."""
     config = SPACE.from_unit(vec)
@@ -33,7 +39,7 @@ def test_memory_pressure_drives_failure_consistency(vec):
 
 
 @given(unit_vec)
-@settings(max_examples=30, deadline=None)
+@STANDARD_SETTINGS
 def test_objective_antisymmetry_olap_flag(vec):
     config = SPACE.from_unit(vec)
     result = MODEL.evaluate(config, PROFILE, noiseless=True)
@@ -43,7 +49,7 @@ def test_objective_antisymmetry_olap_flag(vec):
 
 @given(st.floats(min_value=0.1, max_value=0.9),
        st.floats(min_value=0.1, max_value=0.9))
-@settings(max_examples=20, deadline=None)
+@STANDARD_SETTINGS
 def test_buffer_pool_weak_monotonicity(u_lo, u_hi):
     """More buffer pool never hurts when everything else is modest."""
     lo, hi = sorted((u_lo, u_hi))
@@ -58,7 +64,7 @@ def test_buffer_pool_weak_monotonicity(u_lo, u_hi):
 
 
 @given(st.integers(min_value=0, max_value=10 ** 6))
-@settings(max_examples=25, deadline=None)
+@DETERMINISM_SETTINGS
 def test_default_performance_reproducible(it):
     from repro.dbms import SimulatedMySQL
     db = SimulatedMySQL(SPACE, TPCCWorkload(seed=1), reference_config=DBA)
@@ -67,7 +73,7 @@ def test_default_performance_reproducible(it):
 
 @given(st.lists(st.integers(min_value=0, max_value=4), min_size=4,
                 max_size=60))
-@settings(max_examples=30, deadline=None)
+@STANDARD_SETTINGS
 def test_nmi_self_identity(labels):
     assert normalized_mutual_information(labels, labels) == pytest.approx(1.0)
 
@@ -75,7 +81,7 @@ def test_nmi_self_identity(labels):
 @given(st.lists(st.tuples(st.floats(min_value=0, max_value=1),
                           st.floats(min_value=-2, max_value=2)),
                 min_size=4, max_size=25))
-@settings(max_examples=20, deadline=None)
+@SLOW_SETTINGS
 def test_gp_posterior_mean_bounded_by_data_scale(points):
     X = np.array([[p[0]] for p in points])
     y = np.array([p[1] for p in points])
@@ -90,7 +96,7 @@ def test_gp_posterior_mean_bounded_by_data_scale(points):
 
 @given(st.integers(min_value=1, max_value=8),
        st.floats(min_value=0.02, max_value=0.4))
-@settings(max_examples=20, deadline=None)
+@STANDARD_SETTINGS
 def test_subspace_radius_never_leaves_bounds(dim, r):
     from repro.core import Subspace
     sub = Subspace(dim=dim, r_init=r, r_max=0.5, r_min=0.02,
@@ -105,7 +111,7 @@ def test_subspace_radius_never_leaves_bounds(dim, r):
 
 
 @given(st.floats(min_value=-1e6, max_value=1e6))
-@settings(max_examples=30, deadline=None)
+@STANDARD_SETTINGS
 def test_safety_threshold_never_stricter_than_tau(tau):
     from repro.core import SafetyAssessor
     assessor = SafetyAssessor(SPACE, None, margin=0.05, use_whitebox=False)
@@ -370,3 +376,73 @@ class TestKernelBlockCacheProperties:
         ref = model.predict(b, ctx)
         np.testing.assert_array_equal(got[0], ref[0])
         np.testing.assert_array_equal(got[1], ref[1])
+
+# ---------------------------------------------------------------------------
+# batched rank-k appends (determinism tier)
+# ---------------------------------------------------------------------------
+
+class TestBatchedAppendProperties:
+    """Hypothesis sweeps over the rank-k Cholesky extension.
+
+    These are the determinism-critical invariants of the batched-append
+    frontier: whatever batch schedule arrives, ``add_points`` (and the
+    contextual ``update`` batch route above it) must land within 1e-8 of
+    the k sequential rank-1 appends it replaces.  A counterexample here
+    means fused lockstep serving silently diverges from solo serving,
+    so the tier runs hundreds of schedules.
+    """
+
+    TOL = 1e-8
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.lists(st.integers(min_value=1, max_value=6),
+                    min_size=1, max_size=4))
+    @DETERMINISM_SETTINGS
+    def test_add_points_matches_sequential_appends(self, seed, schedule):
+        rng = np.random.default_rng(seed)
+        d = 3
+        X = rng.random((6, d))
+        y = rng.normal(50.0, 5.0, 6)
+        batched = GaussianProcess(kernel=Matern52Kernel())
+        batched.fit(X, y, optimize=False)
+        seq = GaussianProcess(kernel=Matern52Kernel())
+        seq.kernel.theta = batched.kernel.theta
+        seq.noise = batched.noise
+        seq.fit(X, y, optimize=False)
+        for k in schedule:
+            Xk = rng.random((k, d))
+            yk = rng.normal(55.0, 5.0, k)
+            batched.add_points(Xk, yk)
+            for i in range(k):
+                seq.add_point(Xk[i], float(yk[i]))
+        probe = rng.random((5, d))
+        m_b, s_b = batched.predict(probe)
+        m_s, s_s = seq.predict(probe)
+        np.testing.assert_allclose(m_b, m_s, atol=self.TOL, rtol=0)
+        np.testing.assert_allclose(s_b, s_s, atol=self.TOL, rtol=0)
+
+    @given(st.integers(min_value=0, max_value=10 ** 6),
+           st.integers(min_value=2, max_value=6))
+    @DETERMINISM_SETTINGS
+    def test_contextual_batch_update_matches_sequential(self, seed, k):
+        from repro.gp import ContextualGP
+        rng = np.random.default_rng(seed)
+        cdim, xdim = 3, 2
+        configs, contexts = rng.random((6, cdim)), rng.random((6, xdim))
+        y = rng.normal(10.0, 2.0, 6)
+        bat = ContextualGP(cdim, xdim)
+        bat.fit(configs, contexts, y, optimize=False)
+        seq = ContextualGP(cdim, xdim)
+        seq.gp.kernel.theta = bat.gp.kernel.theta
+        seq.gp.noise = bat.gp.noise
+        seq.fit(configs, contexts, y, optimize=False)
+        new_c, new_x = rng.random((k, cdim)), rng.random((k, xdim))
+        new_y = rng.normal(12.0, 2.0, k)
+        bat.update(new_c, new_x, new_y)
+        for i in range(k):
+            seq.update(new_c[i], new_x[i], float(new_y[i]))
+        probe, at = rng.random((5, cdim)), rng.random(xdim)
+        m_b, s_b = bat.predict(probe, at)
+        m_s, s_s = seq.predict(probe, at)
+        np.testing.assert_allclose(m_b, m_s, atol=self.TOL, rtol=0)
+        np.testing.assert_allclose(s_b, s_s, atol=self.TOL, rtol=0)
