@@ -2,7 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-service lint perf-test bench bench-baseline bench-check \
-	bench-check-relative service-demo
+	bench-check-relative bench-fleet bench-fleet-baseline fleet-smoke \
+	service-demo serve
 
 test:            ## tier-1 suite (perf microbenchmarks + slow stress excluded)
 	$(PYTHON) -m pytest -x -q
@@ -43,3 +44,17 @@ bench-check:     ## perf-regression gate: fail if history-500 suggest+observe re
 
 bench-check-relative:  ## CI-safe perf gate: measure a baseline ref on THIS machine, gate on relative regression
 	$(PYTHON) -m benchmarks.bench_relative $(BENCH_RELATIVE_ARGS)
+
+bench-fleet:     ## wire-frontend fleet load: 120 tenant streams over TCP -> BENCH_fleet.json ('current')
+	$(PYTHON) -m benchmarks.fleet_load
+
+bench-fleet-baseline:  ## record the current tree as the fleet-serving baseline
+	$(PYTHON) -m benchmarks.fleet_load --as-baseline
+
+fleet-smoke:     ## CI fleet job: small mixed-workload run, asserts serving invariants, writes nothing
+	$(PYTHON) -m benchmarks.fleet_load --smoke --tenants 24 --intervals 3
+
+serve:           ## run one wire frontend (repro-service serve); HOST/PORT/STORE_ROOT overridable
+	$(PYTHON) -m repro.service.cli serve --host $(or $(HOST),127.0.0.1) \
+		--port $(or $(PORT),7411) \
+		$(if $(STORE_ROOT),--store-root $(STORE_ROOT))

@@ -1,0 +1,296 @@
+"""Fleet load generator: sustained QPS + latency of the wire frontend.
+
+Drives ``--tenants`` concurrent tenant streams (default 120) through one
+:class:`~repro.service.transport.server.TuningServer` frontend in this
+process, over real TCP, using the
+:class:`~repro.service.transport.client.AsyncServiceClient`.  The
+workload mix is **fixed** — tenants are assigned round-robin from a
+50/30/20 tpcc/ycsb/twitter mix — so runs are comparable across commits.
+Each stream executes the interactive protocol end to end::
+
+    create -> (suggest -> observe) x intervals [-> checkpoint] -> close?
+
+and every request is timed client-side.  The result — wall clock,
+sustained QPS, and p50/p95/p99 latency per phase (create / suggest /
+observe / checkpoint), plus server coalescing/backpressure counters —
+is written to ``BENCH_fleet.json`` at the repository root: the fleet
+serving trajectory every scaling PR measures itself against, in the
+same baseline/current shape as ``BENCH_perf.json``.
+
+Usage::
+
+    PYTHONPATH=src python -m benchmarks.fleet_load                 # refresh 'current'
+    PYTHONPATH=src python -m benchmarks.fleet_load --as-baseline   # record 'baseline'
+    PYTHONPATH=src python -m benchmarks.fleet_load --smoke         # CI: small run,
+                                                                   # asserts invariants,
+                                                                   # leaves no file
+
+The smoke mode is the CI fleet job: it additionally asserts the
+serving guarantees (every accepted request answered, zero unanswered
+drops, bounded queues) and exits non-zero on violation.
+"""
+
+from __future__ import annotations
+
+import argparse
+import asyncio
+import json
+import math
+import platform
+import tempfile
+import time
+from pathlib import Path
+from typing import Dict, List
+
+import numpy as np
+
+OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+
+#: the fixed workload mix (name, weight): deterministic round-robin
+#: assignment, so tenant i's workload never changes across runs
+WORKLOAD_MIX = (("tpcc", 5), ("ycsb", 3), ("twitter", 2))
+
+#: fraction of tenants that checkpoint explicitly at end of stream
+CHECKPOINT_EVERY_NTH_TENANT = 10
+
+PHASES = ("create", "suggest", "observe", "checkpoint")
+
+
+def _mix_assignment(n_tenants: int) -> List[str]:
+    """Round-robin expansion of WORKLOAD_MIX over n tenants."""
+    cycle: List[str] = []
+    for name, weight in WORKLOAD_MIX:
+        cycle.extend([name] * weight)
+    return [cycle[i % len(cycle)] for i in range(n_tenants)]
+
+
+def _build_inputs(intervals: int, seed: int) -> Dict[str, list]:
+    """Per-workload SuggestInput pools, shared by all tenants of a mix.
+
+    Snapshots are a pure function of (workload, iteration), so sharing
+    them across tenants keeps generator cost out of the measured path
+    while every tenant still exercises full featurization server-side.
+    """
+    from repro.baselines.base import SuggestInput
+    from repro.harness.experiments import WORKLOAD_FACTORIES
+
+    inputs: Dict[str, list] = {}
+    for name, _weight in WORKLOAD_MIX:
+        workload = WORKLOAD_FACTORIES[name](seed=seed)
+        pool = []
+        for t in range(intervals):
+            profile = workload.profile(t)
+            tau = profile.base_rate
+            pool.append(SuggestInput(
+                iteration=t, snapshot=workload.snapshot(t),
+                metrics={}, default_performance=float(tau),
+                is_olap=bool(profile.is_olap)))
+        inputs[name] = pool
+    return inputs
+
+
+def _synthetic_feedback(tenant_index: int, t: int, config, inp):
+    """Deterministic cheap stand-in for an interval execution.
+
+    The load generator measures the serving stack, not the simulator:
+    performance is a smooth deterministic function of (tenant, t) near
+    tau, and the metrics dict has the fixed small shape a real
+    controller would report.
+    """
+    from repro.baselines.base import Feedback
+
+    tau = inp.default_performance
+    swing = 0.04 * math.sin(0.7 * t + 0.13 * tenant_index)
+    perf = tau * (1.0 + swing)
+    metrics = {"qps": perf, "p99_ms": 1e3 / max(perf, 1.0),
+               "buffer_hit": 0.9 + 0.001 * (tenant_index % 50)}
+    return Feedback(iteration=t, config=config, performance=perf,
+                    metrics=metrics, failed=False,
+                    default_performance=tau)
+
+
+async def _tenant_stream(client, tenant_index: int, workload: str,
+                         inputs: Dict[str, list], intervals: int,
+                         lat: Dict[str, List[float]],
+                         space: str) -> None:
+    from repro.service.service import TenantSpec
+
+    tenant_id = f"fleet-{tenant_index:04d}"
+
+    async def timed(phase: str, coro):
+        t0 = time.perf_counter()
+        result = await coro
+        lat[phase].append(time.perf_counter() - t0)
+        return result
+
+    await timed("create", client.create(
+        tenant_id, TenantSpec(space=space, seed=tenant_index)))
+    last_metrics: Dict[str, float] = {}
+    for t in range(intervals):
+        inp = inputs[workload][t]
+        inp = type(inp)(iteration=inp.iteration, snapshot=inp.snapshot,
+                        metrics=last_metrics,
+                        default_performance=inp.default_performance,
+                        is_olap=inp.is_olap)
+        config = await timed("suggest", client.suggest(tenant_id, inp))
+        feedback = _synthetic_feedback(tenant_index, t, config, inp)
+        await timed("observe", client.observe(tenant_id, feedback))
+        last_metrics = feedback.metrics
+    if tenant_index % CHECKPOINT_EVERY_NTH_TENANT == 0:
+        await timed("checkpoint", client.checkpoint(tenant_id))
+
+
+def _percentiles(samples: List[float]) -> Dict[str, float]:
+    if not samples:
+        return {"count": 0}
+    arr = np.asarray(samples, dtype=float) * 1e3
+    return {
+        "count": int(arr.size),
+        "mean_ms": float(arr.mean()),
+        "p50_ms": float(np.percentile(arr, 50)),
+        "p95_ms": float(np.percentile(arr, 95)),
+        "p99_ms": float(np.percentile(arr, 99)),
+        "max_ms": float(arr.max()),
+    }
+
+
+async def _run_load(args) -> Dict[str, object]:
+    from repro.service.service import TuningService
+    from repro.service.transport.client import AsyncServiceClient
+    from repro.service.transport.server import TuningServer
+
+    assignment = _mix_assignment(args.tenants)
+    inputs = _build_inputs(args.intervals, seed=args.seed)
+    lat: Dict[str, List[float]] = {phase: [] for phase in PHASES}
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as root:
+        service = TuningService(root, max_live_sessions=args.tenants + 8,
+                                durability="delta")
+        server = TuningServer(service, port=0,
+                              queue_depth=args.queue_depth,
+                              max_inflight=args.max_inflight)
+        await server.start()
+        client = AsyncServiceClient([server.address], seed=args.seed,
+                                    max_failovers=args.max_failovers)
+        await client.connect()
+        wall0 = time.perf_counter()
+        await asyncio.gather(*(
+            _tenant_stream(client, i, assignment[i], inputs,
+                           args.intervals, lat, args.space)
+            for i in range(args.tenants)))
+        wall = time.perf_counter() - wall0
+        status = await client.status()
+        await client.aclose()
+        await server.stop()
+        stats = server.stats()
+
+    acked = sum(len(v) for v in lat.values())
+    result: Dict[str, object] = {
+        "tenants": args.tenants,
+        "intervals": args.intervals,
+        "space": args.space,
+        "seed": args.seed,
+        "mix": {name: assignment.count(name) for name, _ in WORKLOAD_MIX},
+        "queue_depth": args.queue_depth,
+        "max_inflight": args.max_inflight,
+        "wall_seconds": wall,
+        "requests_acked": acked,
+        "sustained_qps": acked / wall,
+        "phases": {phase: _percentiles(lat[phase]) for phase in PHASES},
+        "client": {"redirects": client.redirects, "retries": client.retries},
+        "server": stats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    # serving-guarantee invariants (the CI smoke job runs with --smoke,
+    # which turns violations into a non-zero exit)
+    served = stats["completed"] + stats["rejected"]
+    result["invariants"] = {
+        "all_accepted_answered": stats["accepted"]
+        == served + stats["unanswered"],
+        "zero_unanswered": stats["unanswered"] == 0,
+        "live_after_run": status["inflight"] == 0,
+    }
+    return result
+
+
+def run_benchmark(args, verbose: bool = True) -> Dict[str, object]:
+    result = asyncio.run(_run_load(args))
+    if verbose:
+        phases = result["phases"]
+        print(f"fleet load: {result['tenants']} tenant streams x "
+              f"{result['intervals']} intervals "
+              f"(mix {result['mix']}), wall {result['wall_seconds']:.2f} s")
+        print(f"  sustained  {result['sustained_qps']:.0f} req/s over "
+              f"{result['requests_acked']} acked requests")
+        for phase in PHASES:
+            st = phases[phase]
+            if not st.get("count"):
+                continue
+            print(f"  {phase:<10} n={st['count']:<6} "
+                  f"p50={st['p50_ms']:.2f} ms  p95={st['p95_ms']:.2f} ms  "
+                  f"p99={st['p99_ms']:.2f} ms")
+        srv = result["server"]
+        print(f"  server     rounds={srv['rounds']} "
+              f"max_round={srv['max_round']} rejected={srv['rejected']} "
+              f"fused_rows={srv['fused_rows']} "
+              f"fused_groups={srv['fused_groups']}")
+        print(f"  invariants {result['invariants']}")
+    return result
+
+
+def update_trajectory(result: Dict[str, object], as_baseline: bool,
+                      path: Path = OUTPUT_PATH) -> None:
+    data: Dict[str, object] = {}
+    if path.exists():
+        data = json.loads(path.read_text())
+    key = "baseline" if as_baseline else "current"
+    data[key] = result
+    if not as_baseline and "baseline" in data:
+        base = data["baseline"]
+        try:
+            data["qps_vs_baseline"] = (
+                result["sustained_qps"] / base["sustained_qps"])
+        except (KeyError, ZeroDivisionError, TypeError):
+            data.pop("qps_vs_baseline", None)
+    path.write_text(json.dumps(data, indent=2, sort_keys=True) + "\n")
+    print(f"wrote {key} -> {path}")
+
+
+def main(argv=None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("--tenants", type=int, default=120,
+                        help="concurrent tenant streams (default 120)")
+    parser.add_argument("--intervals", type=int, default=5,
+                        help="suggest/observe intervals per stream")
+    parser.add_argument("--space", default="case_study",
+                        help="knob space for every tenant (SPACE_FACTORIES "
+                             "key)")
+    parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument("--queue-depth", type=int, default=8)
+    parser.add_argument("--max-inflight", type=int, default=1024)
+    parser.add_argument("--max-failovers", type=int, default=8,
+                        help="client failover/backoff budget per call")
+    parser.add_argument("--as-baseline", action="store_true",
+                        help="record under the 'baseline' key")
+    parser.add_argument("--smoke", action="store_true",
+                        help="CI mode: assert serving invariants, don't "
+                             "touch BENCH_fleet.json")
+    parser.add_argument("--out", type=Path, default=OUTPUT_PATH,
+                        help="trajectory file (default BENCH_fleet.json)")
+    args = parser.parse_args(argv)
+
+    result = run_benchmark(args)
+    if args.smoke:
+        bad = [k for k, ok in result["invariants"].items() if not ok]
+        if bad:
+            print(f"SMOKE FAILURE: violated invariants {bad}")
+            return 1
+        print("smoke ok: all serving invariants hold")
+        return 0
+    update_trajectory(result, as_baseline=args.as_baseline, path=args.out)
+    return 0
+
+
+if __name__ == "__main__":
+    raise SystemExit(main())

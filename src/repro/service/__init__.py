@@ -28,6 +28,12 @@ service:
 * :mod:`~repro.service.janitor` — :class:`Janitor`: idle-time delta-chain
   compaction and retention pruning under its own lease, keeping the
   ~30 ms envelope write off the suggest/observe hot path.
+* :mod:`~repro.service.transport` — the async wire frontend: a
+  length-prefixed JSON protocol, an asyncio TCP server with per-tenant
+  bounded queues + ``RETRY_AFTER`` backpressure, and sync/async wire
+  clients sharing the :class:`FailoverPolicy` redirect/backoff logic.
+  (Imported lazily — ``from repro.service.transport import ...`` — so
+  the service core stays importable in minimal environments.)
 """
 
 from .batching import run_lockstep
@@ -44,7 +50,12 @@ from .checkpoint import (
     read_segment,
     save_checkpoint,
 )
-from .client import FailoverExhaustedError, ServiceClient
+from .client import (
+    FailoverExhaustedError,
+    FailoverPolicy,
+    OverloadedError,
+    ServiceClient,
+)
 from .janitor import Janitor, JanitorReport
 from .knowledge import (
     KnowledgeBase,
@@ -53,7 +64,13 @@ from .knowledge import (
     transfer_weight,
 )
 from .lease import Lease, LeaseError, LeaseHeldError, LeaseLostError, LeaseManager
-from .service import TenantSpec, TuningService, merge_batch_shards
+from .service import (
+    StepCall,
+    StepOutcome,
+    TenantSpec,
+    TuningService,
+    merge_batch_shards,
+)
 from .store import CheckpointStore
 
 __all__ = [
@@ -71,6 +88,10 @@ __all__ = [
     "CheckpointStore",
     "ServiceClient",
     "FailoverExhaustedError",
+    "FailoverPolicy",
+    "OverloadedError",
+    "StepCall",
+    "StepOutcome",
     "Janitor",
     "JanitorReport",
     "merge_batch_shards",

@@ -1,19 +1,33 @@
-"""CLI demo: the service layer end to end.
+"""``repro-service``: the service layer's command-line entry point.
 
-::
+Two subcommands::
 
-    PYTHONPATH=src python -m repro.service.cli --tenants 8 --iterations 20
+    PYTHONPATH=src python -m repro.service.cli demo  --tenants 8 --iterations 20
+    PYTHONPATH=src python -m repro.service.cli serve --host 127.0.0.1 --port 7411 \
+        --store-root /var/lib/repro --max-inflight 1024
 
-The demo (1) batch-tunes N tenants across the process pool, persisting
-and indexing every session, (2) drives one interactive tenant through
-the suggest/observe API, checkpoints it mid-session, "crashes" it, and
-proves the resumed session emits the identical next suggestion, and
-(3) warm-starts a brand-new tenant from its nearest indexed neighbors.
+``demo`` (the default when no subcommand is given, so existing
+invocations keep working) runs the end-to-end showcase: (1) batch-tunes
+N tenants across the process pool, persisting and indexing every
+session, (2) drives one interactive tenant through the suggest/observe
+API, checkpoints it mid-session, "crashes" it, and proves the resumed
+session emits the identical next suggestion, and (3) warm-starts a
+brand-new tenant from its nearest indexed neighbors.
+
+``serve`` starts an asyncio wire frontend
+(:class:`~repro.service.transport.server.TuningServer`) over a
+:class:`~repro.service.service.TuningService` and runs until
+SIGINT/SIGTERM.  On startup it prints a machine-readable readiness
+line — ``READY <host> <port> <owner>`` — so harnesses can bind
+``--port 0`` and parse the ephemeral port.  Shutdown drains every
+queued request, prints the serving stats, and exits non-zero if any
+accepted request went unanswered (the CI smoke job asserts this).
 """
 
 from __future__ import annotations
 
 import argparse
+import sys
 import tempfile
 from pathlib import Path
 from typing import Dict, Optional
@@ -64,8 +78,100 @@ def _build_db(seed: int):
                           model=PerformanceModel(noise_std=0.02), seed=seed)
 
 
-def main(argv=None, root: Optional[Path] = None) -> int:
-    parser = argparse.ArgumentParser(description=__doc__)
+def serve_main(argv=None) -> int:
+    """``repro-service serve``: run one wire frontend until signalled."""
+    parser = argparse.ArgumentParser(
+        prog="repro-service serve",
+        description="Serve a TuningService over asyncio TCP "
+                    "(length-prefixed JSON protocol; see "
+                    "repro.service.transport.protocol).")
+    parser.add_argument("--host", default="127.0.0.1",
+                        help="bind address (default 127.0.0.1)")
+    parser.add_argument("--port", type=int, default=7411,
+                        help="bind port; 0 picks an ephemeral port "
+                             "(printed on the READY line)")
+    parser.add_argument("--store-root", type=Path, default=None,
+                        help="service state directory (default: temp dir, "
+                             "deleted on exit)")
+    parser.add_argument("--max-inflight", type=int, default=1024,
+                        help="global bound on queued requests; beyond it "
+                             "requests are shed with RETRY_AFTER")
+    parser.add_argument("--queue-depth", type=int, default=8,
+                        help="per-tenant pending-request bound")
+    parser.add_argument("--max-live", type=int, default=128,
+                        help="hydrated-session LRU capacity")
+    parser.add_argument("--durability", choices=("snapshot", "delta"),
+                        default="delta",
+                        help="full snapshots only, or per-interval delta "
+                             "segments with periodic compaction")
+    parser.add_argument("--retry-after", type=float, default=0.05,
+                        help="overload hint (seconds) in RETRY_AFTER "
+                             "responses")
+    parser.add_argument("--no-fuse-appends", action="store_true",
+                        help="disable cross-tenant fused GP append drains")
+    args = parser.parse_args(argv)
+
+    import asyncio
+    import signal
+
+    from .service import TuningService
+    from .transport.server import TuningServer
+
+    ephemeral = args.store_root is None
+    tmp = None
+    if ephemeral:
+        tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        args.store_root = Path(tmp.name)
+
+    async def run() -> Dict[str, int]:
+        service = TuningService(args.store_root,
+                                max_live_sessions=args.max_live,
+                                durability=args.durability)
+        server = TuningServer(service, host=args.host, port=args.port,
+                              queue_depth=args.queue_depth,
+                              max_inflight=args.max_inflight,
+                              retry_after=args.retry_after,
+                              fuse_appends=not args.no_fuse_appends)
+        await server.start()
+        host, port = server.address
+        # machine-readable readiness marker: harnesses bind --port 0 and
+        # parse the ephemeral port + owner identity from this line
+        print(f"READY {host} {port} {service.leases.owner}", flush=True)
+        print(f"store root {args.store_root}"
+              f"{' (temporary)' if ephemeral else ''}; "
+              f"queue depth {server.queue_depth}/tenant, "
+              f"max inflight {server.max_inflight}", flush=True)
+        stop = asyncio.Event()
+        loop = asyncio.get_running_loop()
+        for sig in (signal.SIGINT, signal.SIGTERM):
+            loop.add_signal_handler(sig, stop.set)
+        await stop.wait()
+        print("draining queues ...", flush=True)
+        await server.stop()
+        return server.stats()
+
+    try:
+        stats = asyncio.run(run())
+    finally:
+        if tmp is not None:
+            tmp.cleanup()
+    served = stats["completed"] + stats["rejected"]
+    unaccounted = stats["accepted"] - served - stats["unanswered"]
+    print(f"shutdown clean: accepted={stats['accepted']} "
+          f"completed={stats['completed']} rejected={stats['rejected']} "
+          f"unanswered={stats['unanswered']} "
+          f"rounds={stats['rounds']} max_round={stats['max_round']} "
+          f"fused_rows={stats['fused_rows']}", flush=True)
+    if unaccounted:
+        print(f"ERROR: {unaccounted} request(s) dropped without a response",
+              file=sys.stderr, flush=True)
+        return 1
+    return 0
+
+
+def demo_main(argv=None, root: Optional[Path] = None) -> int:
+    parser = argparse.ArgumentParser(
+        prog="repro-service demo", description=__doc__)
     parser.add_argument("--tenants", type=int, default=8,
                         help="batch tenants to tune concurrently")
     parser.add_argument("--iterations", type=int, default=20,
@@ -157,6 +263,19 @@ def _probe_input(db, t: int, last_metrics: Dict[str, float]) -> SuggestInput:
                         metrics=last_metrics,
                         default_performance=db.default_performance(t),
                         is_olap=profile.is_olap)
+
+
+def main(argv=None, root: Optional[Path] = None) -> int:
+    """Dispatch ``serve``/``demo``; bare flags still mean ``demo`` so
+    pre-subcommand invocations (``--tenants 8``) keep working."""
+    if argv is None:
+        argv = sys.argv[1:]
+    argv = list(argv)
+    if argv and argv[0] == "serve":
+        return serve_main(argv[1:])
+    if argv and argv[0] == "demo":
+        argv = argv[1:]
+    return demo_main(argv, root=root)
 
 
 if __name__ == "__main__":

@@ -21,23 +21,32 @@ lease at a time.  A client that addresses the wrong frontend gets a
   raises :class:`~repro.service.lease.LeaseLostError`; the client
   retries the same frontend once (it rehydrates or surfaces the new
   holder via ``LeaseHeldError``), then follows the redirect.
+* **Overload** — a frontend shedding load answers
+  :class:`OverloadedError` with a ``retry_after`` hint; the client
+  honors the hint inside the same jittered-backoff budget, so a
+  saturated frontend sees bounded, spread-out retries rather than an
+  immediate re-send.
 
-The SDK is transport-agnostic: frontends here are in-process
-``TuningService`` objects, but every routing decision uses only what a
-remote protocol would carry (owner identity in the lease/error, typed
-errors), so the same logic fronts an RPC stub.
+The routing/backoff decisions live in :class:`FailoverPolicy`, a pure
+(sans-I/O) state machine shared by this in-process client and the wire
+clients in :mod:`repro.service.transport.client` — frontends here are
+in-process ``TuningService`` objects, but every decision uses only what
+the wire protocol carries (owner identity, typed errors, retry hints),
+so the same logic fronts a TCP stub unchanged.
 """
 
 from __future__ import annotations
 
 import random
 import time
+from dataclasses import dataclass
 from typing import Dict, Iterable, Optional
 
 from .lease import LeaseError, LeaseHeldError, LeaseLostError
 from .service import TuningService
 
-__all__ = ["FailoverExhaustedError", "ServiceClient"]
+__all__ = ["FailoverDecision", "FailoverExhaustedError", "FailoverPolicy",
+           "OverloadedError", "ServiceClient"]
 
 #: per-call redirect/retry budget
 DEFAULT_FAILOVER_BUDGET = 4
@@ -50,13 +59,108 @@ DEFAULT_BACKOFF_CAP = 0.5
 class FailoverExhaustedError(LeaseError):
     """The failover budget ran out before any frontend accepted the call.
 
-    The last :class:`LeaseHeldError`/:class:`LeaseLostError` is chained
-    as ``__cause__``; ``attempts`` records how many calls were made.
+    The last :class:`LeaseHeldError`/:class:`LeaseLostError`/
+    :class:`OverloadedError` is chained as ``__cause__``; ``attempts``
+    records how many calls were made.
     """
 
     def __init__(self, message: str, attempts: int) -> None:
         super().__init__(message)
         self.attempts = attempts
+
+
+class OverloadedError(RuntimeError):
+    """A frontend shed this request because its queues are full.
+
+    ``retry_after`` is the frontend's hint (seconds) for when capacity
+    is likely to free up.  Raised by the wire transport when the server
+    answers ``RETRY_AFTER``; any in-process frontend wrapper may raise
+    it too — :class:`FailoverPolicy` treats it as a same-frontend retry
+    that consumes failover budget and honors the hint.
+    """
+
+    def __init__(self, message: str,
+                 retry_after: Optional[float] = None) -> None:
+        super().__init__(message)
+        self.retry_after = retry_after
+
+
+@dataclass(frozen=True)
+class FailoverDecision:
+    """One retry decision from :class:`FailoverPolicy.on_error`.
+
+    ``holder`` is the owner identity to redirect to (None = no redirect
+    information; stay on the current frontend), ``delay`` the seconds to
+    back off before the next attempt.
+    """
+
+    holder: Optional[str]
+    delay: float
+
+
+class FailoverPolicy:
+    """Sans-I/O failover state machine shared by every client flavor.
+
+    Encapsulates the budget, the full-jitter backoff schedule, and the
+    translation of a typed service error into a :class:`FailoverDecision`.
+    Callers own the I/O: mapping a holder identity to a frontend,
+    sleeping (sync or ``await``), and re-issuing the call.
+    """
+
+    def __init__(self, max_failovers: int = DEFAULT_FAILOVER_BUDGET,
+                 backoff_base: float = DEFAULT_BACKOFF_BASE,
+                 backoff_cap: float = DEFAULT_BACKOFF_CAP,
+                 seed: Optional[int] = None) -> None:
+        self.max_failovers = max(0, int(max_failovers))
+        self.backoff_base = float(backoff_base)
+        self.backoff_cap = float(backoff_cap)
+        self._rng = random.Random(seed)
+
+    def begin(self, tenant_id: str, method: str) -> "FailoverState":
+        """Fresh per-call budget/backoff state."""
+        return FailoverState(self, tenant_id, method)
+
+    def _backoff(self, attempt: int) -> float:
+        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
+        return self._rng.uniform(0.0, ceiling)
+
+
+class FailoverState:
+    """Per-call budget/attempt tracking (produced by :meth:`FailoverPolicy.
+    begin`)."""
+
+    def __init__(self, policy: FailoverPolicy, tenant_id: str,
+                 method: str) -> None:
+        self._policy = policy
+        self._tenant_id = tenant_id
+        self._method = method
+        self._budget = policy.max_failovers
+        self.attempt = 0
+
+    def on_error(self, exc: Exception) -> FailoverDecision:
+        """Account one failed attempt; decide the next one.
+
+        Raises :class:`FailoverExhaustedError` (chaining ``exc``) once
+        the budget is spent.  Otherwise returns the redirect target (the
+        holder identity for a :class:`LeaseHeldError` that names one)
+        and the backoff delay — full jitter, raised to at least the
+        server's ``retry_after`` hint (capped) when the error carries
+        one.
+        """
+        if self._budget <= 0:
+            raise FailoverExhaustedError(
+                f"tenant {self._tenant_id!r}: {self._method} failed after "
+                f"{self.attempt + 1} attempt(s) across the fleet "
+                f"(budget {self._policy.max_failovers} exhausted)",
+                attempts=self.attempt + 1) from exc
+        self._budget -= 1
+        delay = self._policy._backoff(self.attempt)
+        hint = getattr(exc, "retry_after", None)
+        if isinstance(exc, OverloadedError) and hint is not None:
+            delay = max(delay, min(float(hint), self._policy.backoff_cap))
+        holder = exc.holder if isinstance(exc, LeaseHeldError) else None
+        self.attempt += 1
+        return FailoverDecision(holder=holder, delay=delay)
 
 
 class ServiceClient:
@@ -68,7 +172,9 @@ class ServiceClient:
         The fleet.  Each frontend is keyed by its lease-owner identity
         (``frontend.leases.owner``) — the same string lease files (and
         :class:`LeaseHeldError`) report, which is what makes redirects
-        possible.
+        possible.  In-process :class:`TuningService` objects and wire
+        stubs (:class:`~repro.service.transport.client.RemoteFrontend`)
+        expose the same surface and mix freely.
     max_failovers:
         Redirect/retry budget per client call.
     backoff_base / backoff_cap:
@@ -94,14 +200,17 @@ class ServiceClient:
         if len(self._by_owner) != len(self._frontends):
             raise ValueError("frontends must have distinct lease-owner "
                              "identities")
-        self.max_failovers = max(0, int(max_failovers))
-        self.backoff_base = float(backoff_base)
-        self.backoff_cap = float(backoff_cap)
-        self._rng = random.Random(seed)
+        self.policy = FailoverPolicy(max_failovers=max_failovers,
+                                     backoff_base=backoff_base,
+                                     backoff_cap=backoff_cap, seed=seed)
         self._sleep = sleep
         self._affinity: Dict[str, TuningService] = {}
         self.redirects = 0           # lifetime counters (observability)
         self.retries = 0
+
+    @property
+    def max_failovers(self) -> int:
+        return self.policy.max_failovers
 
     # -- routing -------------------------------------------------------------
     def _route(self, tenant_id: str) -> TuningService:
@@ -114,44 +223,25 @@ class ServiceClient:
             return None
         return self._by_owner.get(owner)
 
-    def _backoff(self, attempt: int) -> float:
-        ceiling = min(self.backoff_cap, self.backoff_base * (2 ** attempt))
-        return self._rng.uniform(0.0, ceiling)
-
     def _call(self, tenant_id: str, method: str, *args, **kwargs):
         frontend = self._route(tenant_id)
-        budget = self.max_failovers
-        attempt = 0
+        state = self.policy.begin(tenant_id, method)
         while True:
             try:
                 result = getattr(frontend, method)(tenant_id, *args, **kwargs)
-            except (LeaseHeldError, LeaseLostError) as exc:
-                if budget <= 0:
-                    raise FailoverExhaustedError(
-                        f"tenant {tenant_id!r}: {method} failed after "
-                        f"{attempt + 1} attempt(s) across the fleet "
-                        f"(budget {self.max_failovers} exhausted)",
-                        attempts=attempt + 1) from exc
-                budget -= 1
-                if isinstance(exc, LeaseHeldError):
-                    target = self._frontend_for_owner(exc.holder)
-                    if target is not None and target is not frontend:
-                        # the lease names the holding frontend: go there
-                        frontend = target
-                        self.redirects += 1
-                    else:
-                        # holder unknown to this fleet (a janitor, a
-                        # foreign writer) or already the one we asked:
-                        # stay put and wait the lease out
-                        self.retries += 1
+            except (LeaseHeldError, LeaseLostError, OverloadedError) as exc:
+                decision = state.on_error(exc)
+                target = self._frontend_for_owner(decision.holder)
+                if target is not None and target is not frontend:
+                    # the lease names the holding frontend: go there
+                    frontend = target
+                    self.redirects += 1
                 else:
-                    # LeaseLostError: the frontend dropped its stale
-                    # session; an immediate retry rehydrates — or
-                    # surfaces the new holder as a redirectable
-                    # LeaseHeldError on the next loop
+                    # holder unknown to this fleet (a janitor, a foreign
+                    # writer), already the one we asked, or a lost-lease/
+                    # overload retry: stay put and wait it out
                     self.retries += 1
-                self._sleep(self._backoff(attempt))
-                attempt += 1
+                self._sleep(decision.delay)
                 continue
             self._affinity[tenant_id] = frontend
             return result

@@ -31,9 +31,9 @@
 from __future__ import annotations
 
 from collections import OrderedDict
-from dataclasses import dataclass
+from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Mapping, Optional
+from typing import Any, Dict, List, Mapping, Optional, Sequence, Tuple
 
 from ..baselines.base import Feedback, SuggestInput
 from ..core.config import OnlineTuneConfig
@@ -50,7 +50,8 @@ from .knowledge import KnowledgeBase
 from .lease import DEFAULT_TTL, Lease, LeaseLostError, LeaseManager
 from .store import CheckpointStore
 
-__all__ = ["TenantSpec", "TuningService", "merge_batch_shards"]
+__all__ = ["StepCall", "StepOutcome", "TenantSpec", "TuningService",
+           "merge_batch_shards"]
 
 #: under ``compaction="janitor"`` the hot path still compacts once a
 #: chain grows past ``snapshot_every * JANITOR_BACKSTOP_FACTOR`` records
@@ -67,6 +68,30 @@ class TenantSpec:
     onlinetune_config: Optional[OnlineTuneConfig] = None
     memory_bytes: Optional[int] = None
     vcpus: Optional[int] = None
+
+
+@dataclass(frozen=True)
+class StepCall:
+    """One tenant-addressed call inside a coalesced :meth:`TuningService.
+    step_batch` round."""
+
+    tenant_id: str
+    method: str                      # create/suggest/observe/checkpoint/...
+    args: Tuple[Any, ...] = ()
+    kwargs: Mapping[str, Any] = field(default_factory=dict)
+
+
+@dataclass
+class StepOutcome:
+    """Result of one :class:`StepCall`: either ``value`` or ``error``."""
+
+    call: StepCall
+    value: Any = None
+    error: Optional[Exception] = None
+
+    @property
+    def ok(self) -> bool:
+        return self.error is None
 
 
 @dataclass
@@ -495,6 +520,71 @@ class TuningService:
                     self.leases.release(lease)
                 except LeaseLostError:
                     pass
+
+    # -- coalesced interactive stepping ---------------------------------------
+    #: methods a StepCall may invoke — the tenant API surface, nothing else
+    STEP_METHODS = ("create", "suggest", "observe", "checkpoint", "resume",
+                    "close", "compact_if_due")
+
+    def step_batch(self, calls: Sequence[StepCall],
+                   fuse_appends: bool = True
+                   ) -> Tuple[List[StepOutcome], Dict[str, int]]:
+        """Execute one coalesced round of interactive tenant calls.
+
+        The wire frontend's per-tenant request queues drain through here:
+        each round holds *at most one call per tenant* (the queues
+        preserve per-tenant FIFO order), so a round is one lockstep step
+        of every tenant with pending work — the interactive counterpart
+        of :meth:`run_batch(lockstep=True) <run_batch>`.  Calls execute
+        sequentially under their tenants' leases exactly as the direct
+        API would; afterwards every live tenant that just observed has
+        its pending GP appends drained through one fused cross-tenant
+        kernel GEMM (:func:`repro.gp.batching.execute_appends`), so N
+        concurrent observe streams cost one stacked kernel evaluation
+        per round instead of N lazy per-tenant absorptions.  Staged
+        draining is restricted to rows the lazy path would absorb
+        anyway, so coalesced trajectories stay bit-identical to direct
+        per-call use (the transport equivalence suite asserts this).
+
+        Per-call failures (lease conflicts, unknown tenants, bad
+        arguments) are captured in the returned :class:`StepOutcome`
+        rather than aborting the round — one contended tenant must not
+        fail its neighbors' calls.  Returns the outcomes aligned with
+        ``calls`` plus fusion counters (``requests``/``rows``/``fused``/
+        ``groups``).
+        """
+        outcomes: List[StepOutcome] = []
+        observed: List[str] = []
+        for call in calls:
+            if call.method not in self.STEP_METHODS:
+                outcomes.append(StepOutcome(call=call, error=ValueError(
+                    f"unknown step method {call.method!r}")))
+                continue
+            try:
+                value = getattr(self, call.method)(
+                    call.tenant_id, *call.args, **call.kwargs)
+            except Exception as exc:   # typed per-call failure, not fatal
+                outcomes.append(StepOutcome(call=call, error=exc))
+            else:
+                outcomes.append(StepOutcome(call=call, value=value))
+                if call.method == "observe":
+                    observed.append(call.tenant_id)
+        stats = {"requests": 0, "rows": 0, "fused": 0, "groups": 0}
+        requests = []
+        for tenant_id in observed:
+            # drain right after observe, inside the same lease tenure the
+            # observe renewed (mirrors TuningSession.step's solo drain)
+            session = self._live.get(tenant_id)
+            stage = (getattr(session.tuner, "stage_appends", None)
+                     if session is not None else None)
+            if stage is not None:
+                requests.extend(stage())
+        if requests:
+            from ..gp.batching import execute_appends
+            round_stats = execute_appends(requests, fuse=fuse_appends)
+            for key in stats:
+                stats[key] += round_stats[key]
+        return outcomes, stats
 
 
 def merge_batch_shards(tenant_ids: List[str],

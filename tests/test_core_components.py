@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from strategies import QUICK_SETTINGS
 
 from repro.core import (
     ClusteredModels,
@@ -423,7 +425,7 @@ class TestSubspace:
         assert not sub.contains(np.array([0.9, 0.5]))
 
     @given(st.integers(min_value=1, max_value=12))
-    @settings(max_examples=20, deadline=None)
+    @QUICK_SETTINGS
     def test_discretize_shape_property(self, dim):
         sub = Subspace(dim=dim, seed=0)
         sub.initialize(np.full(dim, 0.5))

@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from strategies import SLOW_SETTINGS
 
 from repro.dbms import (
     DATA_FEATURE_DIM,
@@ -173,7 +175,7 @@ class TestEvaluate:
 
     @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
                     min_size=40, max_size=40))
-    @settings(max_examples=20, deadline=None)
+    @SLOW_SETTINGS
     def test_factor_positive_for_any_config(self, units):
         space = mysql57_space()
         prof = TPCCWorkload(seed=0, dynamic=False).profile(0)

@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from strategies import STANDARD_SETTINGS
 
 from repro.gp import (
     ContextualGP,
@@ -266,7 +268,7 @@ class TestAcquisitions:
 
     @given(st.floats(min_value=-3, max_value=3),
            st.floats(min_value=0.01, max_value=2.0))
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_pof_half_at_threshold(self, mu, sigma):
         pof = probability_of_feasibility(np.array([mu]), np.array([sigma]),
                                          threshold=mu)

@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from strategies import SLOW_SETTINGS, STANDARD_SETTINGS
 
 from repro.knobs import (
     GIB,
@@ -55,13 +57,13 @@ class TestIntegerKnob:
             IntegerKnob("k", 0, 10, 5, log_scale=True)
 
     @given(st.integers(min_value=10, max_value=10000))
-    @settings(max_examples=50, deadline=None)
+    @STANDARD_SETTINGS
     def test_roundtrip_property(self, value):
         knob = IntegerKnob("k", 10, 10000, 100)
         assert knob.from_unit(knob.to_unit(value)) == value
 
     @given(st.floats(min_value=0.0, max_value=1.0))
-    @settings(max_examples=50, deadline=None)
+    @STANDARD_SETTINGS
     def test_log_from_unit_in_range(self, u):
         knob = IntegerKnob("k", 128 * MIB, 15 * GIB, GIB, log_scale=True)
         assert 128 * MIB <= knob.from_unit(u) <= 15 * GIB
@@ -82,7 +84,7 @@ class TestFloatKnob:
         assert len(knob.grid(7)) == 7
 
     @given(st.floats(min_value=0.0, max_value=1.0))
-    @settings(max_examples=50, deadline=None)
+    @STANDARD_SETTINGS
     def test_unit_roundtrip_property(self, u):
         knob = FloatKnob("f", -5.0, 5.0, 0.0)
         assert knob.to_unit(knob.from_unit(u)) == pytest.approx(u, abs=1e-9)
@@ -159,7 +161,7 @@ class TestKnobSpace:
 
     @given(st.lists(st.floats(min_value=0.0, max_value=1.0),
                     min_size=40, max_size=40))
-    @settings(max_examples=25, deadline=None)
+    @SLOW_SETTINGS
     def test_from_unit_always_valid(self, units):
         space = mysql57_space()
         config = space.from_unit(np.array(units))

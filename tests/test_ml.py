@@ -2,7 +2,9 @@
 
 import numpy as np
 import pytest
-from hypothesis import given, settings, strategies as st
+from hypothesis import given, strategies as st
+
+from strategies import STANDARD_SETTINGS
 
 from repro.ml import (
     DBSCAN,
@@ -140,7 +142,7 @@ class TestMutualInformation:
 
     @given(st.lists(st.integers(min_value=0, max_value=3), min_size=2,
                     max_size=40))
-    @settings(max_examples=40, deadline=None)
+    @STANDARD_SETTINGS
     def test_nmi_bounds(self, labels):
         other = list(reversed(labels))
         nmi = normalized_mutual_information(labels, other)
