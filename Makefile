@@ -2,8 +2,8 @@ PYTHON ?= python
 export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-service lint perf-test bench bench-baseline bench-check \
-	bench-check-relative bench-fleet bench-fleet-baseline fleet-smoke \
-	service-demo serve
+	bench-check-relative bench-fleet bench-fleet-baseline \
+	bench-fleet-multi fleet-smoke service-demo serve
 
 test:            ## tier-1 suite (perf microbenchmarks + slow stress excluded)
 	$(PYTHON) -m pytest -x -q
@@ -50,6 +50,9 @@ bench-fleet:     ## wire-frontend fleet load: 120 tenant streams over TCP -> BEN
 
 bench-fleet-baseline:  ## record the current tree as the fleet-serving baseline
 	$(PYTHON) -m benchmarks.fleet_load --as-baseline
+
+bench-fleet-multi:  ## 2-frontend shared-store fleet load (directory pre-routing vs probe-first) -> 'multi_frontend'
+	$(PYTHON) -m benchmarks.fleet_load --frontends 2
 
 fleet-smoke:     ## CI fleet job: small mixed-workload run, asserts serving invariants, writes nothing
 	$(PYTHON) -m benchmarks.fleet_load --smoke --tenants 24 --intervals 3

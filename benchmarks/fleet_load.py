@@ -1,27 +1,47 @@
 """Fleet load generator: sustained QPS + latency of the wire frontend.
 
-Drives ``--tenants`` concurrent tenant streams (default 120) through one
-:class:`~repro.service.transport.server.TuningServer` frontend in this
-process, over real TCP, using the
-:class:`~repro.service.transport.client.AsyncServiceClient`.  The
-workload mix is **fixed** — tenants are assigned round-robin from a
-50/30/20 tpcc/ycsb/twitter mix — so runs are comparable across commits.
-Each stream executes the interactive protocol end to end::
+Drives ``--tenants`` concurrent tenant streams (default 120) through
+the wire serving stack — real TCP, the
+:class:`~repro.service.transport.client.AsyncServiceClient` — in one of
+two topologies:
 
-    create -> (suggest -> observe) x intervals [-> checkpoint] -> close?
+* **Single frontend** (default): one
+  :class:`~repro.service.transport.server.TuningServer` in this
+  process.  The workload mix is **fixed** — tenants are assigned
+  round-robin from a 50/30/20 tpcc/ycsb/twitter mix — so runs are
+  comparable across commits.  Each stream executes the interactive
+  protocol end to end::
 
-and every request is timed client-side.  The result — wall clock,
-sustained QPS, and p50/p95/p99 latency per phase (create / suggest /
-observe / checkpoint), plus server coalescing/backpressure counters —
-is written to ``BENCH_fleet.json`` at the repository root: the fleet
-serving trajectory every scaling PR measures itself against, in the
-same baseline/current shape as ``BENCH_perf.json``.
+      create -> (suggest -> observe) x intervals [-> checkpoint]
+
+* **Multi-frontend** (``--frontends N``): N servers over one shared
+  store root, tenants owned round-robin across the fleet.  The run
+  measures the *routing* story: the same post-create load is driven
+  twice by fresh clients — once probe-first (PR 7 behavior: every cold
+  hop goes to frontend 0 and bounces off ``lease_held`` redirects) and
+  once pre-routed through the store-published lease-holder directory —
+  recording redirect rate, first-hop hit rate, and the lease-contention
+  tail for each.
+
+Arrival shape: by default streams **ramp in** over ``--ramp-window``
+seconds (tenant i starts at ``window * i / (n-1)``), so latency
+percentiles measure service time.  ``--burst`` restores the original
+all-at-t=0 stampede, where p95 >> p50 measures queueing delay — kept
+as an explicitly-labelled shape, not the default.  Every result records
+its ``arrival`` shape so trajectory comparisons never mix the two.
+
+The result is written to ``BENCH_fleet.json`` at the repository root:
+``baseline``/``current`` for the single-frontend trajectory (plus
+``current_burst`` when ``--burst`` refreshes the stampede shape), and
+``multi_frontend`` for the fleet routing comparison.
 
 Usage::
 
     PYTHONPATH=src python -m benchmarks.fleet_load                 # refresh 'current'
+    PYTHONPATH=src python -m benchmarks.fleet_load --burst         # refresh 'current_burst'
+    PYTHONPATH=src python -m benchmarks.fleet_load --frontends 2   # refresh 'multi_frontend'
     PYTHONPATH=src python -m benchmarks.fleet_load --as-baseline   # record 'baseline'
-    PYTHONPATH=src python -m benchmarks.fleet_load --smoke         # CI: small run,
+    PYTHONPATH=src python -m benchmarks.fleet_load --smoke         # CI: small ramped run,
                                                                    # asserts invariants,
                                                                    # leaves no file
 
@@ -62,6 +82,13 @@ def _mix_assignment(n_tenants: int) -> List[str]:
     for name, weight in WORKLOAD_MIX:
         cycle.extend([name] * weight)
     return [cycle[i % len(cycle)] for i in range(n_tenants)]
+
+
+def _start_delays(n: int, ramp_window: float) -> List[float]:
+    """Arrival schedule: evenly spread over the ramp window (0 = burst)."""
+    if ramp_window <= 0 or n <= 1:
+        return [0.0] * n
+    return [ramp_window * i / (n - 1) for i in range(n)]
 
 
 def _build_inputs(intervals: int, seed: int) -> Dict[str, list]:
@@ -112,10 +139,14 @@ def _synthetic_feedback(tenant_index: int, t: int, config, inp):
 async def _tenant_stream(client, tenant_index: int, workload: str,
                          inputs: Dict[str, list], intervals: int,
                          lat: Dict[str, List[float]],
-                         space: str) -> None:
+                         space: str, start_delay: float = 0.0,
+                         create: bool = True,
+                         checkpoint: bool = True) -> None:
     from repro.service.service import TenantSpec
 
     tenant_id = f"fleet-{tenant_index:04d}"
+    if start_delay > 0:
+        await asyncio.sleep(start_delay)
 
     async def timed(phase: str, coro):
         t0 = time.perf_counter()
@@ -123,8 +154,9 @@ async def _tenant_stream(client, tenant_index: int, workload: str,
         lat[phase].append(time.perf_counter() - t0)
         return result
 
-    await timed("create", client.create(
-        tenant_id, TenantSpec(space=space, seed=tenant_index)))
+    if create:
+        await timed("create", client.create(
+            tenant_id, TenantSpec(space=space, seed=tenant_index)))
     last_metrics: Dict[str, float] = {}
     for t in range(intervals):
         inp = inputs[workload][t]
@@ -136,7 +168,7 @@ async def _tenant_stream(client, tenant_index: int, workload: str,
         feedback = _synthetic_feedback(tenant_index, t, config, inp)
         await timed("observe", client.observe(tenant_id, feedback))
         last_metrics = feedback.metrics
-    if tenant_index % CHECKPOINT_EVERY_NTH_TENANT == 0:
+    if checkpoint and tenant_index % CHECKPOINT_EVERY_NTH_TENANT == 0:
         await timed("checkpoint", client.checkpoint(tenant_id))
 
 
@@ -154,6 +186,23 @@ def _percentiles(samples: List[float]) -> Dict[str, float]:
     }
 
 
+def _arrival(args) -> Dict[str, object]:
+    return {"mode": "burst" if args.burst else "ramp",
+            "window_seconds": 0.0 if args.burst else args.ramp_window}
+
+
+def _client_counters(client, acked: int) -> Dict[str, object]:
+    hops = client.first_hop_hits + client.first_hop_misses
+    return {
+        "redirects": client.redirects,
+        "retries": client.retries,
+        "first_hop_hits": client.first_hop_hits,
+        "first_hop_misses": client.first_hop_misses,
+        "first_hop_hit_rate": (client.first_hop_hits / hops) if hops else 1.0,
+        "redirect_rate": (client.redirects / acked) if acked else 0.0,
+    }
+
+
 async def _run_load(args) -> Dict[str, object]:
     from repro.service.service import TuningService
     from repro.service.transport.client import AsyncServiceClient
@@ -162,6 +211,8 @@ async def _run_load(args) -> Dict[str, object]:
     assignment = _mix_assignment(args.tenants)
     inputs = _build_inputs(args.intervals, seed=args.seed)
     lat: Dict[str, List[float]] = {phase: [] for phase in PHASES}
+    delays = _start_delays(args.tenants,
+                           0.0 if args.burst else args.ramp_window)
 
     with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as root:
         service = TuningService(root, max_live_sessions=args.tenants + 8,
@@ -176,7 +227,8 @@ async def _run_load(args) -> Dict[str, object]:
         wall0 = time.perf_counter()
         await asyncio.gather(*(
             _tenant_stream(client, i, assignment[i], inputs,
-                           args.intervals, lat, args.space)
+                           args.intervals, lat, args.space,
+                           start_delay=delays[i])
             for i in range(args.tenants)))
         wall = time.perf_counter() - wall0
         status = await client.status()
@@ -193,6 +245,7 @@ async def _run_load(args) -> Dict[str, object]:
         "mix": {name: assignment.count(name) for name, _ in WORKLOAD_MIX},
         "queue_depth": args.queue_depth,
         "max_inflight": args.max_inflight,
+        "arrival": _arrival(args),
         "wall_seconds": wall,
         "requests_acked": acked,
         "sustained_qps": acked / wall,
@@ -214,13 +267,166 @@ async def _run_load(args) -> Dict[str, object]:
     return result
 
 
+async def _run_multi_frontend(args) -> Dict[str, object]:
+    """N frontends, one store: probe-first vs directory-pre-routed.
+
+    Phase 1 provisions the tenants round-robin across the fleet (a
+    ``route_to`` pin per create), leaving every lease parked on its
+    owning frontend.  Phases 2 and 3 then drive the identical
+    suggest/observe load from two *fresh* clients — no affinity, which
+    is exactly the cold cache a reconnecting controller sees:
+
+    * **probe-first** (``use_directory=False``): every first hop lands
+      on frontend 0 and discovers real owners via ``lease_held``
+      redirects — the PR 7 path.
+    * **directory** (``use_directory=True`` + one bulk
+      ``refresh_directory()``): first hops pre-route to the published
+      owner; a stale entry degrades to the redirect path.
+
+    Identical fleet, identical load, so the redirect-rate and
+    first-hop-hit-rate deltas isolate what the directory buys.
+    """
+    from repro.service.service import TuningService
+    from repro.service.transport.client import AsyncServiceClient
+    from repro.service.transport.server import TuningServer
+
+    n_fe = args.frontends
+    assignment = _mix_assignment(args.tenants)
+    inputs = _build_inputs(args.intervals, seed=args.seed)
+    delays = _start_delays(args.tenants,
+                           0.0 if args.burst else args.ramp_window)
+
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-bench-") as root:
+        servers: List[TuningServer] = []
+        for i in range(n_fe):
+            service = TuningService(root,
+                                    max_live_sessions=args.tenants + 8,
+                                    durability="delta",
+                                    owner=f"bench-fe-{i}")
+            server = TuningServer(service, port=0,
+                                  queue_depth=args.queue_depth,
+                                  max_inflight=args.max_inflight,
+                                  shard_index=i, shard_count=n_fe)
+            await server.start()
+            servers.append(server)
+        addresses = [s.address for s in servers]
+        owners = [s.service.leases.owner for s in servers]
+
+        # phase 1: provision — pin creates round-robin so ownership is
+        # spread evenly and every lease stays parked on its frontend
+        setup_lat: Dict[str, List[float]] = {p: [] for p in PHASES}
+        setup = AsyncServiceClient(addresses, seed=args.seed,
+                                   max_failovers=args.max_failovers)
+        await setup.connect()
+        for i in range(args.tenants):
+            setup.route_to(f"fleet-{i:04d}", owners[i % n_fe])
+        await asyncio.gather(*(
+            _tenant_stream(setup, i, assignment[i], inputs, 0, setup_lat,
+                           args.space, start_delay=delays[i],
+                           checkpoint=False)
+            for i in range(args.tenants)))
+        await setup.aclose()
+
+        async def sub_run(use_directory: bool) -> Dict[str, object]:
+            lat: Dict[str, List[float]] = {p: [] for p in PHASES}
+            client = AsyncServiceClient(
+                addresses, seed=args.seed,
+                max_failovers=args.max_failovers,
+                use_directory=use_directory)
+            await client.connect()
+            directory_entries = 0
+            if use_directory:
+                directory_entries = await client.refresh_directory()
+            wall0 = time.perf_counter()
+            await asyncio.gather(*(
+                _tenant_stream(client, i, assignment[i], inputs,
+                               args.intervals, lat, args.space,
+                               start_delay=delays[i], create=False,
+                               checkpoint=False)
+                for i in range(args.tenants)))
+            wall = time.perf_counter() - wall0
+            await client.aclose()
+            acked = sum(len(v) for v in lat.values())
+            sub = {
+                "wall_seconds": wall,
+                "requests_acked": acked,
+                "sustained_qps": acked / wall,
+                "phases": {p: _percentiles(lat[p])
+                           for p in ("suggest", "observe")},
+                "directory_entries": directory_entries,
+            }
+            sub.update(_client_counters(client, acked))
+            return sub
+
+        # phase 2/3: identical load, cold clients, two routing modes
+        probe_first = await sub_run(use_directory=False)
+        directory = await sub_run(use_directory=True)
+
+        stats = [dict(s.stats()) for s in servers]
+        for server in servers:
+            await server.stop()
+
+    accepted = sum(s["accepted"] for s in stats)
+    served = sum(s["completed"] + s["rejected"] for s in stats)
+    unanswered = sum(s["unanswered"] for s in stats)
+    result: Dict[str, object] = {
+        "frontends": n_fe,
+        "tenants": args.tenants,
+        "intervals": args.intervals,
+        "space": args.space,
+        "seed": args.seed,
+        "arrival": _arrival(args),
+        "setup": {"create": _percentiles(setup_lat["create"])},
+        "probe_first": probe_first,
+        "directory": directory,
+        "redirects_cut": probe_first["redirects"] - directory["redirects"],
+        "server_totals": {"accepted": accepted, "unanswered": unanswered},
+        "servers": stats,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    result["invariants"] = {
+        "all_accepted_answered": accepted == served + unanswered,
+        "zero_unanswered": unanswered == 0,
+        "directory_cuts_redirects":
+            directory["redirects"] < probe_first["redirects"],
+        "directory_first_hop_wins":
+            directory["first_hop_hit_rate"]
+            > probe_first["first_hop_hit_rate"],
+    }
+    return result
+
+
 def run_benchmark(args, verbose: bool = True) -> Dict[str, object]:
+    if args.frontends > 1:
+        result = asyncio.run(_run_multi_frontend(args))
+        if verbose:
+            arrival = result["arrival"]
+            print(f"fleet load: {result['frontends']} frontends, "
+                  f"{result['tenants']} tenant streams x "
+                  f"{result['intervals']} intervals, "
+                  f"arrival={arrival['mode']} "
+                  f"({arrival['window_seconds']:g}s window)")
+            for mode in ("probe_first", "directory"):
+                sub = result[mode]
+                print(f"  {mode:<12} qps={sub['sustained_qps']:.0f} "
+                      f"redirects={sub['redirects']} "
+                      f"(rate {sub['redirect_rate']:.3f}) "
+                      f"first_hop_hit_rate={sub['first_hop_hit_rate']:.3f} "
+                      f"suggest_p95={sub['phases']['suggest']['p95_ms']:.2f}"
+                      f" ms")
+            print(f"  directory cut {result['redirects_cut']} redirect(s)")
+            print(f"  invariants {result['invariants']}")
+        return result
     result = asyncio.run(_run_load(args))
     if verbose:
         phases = result["phases"]
+        arrival = result["arrival"]
         print(f"fleet load: {result['tenants']} tenant streams x "
               f"{result['intervals']} intervals "
-              f"(mix {result['mix']}), wall {result['wall_seconds']:.2f} s")
+              f"(mix {result['mix']}), arrival={arrival['mode']} "
+              f"({arrival['window_seconds']:g}s window), "
+              f"wall {result['wall_seconds']:.2f} s")
         print(f"  sustained  {result['sustained_qps']:.0f} req/s over "
               f"{result['requests_acked']} acked requests")
         for phase in PHASES:
@@ -239,14 +445,26 @@ def run_benchmark(args, verbose: bool = True) -> Dict[str, object]:
     return result
 
 
+def _trajectory_key(result: Dict[str, object], as_baseline: bool) -> str:
+    if result.get("frontends", 1) > 1:
+        return "multi_frontend"
+    if as_baseline:
+        return "baseline"
+    arrival = result.get("arrival") or {}
+    return ("current_burst" if arrival.get("mode") == "burst"
+            else "current")
+
+
 def update_trajectory(result: Dict[str, object], as_baseline: bool,
                       path: Path = OUTPUT_PATH) -> None:
     data: Dict[str, object] = {}
     if path.exists():
         data = json.loads(path.read_text())
-    key = "baseline" if as_baseline else "current"
+    key = _trajectory_key(result, as_baseline)
     data[key] = result
-    if not as_baseline and "baseline" in data:
+    # qps_vs_baseline only makes sense between matching arrival shapes:
+    # the recorded baseline predates the ramp and is burst-shaped
+    if key == "current_burst" and "baseline" in data:
         base = data["baseline"]
         try:
             data["qps_vs_baseline"] = (
@@ -271,6 +489,16 @@ def main(argv=None) -> int:
     parser.add_argument("--max-inflight", type=int, default=1024)
     parser.add_argument("--max-failovers", type=int, default=8,
                         help="client failover/backoff budget per call")
+    parser.add_argument("--frontends", type=int, default=1,
+                        help="serve the shared store from N frontends and "
+                             "compare probe-first vs directory routing")
+    parser.add_argument("--ramp-window", type=float, default=5.0,
+                        help="spread stream starts over this many seconds "
+                             "(default 5; latency then measures service "
+                             "time, not arrival queueing)")
+    parser.add_argument("--burst", action="store_true",
+                        help="start every stream at t=0 (the original "
+                             "stampede shape; p95 then measures queueing)")
     parser.add_argument("--as-baseline", action="store_true",
                         help="record under the 'baseline' key")
     parser.add_argument("--smoke", action="store_true",
@@ -279,6 +507,8 @@ def main(argv=None) -> int:
     parser.add_argument("--out", type=Path, default=OUTPUT_PATH,
                         help="trajectory file (default BENCH_fleet.json)")
     args = parser.parse_args(argv)
+    if args.smoke and args.burst:
+        parser.error("--smoke uses the ramped arrival shape")
 
     result = run_benchmark(args)
     if args.smoke:

@@ -51,6 +51,7 @@ from .checkpoint import (
     save_checkpoint,
 )
 from .client import (
+    DirectoryCache,
     FailoverExhaustedError,
     FailoverPolicy,
     OverloadedError,
@@ -86,6 +87,7 @@ __all__ = [
     "read_segment",
     "count_segment_records",
     "CheckpointStore",
+    "DirectoryCache",
     "ServiceClient",
     "FailoverExhaustedError",
     "FailoverPolicy",

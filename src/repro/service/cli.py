@@ -109,11 +109,22 @@ def serve_main(argv=None) -> int:
                              "responses")
     parser.add_argument("--no-fuse-appends", action="store_true",
                         help="disable cross-tenant fused GP append drains")
+    parser.add_argument("--shard-index", type=int, default=0,
+                        help="this frontend's slice of the tenant "
+                             "namespace in an N-frontend fleet")
+    parser.add_argument("--shard-count", type=int, default=1,
+                        help="total frontends sharing the store (janitor "
+                             "sweeps are restricted to this shard)")
+    parser.add_argument("--janitor-interval", type=float, default=0.0,
+                        help="run a background janitor (compaction + "
+                             "pruning) every N seconds on this frontend's "
+                             "shard; 0 disables it (default)")
     args = parser.parse_args(argv)
 
     import asyncio
     import signal
 
+    from .janitor import Janitor
     from .service import TuningService
     from .transport.server import TuningServer
 
@@ -123,6 +134,12 @@ def serve_main(argv=None) -> int:
         tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
         args.store_root = Path(tmp.name)
 
+    janitor: Optional[Janitor] = None
+    if args.janitor_interval > 0:
+        janitor = Janitor(args.store_root, interval=args.janitor_interval,
+                          shard_index=args.shard_index,
+                          shard_count=args.shard_count)
+
     async def run() -> Dict[str, int]:
         service = TuningService(args.store_root,
                                 max_live_sessions=args.max_live,
@@ -131,7 +148,9 @@ def serve_main(argv=None) -> int:
                               queue_depth=args.queue_depth,
                               max_inflight=args.max_inflight,
                               retry_after=args.retry_after,
-                              fuse_appends=not args.no_fuse_appends)
+                              fuse_appends=not args.no_fuse_appends,
+                              shard_index=args.shard_index,
+                              shard_count=args.shard_count)
         await server.start()
         host, port = server.address
         # machine-readable readiness marker: harnesses bind --port 0 and
@@ -139,14 +158,22 @@ def serve_main(argv=None) -> int:
         print(f"READY {host} {port} {service.leases.owner}", flush=True)
         print(f"store root {args.store_root}"
               f"{' (temporary)' if ephemeral else ''}; "
+              f"shard {server.shard_index}/{server.shard_count}, "
               f"queue depth {server.queue_depth}/tenant, "
               f"max inflight {server.max_inflight}", flush=True)
+        if janitor is not None:
+            janitor.start()
+            print(f"janitor sweeping shard {janitor.shard_index}/"
+                  f"{janitor.shard_count} every {janitor.interval:g}s "
+                  f"as {janitor.leases.owner}", flush=True)
         stop = asyncio.Event()
         loop = asyncio.get_running_loop()
         for sig in (signal.SIGINT, signal.SIGTERM):
             loop.add_signal_handler(sig, stop.set)
         await stop.wait()
         print("draining queues ...", flush=True)
+        if janitor is not None:
+            janitor.stop()
         await server.stop()
         return server.stats()
 
@@ -160,8 +187,17 @@ def serve_main(argv=None) -> int:
     print(f"shutdown clean: accepted={stats['accepted']} "
           f"completed={stats['completed']} rejected={stats['rejected']} "
           f"unanswered={stats['unanswered']} "
+          f"aborted_connections={stats['aborted_connections']} "
           f"rounds={stats['rounds']} max_round={stats['max_round']} "
           f"fused_rows={stats['fused_rows']}", flush=True)
+    if janitor is not None:
+        # the smoke job greps cross_shard=0: N sharded janitors must
+        # never have touched each other's tenants
+        print(f"janitor clean: sweeps={janitor.sweeps} "
+              f"compacted={janitor.total_compacted} "
+              f"pruned={janitor.total_pruned} "
+              f"out_of_shard_skips={janitor.total_skipped_out_of_shard} "
+              f"cross_shard={janitor.total_cross_shard}", flush=True)
     if unaccounted:
         print(f"ERROR: {unaccounted} request(s) dropped without a response",
               file=sys.stderr, flush=True)

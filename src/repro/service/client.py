@@ -33,6 +33,18 @@ clients in :mod:`repro.service.transport.client` — frontends here are
 in-process ``TuningService`` objects, but every decision uses only what
 the wire protocol carries (owner identity, typed errors, retry hints),
 so the same logic fronts a TCP stub unchanged.
+
+* **Pre-routing** — the policy carries a :class:`DirectoryCache`, a
+  client-side tenant→owner hint map fed from three sources: bulk
+  refreshes of the store-published lease-holder directory
+  (:meth:`ServiceClient.refresh_directory`), holders named by
+  ``LeaseHeldError`` redirects, and the frontend that last completed a
+  call.  Routing consults it before falling back to the first frontend,
+  which turns the cold first hop from *probe and bounce* into a direct
+  hit.  The cache is a hint, never an authority: a stale entry routes
+  the call to a frontend that answers ``lease_held`` with the real
+  holder, and the ordinary redirect path converges — exactly the
+  staleness story of the directory sidecar itself.
 """
 
 from __future__ import annotations
@@ -45,8 +57,8 @@ from typing import Dict, Iterable, Optional
 from .lease import LeaseError, LeaseHeldError, LeaseLostError
 from .service import TuningService
 
-__all__ = ["FailoverDecision", "FailoverExhaustedError", "FailoverPolicy",
-           "OverloadedError", "ServiceClient"]
+__all__ = ["DirectoryCache", "FailoverDecision", "FailoverExhaustedError",
+           "FailoverPolicy", "OverloadedError", "ServiceClient"]
 
 #: per-call redirect/retry budget
 DEFAULT_FAILOVER_BUDGET = 4
@@ -85,6 +97,45 @@ class OverloadedError(RuntimeError):
         self.retry_after = retry_after
 
 
+class DirectoryCache:
+    """Client-side tenant→owner hint map (sans-I/O).
+
+    Mirrors the store-published lease-holder directory on the client:
+    ``lookup`` answers *which frontend probably holds this tenant's
+    lease right now*.  Entries are hints — the lease file is the
+    authority — so a wrong answer costs one redirect, never
+    correctness.  Fed by :meth:`update` (bulk ``directory`` op
+    refreshes), :meth:`record` (holders learned from ``LeaseHeldError``
+    redirects and from successful calls), and pruned by
+    :meth:`invalidate`.
+    """
+
+    def __init__(self) -> None:
+        self._owners: Dict[str, str] = {}
+
+    def lookup(self, tenant_id: str) -> Optional[str]:
+        return self._owners.get(tenant_id)
+
+    def record(self, tenant_id: str, owner: Optional[str]) -> None:
+        """Learn one tenant's owner; ``None`` clears the entry."""
+        if owner is None:
+            self._owners.pop(tenant_id, None)
+        else:
+            self._owners[tenant_id] = owner
+
+    def invalidate(self, tenant_id: str) -> None:
+        self._owners.pop(tenant_id, None)
+
+    def update(self, owners: Dict[str, Optional[str]]) -> int:
+        """Bulk-merge a directory snapshot; returns entries now cached."""
+        for tenant_id, owner in owners.items():
+            self.record(tenant_id, owner)
+        return len(self._owners)
+
+    def __len__(self) -> int:
+        return len(self._owners)
+
+
 @dataclass(frozen=True)
 class FailoverDecision:
     """One retry decision from :class:`FailoverPolicy.on_error`.
@@ -115,6 +166,7 @@ class FailoverPolicy:
         self.backoff_base = float(backoff_base)
         self.backoff_cap = float(backoff_cap)
         self._rng = random.Random(seed)
+        self.directory = DirectoryCache()
 
     def begin(self, tenant_id: str, method: str) -> "FailoverState":
         """Fresh per-call budget/backoff state."""
@@ -159,6 +211,10 @@ class FailoverState:
         if isinstance(exc, OverloadedError) and hint is not None:
             delay = max(delay, min(float(hint), self._policy.backoff_cap))
         holder = exc.holder if isinstance(exc, LeaseHeldError) else None
+        if holder is not None:
+            # a lease_held redirect names the true holder — fold it into
+            # the directory cache so the *next* call pre-routes
+            self._policy.directory.record(self._tenant_id, holder)
         self.attempt += 1
         return FailoverDecision(holder=holder, delay=delay)
 
@@ -184,6 +240,10 @@ class ServiceClient:
         Seeds the jitter RNG (deterministic tests).
     sleep:
         Injection point for the backoff sleep (tests pass a no-op).
+    use_directory:
+        Consult the :class:`DirectoryCache` when routing a tenant with
+        no affinity yet (default on).  Off reproduces the PR 7
+        probe-first behavior — useful as a benchmark control.
     """
 
     def __init__(self, frontends: Iterable[TuningService],
@@ -191,7 +251,8 @@ class ServiceClient:
                  backoff_base: float = DEFAULT_BACKOFF_BASE,
                  backoff_cap: float = DEFAULT_BACKOFF_CAP,
                  seed: Optional[int] = None,
-                 sleep=time.sleep) -> None:
+                 sleep=time.sleep,
+                 use_directory: bool = True) -> None:
         self._frontends = list(frontends)
         if not self._frontends:
             raise ValueError("a ServiceClient needs at least one frontend")
@@ -205,8 +266,11 @@ class ServiceClient:
                                      backoff_cap=backoff_cap, seed=seed)
         self._sleep = sleep
         self._affinity: Dict[str, TuningService] = {}
+        self.use_directory = bool(use_directory)
         self.redirects = 0           # lifetime counters (observability)
         self.retries = 0
+        self.first_hop_hits = 0      # calls whose first attempt landed
+        self.first_hop_misses = 0    # calls that needed >= 1 more hop
 
     @property
     def max_failovers(self) -> int:
@@ -214,8 +278,17 @@ class ServiceClient:
 
     # -- routing -------------------------------------------------------------
     def _route(self, tenant_id: str) -> TuningService:
-        """Last-known-good frontend for the tenant, else the first one."""
-        return self._affinity.get(tenant_id, self._frontends[0])
+        """Affinity, else the directory's owner hint, else the first
+        frontend (the PR 7 probe-first cold path)."""
+        frontend = self._affinity.get(tenant_id)
+        if frontend is not None:
+            return frontend
+        if self.use_directory:
+            hinted = self._frontend_for_owner(
+                self.policy.directory.lookup(tenant_id))
+            if hinted is not None:
+                return hinted
+        return self._frontends[0]
 
     def _frontend_for_owner(self,
                             owner: Optional[str]) -> Optional[TuningService]:
@@ -223,13 +296,23 @@ class ServiceClient:
             return None
         return self._by_owner.get(owner)
 
+    def refresh_directory(self) -> int:
+        """Bulk-refresh the tenant→owner cache from the store-published
+        directory (served by any frontend — they share the store).
+        Returns the number of entries now cached."""
+        return self.policy.directory.update(self._frontends[0].directory())
+
     def _call(self, tenant_id: str, method: str, *args, **kwargs):
         frontend = self._route(tenant_id)
         state = self.policy.begin(tenant_id, method)
+        first_hop = True
         while True:
             try:
                 result = getattr(frontend, method)(tenant_id, *args, **kwargs)
             except (LeaseHeldError, LeaseLostError, OverloadedError) as exc:
+                if first_hop:
+                    self.first_hop_misses += 1
+                    first_hop = False
                 decision = state.on_error(exc)
                 target = self._frontend_for_owner(decision.holder)
                 if target is not None and target is not frontend:
@@ -243,7 +326,10 @@ class ServiceClient:
                     self.retries += 1
                 self._sleep(decision.delay)
                 continue
+            if first_hop:
+                self.first_hop_hits += 1
             self._affinity[tenant_id] = frontend
+            self.policy.directory.record(tenant_id, frontend.leases.owner)
             return result
 
     # -- tenant API (mirrors TuningService) ----------------------------------

@@ -21,6 +21,14 @@ background cadence:
 * **Cheap probing** — chain length is counted from segment framing
   without unpickling (:meth:`CheckpointStore.chain_length`), so a sweep
   over mostly-idle tenants costs directory walks, not deserialization.
+* **Sharded** — in an N-frontend fleet every process runs a janitor,
+  and without coordination they all probe (and lease-bounce off) the
+  same tenants.  A janitor with ``shard_index``/``shard_count`` owns
+  only the tenants at ``position % shard_count == shard_index`` in the
+  sorted tenant namespace — the same strided partition ``run_batch``
+  uses — and *skips out-of-shard tenants before any lease probe*, so N
+  janitors sweep N disjoint slices with zero lease round-trips wasted
+  on each other's territory.
 
 ``run_once()`` is the deterministic unit the tests drive; ``start()``
 runs it on a background thread until ``stop()``.
@@ -52,6 +60,7 @@ class JanitorReport:
     pruned: Dict[str, int] = field(default_factory=dict)   # tenant -> files
     skipped_leased: List[str] = field(default_factory=list)
     skipped_errors: Dict[str, str] = field(default_factory=dict)
+    skipped_out_of_shard: int = 0   # another janitor's territory: no probe
 
     def touched(self) -> int:
         return len(self.compacted) + len(self.pruned)
@@ -76,12 +85,20 @@ class Janitor:
         crashed janitor can block a tenant's frontends.
     interval:
         Background cadence for :meth:`start`, seconds.
+    shard_index / shard_count:
+        This janitor's slice of the tenant namespace: it sweeps only
+        tenants at sorted position ``p`` with
+        ``p % shard_count == shard_index`` (the ``run_batch`` strided
+        partition).  Out-of-shard tenants are counted and skipped
+        *before* any lease probe.  Defaults to one shard = the whole
+        namespace (PR 7 behavior).
     """
 
     def __init__(self, root, snapshot_every: int = 64, prune_keep: int = 3,
                  lease_ttl: float = DEFAULT_TTL,
                  owner: Optional[str] = None,
-                 interval: float = 5.0) -> None:
+                 interval: float = 5.0,
+                 shard_index: int = 0, shard_count: int = 1) -> None:
         self.root = Path(root)
         self.store = CheckpointStore(self.root)
         owner = owner or (f"janitor:{socket.gethostname()}:{os.getpid()}:"
@@ -91,14 +108,31 @@ class Janitor:
         self.snapshot_every = max(1, int(snapshot_every))
         self.prune_keep = int(prune_keep)
         self.interval = float(interval)
+        self.shard_count = max(1, int(shard_count))
+        self.shard_index = int(shard_index) % self.shard_count
         self._thread: Optional[threading.Thread] = None
         self._stop = threading.Event()
+        # lifetime counters across sweeps (serve's shutdown line reports
+        # them; CI asserts cross_shard stays 0 under sharding)
+        self.sweeps = 0
+        self.total_compacted = 0
+        self.total_pruned = 0
+        self.total_skipped_out_of_shard = 0
+        self.total_cross_shard = 0
 
     # -- one sweep -----------------------------------------------------------
     def run_once(self) -> JanitorReport:
-        """Sweep every tenant once; lease conflicts are skips, not errors."""
+        """Sweep this shard's tenants once; lease conflicts are skips,
+        not errors, and out-of-shard tenants are never lease-probed."""
         report = JanitorReport()
-        for tenant_id in self.store.tenants():
+        tenants = self.store.tenants()       # sorted: stride is stable
+        assigned = [t for position, t in enumerate(tenants)
+                    if position % self.shard_count == self.shard_index]
+        # another janitor's slice: skipped before any lease probe —
+        # probing there is exactly the wasted round-trip the sharding
+        # exists to remove
+        report.skipped_out_of_shard = len(tenants) - len(assigned)
+        for tenant_id in assigned:
             try:
                 self._sweep_tenant(tenant_id, report)
             except LeaseHeldError:
@@ -113,6 +147,14 @@ class Janitor:
                 # a corrupt tenant is an operator problem, not a janitor
                 # crash: record it and keep sweeping the fleet
                 report.skipped_errors[tenant_id] = str(exc)
+        self.sweeps += 1
+        self.total_compacted += len(report.compacted)
+        self.total_pruned += len(report.pruned)
+        self.total_skipped_out_of_shard += report.skipped_out_of_shard
+        # regression tripwire: anything touched outside the computed
+        # slice means the sharding broke (CI greps cross_shard=0)
+        touched = set(report.compacted) | set(report.pruned)
+        self.total_cross_shard += len(touched - set(assigned))
         return report
 
     def _sweep_tenant(self, tenant_id: str, report: JanitorReport) -> None:

@@ -178,6 +178,26 @@ class TuningService:
         known = set(self.store.tenants()) | set(self._live)
         return sorted(known)
 
+    def directory(self) -> Dict[str, str]:
+        """The store's tenant→owner routing hint map (see
+        :meth:`CheckpointStore.read_owners`).  Clients bulk-refresh from
+        this to pre-route requests to the frontend holding each tenant's
+        lease; a stale entry costs one ``lease_held`` redirect, never
+        correctness."""
+        return self.store.read_owners()
+
+    def _publish_owner(self, tenant_id: str, owner: Optional[str]) -> None:
+        """Refresh the directory hint after a lease transition (owner
+        string on acquire, None tombstone on clean release)."""
+        self.store.publish_owner(tenant_id, owner)
+
+    def _acquire_lease(self, tenant_id: str) -> Lease:
+        """Acquire + publish: every lease this frontend wins is announced
+        in the directory so clients can pre-route to it."""
+        lease = self.leases.acquire(tenant_id)
+        self._publish_owner(tenant_id, self.leases.owner)
+        return lease
+
     def _admit(self, tenant_id: str, session: _LiveSession) -> None:
         while len(self._live) >= self.max_live_sessions:
             victim, _ = next(iter(self._live.items()))
@@ -205,10 +225,16 @@ class TuningService:
 
     def _release_lease(self, session: _LiveSession) -> None:
         if session.lease is not None:
+            tenant_id = session.lease.tenant
             try:
                 self.leases.release(session.lease)
             except LeaseLostError:
-                pass   # someone legitimately took over; nothing to give up
+                # someone legitimately took over; nothing to give up —
+                # and no tombstone either, the new owner's directory
+                # entry must not be clobbered by our stale release
+                pass
+            else:
+                self._publish_owner(tenant_id, None)
             session.lease = None
 
     def _ensure_lease(self, tenant_id: str, session: _LiveSession) -> None:
@@ -220,7 +246,7 @@ class TuningService:
         """
         try:
             if session.lease is None:
-                session.lease = self.leases.acquire(tenant_id)
+                session.lease = self._acquire_lease(tenant_id)
             else:
                 session.lease = self.leases.renew_if_due(session.lease)
         except LeaseLostError:
@@ -254,7 +280,7 @@ class TuningService:
             return session
         if self.store.latest_path(tenant_id) is None:
             raise KeyError(f"unknown tenant {tenant_id!r}: call create() first")
-        lease = self.leases.acquire(tenant_id)
+        lease = self._acquire_lease(tenant_id)
         try:
             tuner, _meta, records = self.store.load_latest_chain(tenant_id)
             if not isinstance(tuner, OnlineTune):
@@ -287,7 +313,7 @@ class TuningService:
         # session's lease and silently breaking exactly-one-writer
         if tenant_id in self._live or self.store.latest_path(tenant_id):
             raise ValueError(f"tenant {tenant_id!r} already exists")
-        lease = self.leases.acquire(tenant_id)
+        lease = self._acquire_lease(tenant_id)
         try:
             if self.store.latest_path(tenant_id):   # raced another frontend
                 raise ValueError(f"tenant {tenant_id!r} already exists")
@@ -485,7 +511,7 @@ class TuningService:
                     # not be shadowed (or later re-checkpointed over) by a
                     # pre-batch tuner
                     self._drop_tenant_hold(tenant_id, stale)
-                held[tenant_id] = self.leases.acquire(tenant_id)
+                held[tenant_id] = self._acquire_lease(tenant_id)
             if lockstep:
                 from .batching import run_lockstep
                 outcomes, _ = run_lockstep(
@@ -519,7 +545,9 @@ class TuningService:
                 try:
                     self.leases.release(lease)
                 except LeaseLostError:
-                    pass
+                    pass   # taken over: the new owner publishes itself
+                else:
+                    self._publish_owner(lease.tenant, None)
 
     # -- coalesced interactive stepping ---------------------------------------
     #: methods a StepCall may invoke — the tenant API surface, nothing else

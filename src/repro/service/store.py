@@ -21,12 +21,22 @@ the snapshot payload plus the ordered records to replay.
 
 Tenant ids are validated against a conservative charset so one tenant can
 never address another tenant's files (path-traversal isolation).
+
+The store also hosts the fleet's **lease-holder directory** — a
+tenant→owner hint map under ``<root>/directory/`` that lets clients
+pre-route requests to the frontend currently serving a tenant instead of
+probing and bouncing off ``lease_held`` redirects.  The directory is a
+*hint*, never an authority: the lease file is the only source of truth
+for exclusion, so a stale or lost entry merely degrades a client back to
+the probe-and-redirect path (see :meth:`CheckpointStore.publish_owner`).
 """
 
 from __future__ import annotations
 
+import json
 import os
 import re
+import zlib
 from pathlib import Path
 from typing import Any, Dict, List, Optional, Tuple
 
@@ -54,6 +64,15 @@ _SEG_RE = re.compile(r"^seg-(\d{6,})\.seg$")
 #: records per segment file before the writer rolls to a new one; bounds
 #: the blast radius of a torn tail and keeps individual files small
 SEGMENT_ROLL_RECORDS = 64
+
+#: directory sidecar files the tenant namespace is hashed across — many
+#: frontends append owner updates concurrently, so spreading tenants over
+#: several small files keeps each append log short and compactions cheap
+DIRECTORY_SHARDS = 8
+
+#: a directory sidecar is rewritten down to one line per tenant once its
+#: append log grows past this many records per distinct tenant
+DIRECTORY_COMPACT_FACTOR = 8
 
 
 class CheckpointStore:
@@ -342,6 +361,94 @@ class CheckpointStore:
         base_seq = snapshots[-1]
         return sum(count_segment_records(p) for s, kind, p in arts
                    if kind == "segment" and s > base_seq)
+
+    # -- lease-holder directory ------------------------------------------------
+    #
+    # A fleet of frontends shares this store; exactly one of them holds a
+    # tenant's lease at a time.  The directory publishes that ownership
+    # as a routing *hint*: each frontend appends one JSON line to a
+    # hash-sharded sidecar when it acquires (owner string) or releases
+    # (owner null) a tenant's lease, and clients bulk-read the map to
+    # pre-route requests.  Appends are single O_APPEND writes well under
+    # PIPE_BUF, so concurrent frontends interleave whole lines; the last
+    # line per tenant wins.  Entries are deliberately allowed to be
+    # stale or even lost (compaction can drop a concurrent append):
+    # correctness always comes from the lease — a wrong hint just costs
+    # one lease_held redirect, exactly the pre-directory path.
+
+    def _directory_dir(self) -> Path:
+        return self.root / "directory"
+
+    def _directory_path(self, tenant_id: str) -> Path:
+        shard = zlib.crc32(tenant_id.encode("utf-8")) % DIRECTORY_SHARDS
+        return self._directory_dir() / f"owners-{shard:02d}.jsonl"
+
+    def publish_owner(self, tenant_id: str, owner: Optional[str]) -> None:
+        """Append one tenant→owner directory record (``owner=None``
+        tombstones the entry on lease release).  Best-effort by design:
+        an unwritable directory must never fail the serving path, so OS
+        errors are swallowed — the entry simply stays stale."""
+        self.validate_tenant_id(tenant_id)
+        path = self._directory_path(tenant_id)
+        line = json.dumps({"t": tenant_id, "o": owner},
+                          separators=(",", ":")) + "\n"
+        try:
+            path.parent.mkdir(parents=True, exist_ok=True)
+            fd = os.open(path, os.O_WRONLY | os.O_CREAT | os.O_APPEND, 0o644)
+            try:
+                os.write(fd, line.encode("utf-8"))
+            finally:
+                os.close(fd)
+            self._maybe_compact_directory(path)
+        except OSError:
+            pass
+
+    @staticmethod
+    def _read_directory_file(path: Path) -> Dict[str, Optional[str]]:
+        """Last-record-wins fold of one sidecar; torn/garbage lines (a
+        crash mid-append) are skipped, not fatal."""
+        owners: Dict[str, Optional[str]] = {}
+        try:
+            text = path.read_text(encoding="utf-8")
+        except OSError:
+            return owners
+        for line in text.splitlines():
+            try:
+                record = json.loads(line)
+                owners[str(record["t"])] = record["o"]
+            except (json.JSONDecodeError, KeyError, TypeError):
+                continue
+        return owners
+
+    def _maybe_compact_directory(self, path: Path) -> None:
+        """Rewrite a sidecar down to one line per tenant once the append
+        log is mostly churn.  The replace is atomic for readers; a
+        frontend appending concurrently through an already-open fd can
+        lose that one record — acceptable, the directory is a hint."""
+        try:
+            with path.open("r", encoding="utf-8") as fh:
+                n_lines = sum(1 for _ in fh)
+        except OSError:
+            return
+        owners = self._read_directory_file(path)
+        if n_lines < DIRECTORY_COMPACT_FACTOR * max(1, len(owners)):
+            return
+        tmp = path.with_name(path.name + f".tmp-{os.getpid()}")
+        body = "".join(
+            json.dumps({"t": t, "o": o}, separators=(",", ":")) + "\n"
+            for t, o in sorted(owners.items()) if o is not None)
+        tmp.write_text(body, encoding="utf-8")
+        os.replace(tmp, path)
+
+    def read_owners(self) -> Dict[str, str]:
+        """The current tenant→owner hint map (tombstones folded away)."""
+        owners: Dict[str, Optional[str]] = {}
+        directory = self._directory_dir()
+        if not directory.is_dir():
+            return {}
+        for path in sorted(directory.glob("owners-*.jsonl")):
+            owners.update(self._read_directory_file(path))
+        return {t: o for t, o in owners.items() if o is not None}
 
     # -- retention -----------------------------------------------------------
     def prune(self, tenant_id: str, keep: int = 3) -> int:

@@ -128,6 +128,10 @@ class RemoteFrontend:
     def status(self) -> Dict[str, Any]:
         return self._request("status", None)
 
+    def directory(self) -> Dict[str, str]:
+        """The store-published tenant→owner map (possibly stale)."""
+        return self._request("directory", None)["owners"]
+
     def create(self, tenant_id: str, spec: Optional[TenantSpec] = None,
                warm_start_neighbors: int = 0,
                probe_snapshot=None) -> Dict[str, Any]:
@@ -250,7 +254,8 @@ class AsyncServiceClient:
                  max_failovers: int = DEFAULT_FAILOVER_BUDGET,
                  backoff_base: float = DEFAULT_BACKOFF_BASE,
                  backoff_cap: float = DEFAULT_BACKOFF_CAP,
-                 seed: Optional[int] = None) -> None:
+                 seed: Optional[int] = None,
+                 use_directory: bool = True) -> None:
         self._addresses = list(addresses)
         if not self._addresses:
             raise ValueError("an AsyncServiceClient needs at least one "
@@ -261,8 +266,11 @@ class AsyncServiceClient:
         self._connections: List[_AsyncConnection] = []
         self._by_owner: Dict[str, _AsyncConnection] = {}
         self._affinity: Dict[str, _AsyncConnection] = {}
+        self.use_directory = bool(use_directory)
         self.redirects = 0
         self.retries = 0
+        self.first_hop_hits = 0      # calls whose first attempt landed
+        self.first_hop_misses = 0    # calls that needed >= 1 more hop
 
     async def connect(self) -> None:
         for host, port in self._addresses:
@@ -280,16 +288,46 @@ class AsyncServiceClient:
 
     # -- routing (mirrors ServiceClient._call, awaitably) --------------------
     def _route(self, tenant_id: str) -> _AsyncConnection:
-        return self._affinity.get(tenant_id, self._connections[0])
+        """Affinity, else the directory's owner hint, else frontend 0."""
+        conn = self._affinity.get(tenant_id)
+        if conn is not None:
+            return conn
+        if self.use_directory:
+            owner = self.policy.directory.lookup(tenant_id)
+            if owner is not None:
+                hinted = self._by_owner.get(owner)
+                if hinted is not None:
+                    return hinted
+        return self._connections[0]
+
+    def route_to(self, tenant_id: str, owner: str) -> None:
+        """Pin a tenant's next hop to the frontend with ``owner``
+        identity (e.g. to spread fresh creates across a fleet).  The pin
+        is ordinary affinity: a redirect re-learns the real holder."""
+        conn = self._by_owner.get(owner)
+        if conn is None:
+            raise KeyError(f"no frontend with owner identity {owner!r}")
+        self._affinity[tenant_id] = conn
+
+    async def refresh_directory(self) -> int:
+        """Bulk-refresh the tenant→owner cache via the ``directory`` op
+        (any frontend answers — they share the store).  Returns the
+        number of entries now cached."""
+        result = await self._connections[0].request("directory", None)
+        return self.policy.directory.update(result["owners"])
 
     async def _call(self, tenant_id: str, op: str,
                     payload: Optional[Dict[str, Any]] = None) -> Any:
         conn = self._route(tenant_id)
         state = self.policy.begin(tenant_id, op)
+        first_hop = True
         while True:
             try:
                 result = await conn.request(op, tenant_id, payload)
             except protocol.RETRYABLE_ERRORS as exc:
+                if first_hop:
+                    self.first_hop_misses += 1
+                    first_hop = False
                 decision = state.on_error(exc)
                 target = self._by_owner.get(decision.holder)
                 if target is not None and target is not conn:
@@ -299,7 +337,10 @@ class AsyncServiceClient:
                     self.retries += 1
                 await asyncio.sleep(decision.delay)
                 continue
+            if first_hop:
+                self.first_hop_hits += 1
             self._affinity[tenant_id] = conn
+            self.policy.directory.record(tenant_id, conn.owner)
             return result
 
     # -- tenant API ----------------------------------------------------------

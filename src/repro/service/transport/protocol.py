@@ -28,15 +28,23 @@ Requests
     {"id": <int>, "op": <str>, "tenant": <str|null>, "payload": <obj>}
 
 ``id`` is chosen by the client and echoed verbatim in the response.
-``tenant`` addresses one tenant for every op except ``status`` (which
-is frontend-global and served inline, bypassing the tenant queues).
+``tenant`` addresses one tenant for every op except ``status`` and
+``directory`` (which are frontend-global and served inline, bypassing
+the tenant queues).
 
 =============  =====================================  ========================================
 op             payload                                result (on ``"ok"``)
 =============  =====================================  ========================================
 ``status``     ``{}``                                 ``{"owner", "tenants", "live",
                                                       "inflight", "queue_depth",
-                                                      "max_inflight", "stats"}``
+                                                      "max_inflight", "shard_index",
+                                                      "shard_count", "stats"}``
+``directory``  ``{}``                                 ``{"owners": {tenant: owner, ...}}`` —
+                                                      the store's lease-holder hint map;
+                                                      clients bulk-refresh their pre-routing
+                                                      cache from it.  Hints may be stale: a
+                                                      wrong entry degrades to one
+                                                      ``lease_held`` redirect, never an error
 ``create``     ``{"spec": {"space", "seed",           ``{"created": true, "n_observations"}``
                "memory_bytes", "vcpus"}?,
                "warm_start_neighbors"?,

@@ -112,13 +112,21 @@ class TuningServer:
     fuse_appends:
         Forwarded to :meth:`TuningService.step_batch`: fuse concurrent
         tenants' GP appends into one kernel GEMM per round.
+    shard_index / shard_count:
+        This frontend's identity in an N-frontend fleet (strided
+        ``position % shard_count`` over the tenant namespace, the same
+        partition ``run_batch`` and the sharded janitor use).  Reported
+        in ``status`` so operators and harnesses can see the topology;
+        the serving path itself never rejects out-of-shard tenants —
+        leases, not shards, own exclusion.
     """
 
     def __init__(self, service: TuningService, host: str = "127.0.0.1",
                  port: int = 0, queue_depth: int = DEFAULT_QUEUE_DEPTH,
                  max_inflight: int = DEFAULT_MAX_INFLIGHT,
                  retry_after: float = DEFAULT_RETRY_AFTER,
-                 fuse_appends: bool = True) -> None:
+                 fuse_appends: bool = True,
+                 shard_index: int = 0, shard_count: int = 1) -> None:
         self.service = service
         self.host = host
         self.port = int(port)
@@ -126,6 +134,8 @@ class TuningServer:
         self.max_inflight = max(1, int(max_inflight))
         self.retry_after = float(retry_after)
         self.fuse_appends = bool(fuse_appends)
+        self.shard_index = int(shard_index)
+        self.shard_count = max(1, int(shard_count))
         # tenant -> FIFO of _Pending; OrderedDict gives deterministic
         # round-robin order across tenants
         self._queues: "OrderedDict[str, Deque[_Pending]]" = OrderedDict()
@@ -145,6 +155,7 @@ class TuningServer:
             "max_round": 0,       # widest round (tenants coalesced at once)
             "fused_rows": 0,      # GP append rows drained via step_batch
             "fused_groups": 0,    # fused kernel GEMM groups executed
+            "aborted_connections": 0,  # teardown errors closing a socket
         }
 
     # -- lifecycle -----------------------------------------------------------
@@ -169,12 +180,24 @@ class TuningServer:
             await self._dispatcher
         for conn in self._connections:
             conn.closed = True
-            try:
-                conn.writer.close()
-            except RuntimeError:
-                pass
+            self._close_writer(conn.writer)
         # serving guarantee: nothing was left in a queue unanswered
         assert self._inflight == 0 and not any(self._queues.values())
+
+    def _close_writer(self, writer: asyncio.StreamWriter) -> None:
+        """Close one transport, counting (not hiding) teardown failures.
+
+        A close that raises means the socket died under us (peer reset,
+        event loop torn down).  The request accounting already covered
+        the in-flight answer, but the *connection* loss must stay
+        visible: ``aborted_connections`` keeps these out of the silent
+        ``pass`` bucket so the smoke job can distinguish "drained clean"
+        from "drained, but sockets were dying".
+        """
+        try:
+            writer.close()
+        except Exception:
+            self._stats["aborted_connections"] += 1
 
     def stats(self) -> Dict[str, int]:
         return dict(self._stats)
@@ -197,10 +220,7 @@ class TuningServer:
         finally:
             conn.closed = True
             self._connections.remove(conn)
-            try:
-                writer.close()
-            except RuntimeError:
-                pass
+            self._close_writer(writer)
 
     async def _handle_request(self, request: Any, conn: _Connection) -> None:
         if not isinstance(request, dict):
@@ -215,6 +235,10 @@ class TuningServer:
         if op == "status":                   # global, cheap: serve inline
             await self._answer(conn, protocol.ok_response(
                 request_id, self._status_result()))
+            return
+        if op == "directory":                # global, read-only: inline
+            await self._answer(conn, protocol.ok_response(
+                request_id, {"owners": self.service.directory()}))
             return
         if op not in _TENANT_OPS or not isinstance(tenant, str) or not tenant:
             await self._answer(conn, {
@@ -279,6 +303,8 @@ class TuningServer:
             "inflight": self._inflight,
             "queue_depth": self.queue_depth,
             "max_inflight": self.max_inflight,
+            "shard_index": self.shard_index,
+            "shard_count": self.shard_count,
             "stats": self.stats(),
         }
 

@@ -1,0 +1,191 @@
+"""Determinism-tier Hypothesis sweeps: replay, fencing, shard-merge.
+
+These are the store/partition invariants the fleet's correctness story
+rests on, swept at the :data:`~strategies.DETERMINISM_SETTINGS` tier
+(hundreds of examples) because a single counterexample means silently
+divergent tuning state:
+
+* **Replay** — a delta chain read back from disk is exactly the record
+  sequence that was appended, in order, for any chain length, payload
+  shape, segment-roll size, and compaction point.
+* **Fencing** — the store admits a writer's token iff it is not older
+  than any token already admitted; a zombie's append is rejected the
+  moment a successor has written with a newer token.
+* **Shard-merge** — the strided partition is disjoint and complete for
+  any namespace and shard count, the janitor's assignment rule is the
+  same partition ``run_batch`` uses, and splitting a batch result by
+  stride always merges back to the original.
+
+Each example builds its own throwaway store root (cheap: a few small
+files), so the sweeps stay fast enough for tier-1.
+"""
+
+from __future__ import annotations
+
+import tempfile
+
+import pytest
+from hypothesis import given
+from hypothesis import strategies as st
+
+from repro.harness.runner import shard_specs
+from repro.service import CheckpointStore, Janitor, merge_batch_shards
+from repro.service.checkpoint import StaleFenceError
+
+from strategies import DETERMINISM_SETTINGS
+
+# small, picklable, equality-stable record payloads (no NaN: replay
+# equality is ==, and NaN payloads would need bit-level comparison)
+_records = st.lists(
+    st.one_of(
+        st.integers(min_value=-(10 ** 9), max_value=10 ** 9),
+        st.text(max_size=12),
+        st.tuples(st.integers(min_value=0, max_value=99),
+                  st.floats(min_value=-1e6, max_value=1e6,
+                            allow_nan=False))),
+    max_size=6)
+
+_tenant_names = st.sets(
+    st.text(alphabet="abcdwxyz0123456789", min_size=1, max_size=8),
+    min_size=1, max_size=12)
+
+
+class TestReplaySweep:
+    @given(records=_records, roll=st.integers(min_value=1, max_value=4))
+    @DETERMINISM_SETTINGS
+    def test_chain_replays_exactly_what_was_appended(self, records, roll):
+        with tempfile.TemporaryDirectory() as root:
+            store = CheckpointStore(root, segment_roll_records=roll)
+            store.save("t", {"base": True},
+                       metadata={"n_observations": 0})
+            for position, record in enumerate(records, start=1):
+                store.save_delta("t", record, position=position)
+            payload, meta, replayed = store.load_latest_chain("t")
+            assert payload == {"base": True}
+            assert replayed == records
+            assert store.chain_length("t") == len(records)
+            store.close()
+
+    @given(records=_records, split=st.integers(min_value=0, max_value=6),
+           roll=st.integers(min_value=1, max_value=3))
+    @DETERMINISM_SETTINGS
+    def test_compaction_point_never_changes_the_suffix(self, records,
+                                                       split, roll):
+        """Compacting mid-chain (new snapshot at any point) leaves the
+        replayed suffix exactly the records appended after it."""
+        split = min(split, len(records))
+        with tempfile.TemporaryDirectory() as root:
+            store = CheckpointStore(root, segment_roll_records=roll)
+            store.save("t", {"n": 0}, metadata={"n_observations": 0})
+            for position, record in enumerate(records[:split], start=1):
+                store.save_delta("t", record, position=position)
+            # compaction: the replayed prefix becomes the new base
+            store.save("t", {"n": split},
+                       metadata={"n_observations": split})
+            for position, record in enumerate(records[split:],
+                                              start=split + 1):
+                store.save_delta("t", record, position=position)
+            payload, _meta, replayed = store.load_latest_chain("t")
+            assert payload == {"n": split}
+            assert replayed == records[split:]
+            store.close()
+
+
+class TestFencingSweep:
+    @given(tokens=st.lists(st.integers(min_value=0, max_value=20),
+                           min_size=1, max_size=6))
+    @DETERMINISM_SETTINGS
+    def test_store_admits_only_monotone_tokens(self, tokens):
+        """For any token sequence: a write is admitted iff its token is
+        >= every token already admitted, and the recorded high-water
+        mark is exactly the max admitted."""
+        with tempfile.TemporaryDirectory() as root:
+            store = CheckpointStore(root)
+            high = None
+            for i, token in enumerate(tokens):
+                if high is not None and token < high:
+                    with pytest.raises(StaleFenceError):
+                        store.save("t", {"i": i}, fence=token)
+                else:
+                    store.save("t", {"i": i}, fence=token)
+                    high = token
+            assert store.recorded_fence("t") == high
+
+    @given(appends=st.integers(min_value=1, max_value=4),
+           bump=st.integers(min_value=1, max_value=5))
+    @DETERMINISM_SETTINGS
+    def test_zombie_writer_rejected_after_takeover(self, appends, bump):
+        """However long the zombie's chain and whatever the successor's
+        token distance, the zombie's next append fails — even through
+        its already-open segment writer."""
+        with tempfile.TemporaryDirectory() as root:
+            zombie = CheckpointStore(root)
+            zombie.save("t", {"base": 0}, metadata={"n_observations": 0},
+                        fence=1)
+            for position in range(1, appends + 1):
+                zombie.save_delta("t", position, position=position,
+                                  fence=1)
+            successor = CheckpointStore(root)
+            successor.save("t", {"base": 1},
+                           metadata={"n_observations": appends},
+                           fence=1 + bump)
+            with pytest.raises(StaleFenceError):
+                zombie.save_delta("t", appends + 1,
+                                  position=appends + 1, fence=1)
+            zombie.close()
+            successor.close()
+
+
+class TestShardMergeSweep:
+    @given(n_items=st.integers(min_value=1, max_value=40),
+           shard_count=st.integers(min_value=1, max_value=8))
+    @DETERMINISM_SETTINGS
+    def test_strided_partition_disjoint_and_complete(self, n_items,
+                                                     shard_count):
+        items = list(range(n_items))
+        covered = []
+        for index in range(shard_count):
+            shard = [i for i, _ in shard_specs(items, index, shard_count)]
+            assert shard == items[index::shard_count]
+            covered.extend(shard)
+        assert sorted(covered) == items
+
+    @given(names=_tenant_names,
+           shard_count=st.integers(min_value=1, max_value=5))
+    @DETERMINISM_SETTINGS
+    def test_janitor_assignment_is_the_run_batch_partition(self, names,
+                                                           shard_count):
+        """The janitors' slices are disjoint, cover the namespace, and
+        equal the ``shard_specs`` stride over the same sorted tenants —
+        one partition convention across run_batch, serve, and janitor."""
+        with tempfile.TemporaryDirectory() as root:
+            store = CheckpointStore(root)
+            for name in names:
+                store.tenant_dir(name).mkdir(parents=True)
+            tenants = store.tenants()
+            seen = []
+            for index in range(shard_count):
+                janitor = Janitor(root, shard_index=index,
+                                  shard_count=shard_count)
+                report = janitor.run_once()
+                assigned = tenants[index::shard_count]
+                assert report.skipped_out_of_shard == (len(tenants)
+                                                      - len(assigned))
+                expected = [tenants[i] for i, _ in
+                            shard_specs(tenants, index, shard_count)]
+                assert assigned == expected
+                seen.extend(assigned)
+            assert sorted(seen) == tenants
+
+    @given(names=_tenant_names,
+           shard_count=st.integers(min_value=1, max_value=5))
+    @DETERMINISM_SETTINGS
+    def test_batch_shards_merge_back_exactly(self, names, shard_count):
+        tenants = sorted(names)
+        results = {tenant: object() for tenant in tenants}
+        shards = [{tenant: results[tenant]
+                   for tenant in tenants[index::shard_count]}
+                  for index in range(shard_count)]
+        merged = merge_batch_shards(tenants, shards)
+        assert list(merged) == tenants
+        assert all(merged[t] is results[t] for t in tenants)

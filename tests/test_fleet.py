@@ -350,6 +350,84 @@ class TestJanitor:
         assert janitor._thread is None
 
 
+class TestJanitorSharding:
+    """N-frontend fleets run N janitors; each owns a disjoint slice of
+    the tenant namespace and must never lease-probe outside it."""
+
+    def _idle_population(self, root, n=5, intervals=5):
+        """n idle tenants with uncompacted delta chains: the frontend
+        crashes (chains + expiring leases left behind) and its TTL
+        passes, so every tenant is sweepable."""
+        ttl = 0.5
+        service = TuningService(root, durability="delta", snapshot_every=4,
+                                compaction="janitor", lease_ttl=ttl)
+        tenants = [f"t{i}" for i in range(n)]
+        for i, tenant in enumerate(tenants):
+            service.create(tenant, TenantSpec(space="case_study", seed=i))
+            drive_service(service, tenant, build_db(i), 0, intervals)
+        service.store.close()        # crash: chains + stale leases left
+        time.sleep(ttl + 0.1)        # the dead frontend's TTL passes
+        return service, tenants
+
+    def test_out_of_shard_tenants_skipped_and_counted(self, tmp_path):
+        service, tenants = self._idle_population(tmp_path)
+        janitor = Janitor(tmp_path, snapshot_every=4, lease_ttl=5.0,
+                          shard_index=0, shard_count=2)
+        report = janitor.run_once()
+        # strided ownership: shard 0 of 2 over 5 sorted tenants owns
+        # positions 0, 2, 4 — the other two are skipped, not probed
+        assert sorted(report.compacted) == ["t0", "t2", "t4"]
+        assert report.skipped_out_of_shard == 2
+        assert report.skipped_leased == []
+        for tenant in ("t1", "t3"):
+            assert service.store.chain_length(tenant) > 0   # untouched
+
+    def test_default_single_shard_sweeps_everything(self, tmp_path):
+        _, tenants = self._idle_population(tmp_path, n=3)
+        janitor = Janitor(tmp_path, snapshot_every=4, lease_ttl=5.0)
+        report = janitor.run_once()
+        assert sorted(report.compacted) == tenants
+        assert report.skipped_out_of_shard == 0
+
+    def test_disjoint_janitors_never_cross_probe(self, tmp_path):
+        """Two janitors on complementary shards, interleaved sweep by
+        sweep: disjoint compaction sets whose union covers the fleet,
+        and *zero* lease acquisitions outside each janitor's slice."""
+        service, tenants = self._idle_population(tmp_path, n=6)
+        janitors = [Janitor(tmp_path, snapshot_every=4, lease_ttl=5.0,
+                            owner=f"janitor-{i}", shard_index=i,
+                            shard_count=2)
+                    for i in range(2)]
+        probed = {0: [], 1: []}
+        for i, janitor in enumerate(janitors):
+            original = janitor.leases.acquire
+
+            def spying_acquire(tenant_id, _i=i, _orig=original):
+                probed[_i].append(tenant_id)
+                return _orig(tenant_id)
+
+            janitor.leases.acquire = spying_acquire
+        # interleave: A sweeps, B sweeps, A again, B again
+        reports = [janitors[0].run_once(), janitors[1].run_once(),
+                   janitors[0].run_once(), janitors[1].run_once()]
+        compacted = {0: set(reports[0].compacted) | set(reports[2].compacted),
+                     1: set(reports[1].compacted) | set(reports[3].compacted)}
+        assert compacted[0] & compacted[1] == set()
+        assert compacted[0] | compacted[1] == set(tenants)
+        # the load-bearing claim: neither janitor lease-probed the
+        # other's territory, so sharding removed the wasted round-trips
+        assert set(probed[0]) == {"t0", "t2", "t4"}
+        assert set(probed[1]) == {"t1", "t3", "t5"}
+        for janitor in janitors:
+            assert janitor.total_cross_shard == 0
+            assert janitor.total_skipped_out_of_shard == 6   # 3 x 2 sweeps
+
+    def test_shard_index_normalized_modulo_count(self, tmp_path):
+        janitor = Janitor(tmp_path, shard_index=5, shard_count=3)
+        assert janitor.shard_index == 2
+        assert janitor.shard_count == 3
+
+
 class TestReviewRegressions:
     """Regressions from the pre-merge review."""
 

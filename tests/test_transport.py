@@ -550,6 +550,81 @@ class TestBackpressure:
 
 
 # ---------------------------------------------------------------------------
+# connection teardown accounting
+# ---------------------------------------------------------------------------
+
+class _BrokenWriter:
+    """A transport whose close() dies — the teardown failure the server
+    must count rather than silently swallow."""
+
+    def close(self):
+        raise RuntimeError("event loop is closed")
+
+
+class TestConnectionTeardown:
+    def test_socket_killed_mid_response_lands_in_unanswered(self, tmp_path):
+        """A peer that dies between sending a request and reading its
+        answer must show up in the accounting — the request is served,
+        the lost acknowledgement is counted, and the invariant
+        ``accepted == completed + rejected + unanswered`` still holds."""
+        async def scenario():
+            service = SlowService(tmp_path, durability="delta")
+            service.round_delay = 0.2        # answers lag the kill
+            server = TuningServer(service, port=0)
+            await server.start()
+            client = AsyncServiceClient([server.address], seed=0)
+            await client.connect()
+            await client.create("t", SPEC)
+            await client.aclose()
+
+            reader, writer = await asyncio.open_connection(*server.address)
+            frame = protocol.encode_frame({
+                "id": 1, "op": "suggest", "tenant": "t",
+                "payload": {"input":
+                            protocol.encode_suggest_input(make_input())}})
+            writer.write(frame)
+            await writer.drain()
+            accepted_before = server.stats()["accepted"]
+            for _ in range(200):             # wait until it's off the socket
+                if server.stats()["accepted"] > accepted_before:
+                    break
+                await asyncio.sleep(0.005)
+            writer.close()                   # die before the answer arrives
+            await server.stop()              # drain answers into the void
+            return server.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["unanswered"] == 1
+        assert stats["accepted"] == (stats["completed"] + stats["rejected"]
+                                     + stats["unanswered"])
+
+    def test_teardown_close_failure_is_counted_not_swallowed(self, tmp_path):
+        """The two historical ``except ...: pass`` teardown sites now
+        count into ``aborted_connections`` — a dying writer can no
+        longer vanish without a trace."""
+        async def scenario():
+            service = TuningService(tmp_path, durability="delta")
+            server = TuningServer(service, port=0)
+            await server.start()
+            assert server.stats()["aborted_connections"] == 0
+            # the per-connection teardown path
+            server._close_writer(_BrokenWriter())
+            # the stop() fleet-teardown path: a connection whose
+            # transport dies during shutdown
+            from repro.service.transport.server import _Connection
+            server._connections.append(_Connection(_BrokenWriter()))
+            await server.stop()
+            return server.stats()
+
+        stats = asyncio.run(scenario())
+        assert stats["aborted_connections"] == 2
+        # aborted connections are a separate axis: request accounting
+        # stays exact
+        assert stats["accepted"] == (stats["completed"] + stats["rejected"]
+                                     + stats["unanswered"])
+
+
+# ---------------------------------------------------------------------------
 # CLI serve mode
 # ---------------------------------------------------------------------------
 
