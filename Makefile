@@ -3,7 +3,8 @@ export PYTHONPATH := $(CURDIR)/src$(if $(PYTHONPATH),:$(PYTHONPATH))
 
 .PHONY: test test-service lint perf-test bench bench-baseline bench-check \
 	bench-check-relative bench-fleet bench-fleet-baseline \
-	bench-fleet-multi fleet-smoke service-demo serve
+	bench-fleet-multi bench-fleet-kill fleet-smoke fleet-kill-smoke \
+	service-demo serve
 
 test:            ## tier-1 suite (perf microbenchmarks + slow stress excluded)
 	$(PYTHON) -m pytest -x -q
@@ -17,6 +18,7 @@ test-service:    ## service/durability suites incl. the slow multi-process stres
 		$(CURDIR)/tests/test_service_faults.py \
 		$(CURDIR)/tests/test_service_concurrency.py \
 		$(CURDIR)/tests/test_fleet.py \
+		$(CURDIR)/tests/test_failover.py \
 		$(CURDIR)/tests/test_golden_trajectories.py
 
 lint:            ## ruff gate (rule set in pyproject.toml); stdlib fallback when ruff is absent
@@ -54,8 +56,17 @@ bench-fleet-baseline:  ## record the current tree as the fleet-serving baseline
 bench-fleet-multi:  ## 2-frontend shared-store fleet load (directory pre-routing vs probe-first) -> 'multi_frontend'
 	$(PYTHON) -m benchmarks.fleet_load --frontends 2
 
+bench-fleet-kill:  ## kill-mode fleet bench: 3 subprocess frontends, SIGKILL one mid-load, record takeover latency -> 'takeover'
+	$(PYTHON) -m benchmarks.fleet_load --frontends 3 --kill-after 2 \
+		--tenants 24 --intervals 6
+
 fleet-smoke:     ## CI fleet job: small mixed-workload run, asserts serving invariants, writes nothing
 	$(PYTHON) -m benchmarks.fleet_load --smoke --tenants 24 --intervals 3
+
+fleet-kill-smoke:  ## CI takeover gate: SIGKILL a frontend mid-load, assert zero lost calls + clean survivor drain, writes nothing
+	$(PYTHON) -m benchmarks.fleet_load --smoke --frontends 2 \
+		--kill-after 1.0 --lease-ttl 1.5 --tenants 12 --intervals 4 \
+		--ramp-window 2
 
 serve:           ## run one wire frontend (repro-service serve); HOST/PORT/STORE_ROOT overridable
 	$(PYTHON) -m repro.service.cli serve --host $(or $(HOST),127.0.0.1) \

@@ -23,6 +23,17 @@ two topologies:
   recording redirect rate, first-hop hit rate, and the lease-contention
   tail for each.
 
+* **Kill mode** (``--frontends N --kill-after S``): N *subprocess*
+  frontends (the ``repro-service serve`` CLI — a real process is the
+  only thing SIGKILL can hit) over one shared store.  Tenants are
+  provisioned round-robin, load ramps in, and after ``S`` seconds one
+  frontend is SIGKILLed mid-traffic.  The run measures **takeover
+  latency** — kill to first successful call per orphaned tenant,
+  p50/p95 — and asserts the failover guarantees: zero lost client
+  calls (no ``FailoverExhaustedError``), every orphan recovered onto a
+  survivor, survivors drain clean (``unanswered=0``) and their logs
+  show the lease takeovers.  Recorded under the ``takeover`` key.
+
 Arrival shape: by default streams **ramp in** over ``--ramp-window``
 seconds (tenant i starts at ``window * i / (n-1)``), so latency
 percentiles measure service time.  ``--burst`` restores the original
@@ -40,6 +51,8 @@ Usage::
     PYTHONPATH=src python -m benchmarks.fleet_load                 # refresh 'current'
     PYTHONPATH=src python -m benchmarks.fleet_load --burst         # refresh 'current_burst'
     PYTHONPATH=src python -m benchmarks.fleet_load --frontends 2   # refresh 'multi_frontend'
+    PYTHONPATH=src python -m benchmarks.fleet_load --frontends 3 \
+        --kill-after 2                                             # refresh 'takeover'
     PYTHONPATH=src python -m benchmarks.fleet_load --as-baseline   # record 'baseline'
     PYTHONPATH=src python -m benchmarks.fleet_load --smoke         # CI: small ramped run,
                                                                    # asserts invariants,
@@ -56,15 +69,21 @@ import argparse
 import asyncio
 import json
 import math
+import os
 import platform
+import re
+import signal
+import subprocess
+import sys
 import tempfile
 import time
 from pathlib import Path
-from typing import Dict, List
+from typing import Dict, List, Tuple
 
 import numpy as np
 
-OUTPUT_PATH = Path(__file__).resolve().parent.parent / "BENCH_fleet.json"
+REPO_ROOT = Path(__file__).resolve().parent.parent
+OUTPUT_PATH = REPO_ROOT / "BENCH_fleet.json"
 
 #: the fixed workload mix (name, weight): deterministic round-robin
 #: assignment, so tenant i's workload never changes across runs
@@ -397,7 +416,315 @@ async def _run_multi_frontend(args) -> Dict[str, object]:
     return result
 
 
+# -- kill mode: subprocess frontends + mid-load SIGKILL ----------------------
+
+def _spawn_frontend(index: int, n: int, root: str, args,
+                    log_path: Path) -> Tuple[subprocess.Popen, object]:
+    """Start one ``repro-service serve`` frontend; stdout -> log file."""
+    env = dict(os.environ)
+    env["PYTHONPATH"] = (str(REPO_ROOT / "src") + os.pathsep
+                         + env.get("PYTHONPATH", ""))
+    cmd = [sys.executable, "-u", "-m", "repro.service.cli", "serve",
+           "--port", "0", "--store-root", str(root),
+           "--shard-index", str(index), "--shard-count", str(n),
+           "--lease-ttl", str(args.lease_ttl),
+           "--queue-depth", str(args.queue_depth),
+           "--max-inflight", str(args.max_inflight),
+           "--max-live", str(args.tenants + 8)]
+    log = open(log_path, "w")
+    proc = subprocess.Popen(cmd, stdout=log, stderr=subprocess.STDOUT,
+                            env=env)
+    return proc, log
+
+
+def _wait_ready(proc: subprocess.Popen, log_path: Path,
+                timeout: float = 90.0) -> Tuple[str, int, str]:
+    """Poll the serve log for the ``READY host port owner`` line."""
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if proc.poll() is not None:
+            raise RuntimeError(
+                f"frontend exited before READY (rc={proc.returncode}); "
+                f"log: {log_path.read_text()[-2000:]}")
+        for line in log_path.read_text().splitlines():
+            if line.startswith("READY "):
+                _ready, host, port, owner = line.split()
+                return host, int(port), owner
+        time.sleep(0.05)
+    raise RuntimeError(f"frontend never printed READY; see {log_path}")
+
+
+async def _kill_timed(client, phase: str, coro, tenant_id: str,
+                      lat: Dict[str, List[float]], ks: Dict) -> object:
+    """Time one call; on success after the kill, detect an orphan's
+    recovery (its owner hint now names a survivor) and record the
+    kill->first-success latency.  Failures are *lost requests* — the
+    zero-lost invariant the mode exists to enforce."""
+    t0 = time.perf_counter()
+    try:
+        result = await coro
+    except Exception as exc:  # noqa: BLE001 - accounted, then re-raised
+        ks["lost"].append((tenant_id, phase, repr(exc)))
+        raise
+    t1 = time.perf_counter()
+    lat[phase].append(t1 - t0)
+    if (ks["kill_wall"] is not None and tenant_id in ks["orphans"]
+            and tenant_id not in ks["recovered"]):
+        owner_now = client.policy.directory.lookup(tenant_id)
+        if owner_now is not None and owner_now != ks["killed_owner"]:
+            ks["recovered"][tenant_id] = t1 - ks["kill_wall"]
+    return result
+
+
+async def _kill_stream(client, tenant_index: int, workload: str,
+                       inputs: Dict[str, list], intervals: int,
+                       lat: Dict[str, List[float]], ks: Dict,
+                       start_delay: float) -> None:
+    tenant_id = f"fleet-{tenant_index:04d}"
+    if start_delay > 0:
+        await asyncio.sleep(start_delay)
+    last_metrics: Dict[str, float] = {}
+    for t in range(intervals):
+        inp = inputs[workload][t]
+        inp = type(inp)(iteration=inp.iteration, snapshot=inp.snapshot,
+                        metrics=last_metrics,
+                        default_performance=inp.default_performance,
+                        is_olap=inp.is_olap)
+        config = await _kill_timed(client, "suggest",
+                                   client.suggest(tenant_id, inp),
+                                   tenant_id, lat, ks)
+        feedback = _synthetic_feedback(tenant_index, t, config, inp)
+        await _kill_timed(client, "observe",
+                          client.observe(tenant_id, feedback),
+                          tenant_id, lat, ks)
+        last_metrics = feedback.metrics
+
+
+async def _kill_load_phase(args, addresses, procs,
+                           ks: Dict) -> Dict[str, object]:
+    """Ramp the load in, SIGKILL one frontend mid-run, finish the load,
+    then confirm every orphan recovered onto a survivor."""
+    from repro.service.client import DEFAULT_BACKOFF_CAP
+    from repro.service.transport.client import AsyncServiceClient
+
+    assignment = _mix_assignment(args.tenants)
+    inputs = _build_inputs(args.intervals, seed=args.seed)
+    lat: Dict[str, List[float]] = {p: [] for p in PHASES}
+    delays = _start_delays(args.tenants,
+                           0.0 if args.burst else args.ramp_window)
+    # a survivor bounces orphan calls with lease_held (dead holder) until
+    # the corpse's lease TTL lapses; the budget must cover riding that
+    # out at the backoff cap, on top of the ordinary failover allowance
+    budget = max(args.max_failovers,
+                 int(args.lease_ttl / DEFAULT_BACKOFF_CAP) + 16)
+    client = AsyncServiceClient(addresses, seed=args.seed,
+                                max_failovers=budget)
+    await client.connect()
+    await client.refresh_directory()
+
+    async def killer() -> None:
+        await asyncio.sleep(args.kill_after)
+        procs[args.kill_index].kill()         # SIGKILL, mid-traffic
+        ks["kill_wall"] = time.perf_counter()
+
+    kill_task = asyncio.ensure_future(killer())
+    wall0 = time.perf_counter()
+    results = await asyncio.gather(*(
+        _kill_stream(client, i, assignment[i], inputs, args.intervals,
+                     lat, ks, start_delay=delays[i])
+        for i in range(args.tenants)), return_exceptions=True)
+    wall = time.perf_counter() - wall0
+    await kill_task
+    stream_errors = [r for r in results if isinstance(r, BaseException)]
+    # confirmation pass: an orphan whose streams all finished before the
+    # kill still must be recoverable — one post-kill call each proves
+    # the takeover path and closes the recovery measurement
+    for tenant_id in sorted(ks["orphans"] - set(ks["recovered"])):
+        try:
+            await _kill_timed(client, "checkpoint",
+                              client.checkpoint(tenant_id),
+                              tenant_id, lat, ks)
+        except Exception:
+            pass                              # recorded in ks["lost"]
+    counters = {
+        "redirects": client.redirects,
+        "retries": client.retries,
+        "frontend_deaths": client.frontend_deaths,
+        "directory_refreshes": client.directory_refreshes,
+        "first_hop_hits": client.first_hop_hits,
+        "first_hop_misses": client.first_hop_misses,
+    }
+    await client.aclose()
+    acked = sum(len(v) for v in lat.values())
+    return {
+        "wall_seconds": wall,
+        "requests_acked": acked,
+        "sustained_qps": acked / wall if wall else 0.0,
+        "phases": {p: _percentiles(lat[p])
+                   for p in ("suggest", "observe")},
+        "client": counters,
+        "stream_errors": [repr(e) for e in stream_errors],
+    }
+
+
+def _parse_survivor_log(text: str) -> Dict[str, object]:
+    """Grep one survivor's serve log for the shutdown accounting line
+    and the takeover events (the same lines the CI smoke step greps)."""
+    unanswered = None
+    takeovers = None
+    m = re.search(r"shutdown clean:.*\bunanswered=(\d+)", text)
+    if m:
+        unanswered = int(m.group(1))
+    m = re.search(r"shutdown clean:.*\btakeovers=(\d+)", text)
+    if m:
+        takeovers = int(m.group(1))
+    takeover_tenants = re.findall(r"lease takeover: tenant=(\S+)", text)
+    return {"unanswered": unanswered, "takeovers": takeovers,
+            "takeover_tenants": takeover_tenants,
+            "clean_shutdown": "shutdown clean:" in text}
+
+
+def _run_kill(args) -> Dict[str, object]:
+    """Kill-mode benchmark: N subprocess frontends, SIGKILL one mid-load."""
+    n_fe = args.frontends
+    if not (0 <= args.kill_index < n_fe):
+        raise ValueError(f"--kill-index {args.kill_index} out of range "
+                         f"for {n_fe} frontends")
+    with tempfile.TemporaryDirectory(prefix="repro-fleet-kill-") as root:
+        log_dir = Path(root) / "serve-logs"
+        log_dir.mkdir()
+        procs: List[subprocess.Popen] = []
+        logs: List[object] = []
+        log_paths: List[Path] = []
+        addresses: List[Tuple[str, int]] = []
+        owners: List[str] = []
+        try:
+            store_root = Path(root) / "store"
+            for i in range(n_fe):
+                log_path = log_dir / f"serve-{i}.log"
+                proc, log = _spawn_frontend(i, n_fe, store_root, args,
+                                            log_path)
+                procs.append(proc)
+                logs.append(log)
+                log_paths.append(log_path)
+            for i in range(n_fe):
+                host, port, owner = _wait_ready(procs[i], log_paths[i])
+                addresses.append((host, port))
+                owners.append(owner)
+
+            killed_owner = owners[args.kill_index]
+            orphans = {f"fleet-{i:04d}" for i in range(args.tenants)
+                       if i % n_fe == args.kill_index}
+            ks: Dict = {"kill_wall": None, "killed_owner": killed_owner,
+                        "orphans": orphans, "recovered": {}, "lost": []}
+
+            async def provision() -> None:
+                from repro.service.transport.client import AsyncServiceClient
+                setup_lat = {p: [] for p in PHASES}
+                setup = AsyncServiceClient(addresses, seed=args.seed,
+                                           max_failovers=args.max_failovers)
+                await setup.connect()
+                assignment = _mix_assignment(args.tenants)
+                inputs = _build_inputs(args.intervals, seed=args.seed)
+                for i in range(args.tenants):
+                    setup.route_to(f"fleet-{i:04d}", owners[i % n_fe])
+                await asyncio.gather(*(
+                    _tenant_stream(setup, i, assignment[i], inputs, 0,
+                                   setup_lat, args.space, checkpoint=False)
+                    for i in range(args.tenants)))
+                await setup.aclose()
+
+            asyncio.run(provision())
+            load = asyncio.run(_kill_load_phase(args, addresses, procs, ks))
+
+            # drain survivors cleanly; reap the corpse
+            for i, proc in enumerate(procs):
+                if i == args.kill_index:
+                    proc.wait(timeout=30)
+                else:
+                    proc.send_signal(signal.SIGINT)
+            survivor_rcs = []
+            for i, proc in enumerate(procs):
+                if i != args.kill_index:
+                    survivor_rcs.append(proc.wait(timeout=60))
+        finally:
+            for proc in procs:
+                if proc.poll() is None:
+                    proc.kill()
+                    proc.wait(timeout=10)
+            for log in logs:
+                log.close()
+
+        survivors = [_parse_survivor_log(log_paths[i].read_text())
+                     for i in range(n_fe) if i != args.kill_index]
+
+    takeover_lat = sorted(ks["recovered"].values())
+    takeover_tenants_logged = {t for s in survivors
+                               for t in s["takeover_tenants"]}
+    result: Dict[str, object] = {
+        "frontends": n_fe,
+        "tenants": args.tenants,
+        "intervals": args.intervals,
+        "space": args.space,
+        "seed": args.seed,
+        "arrival": _arrival(args),
+        "kill_after_seconds": args.kill_after,
+        "kill_index": args.kill_index,
+        "killed_owner": killed_owner,
+        "lease_ttl": args.lease_ttl,
+        "load": load,
+        "takeover": {
+            **_percentiles(takeover_lat),
+            "orphans": len(ks["orphans"]),
+            "recovered": len(ks["recovered"]),
+            "lost_requests": len(ks["lost"]),
+        },
+        "lost": ks["lost"],
+        "survivors": survivors,
+        "python": platform.python_version(),
+        "machine": platform.machine(),
+    }
+    result["invariants"] = {
+        "zero_lost_requests": not ks["lost"] and not load["stream_errors"],
+        "all_orphans_recovered":
+            set(ks["recovered"]) == ks["orphans"],
+        "survivors_clean_exit": all(rc == 0 for rc in survivor_rcs),
+        "survivors_unanswered_zero":
+            all(s["unanswered"] == 0 for s in survivors),
+        "takeovers_visible":
+            bool(ks["orphans"] & takeover_tenants_logged),
+    }
+    return result
+
+
 def run_benchmark(args, verbose: bool = True) -> Dict[str, object]:
+    if args.kill_after is not None:
+        result = _run_kill(args)
+        if verbose:
+            tk = result["takeover"]
+            print(f"fleet kill: {result['frontends']} frontends, "
+                  f"{result['tenants']} tenant streams x "
+                  f"{result['intervals']} intervals; SIGKILL frontend "
+                  f"{result['kill_index']} ({result['killed_owner']}) at "
+                  f"t={result['kill_after_seconds']:g}s, "
+                  f"lease_ttl={result['lease_ttl']:g}s")
+            if tk.get("count"):
+                print(f"  takeover   orphans={tk['orphans']} "
+                      f"recovered={tk['recovered']} "
+                      f"p50={tk['p50_ms']:.0f} ms  "
+                      f"p95={tk['p95_ms']:.0f} ms  "
+                      f"max={tk['max_ms']:.0f} ms")
+            cl = result["load"]["client"]
+            print(f"  client     frontend_deaths={cl['frontend_deaths']} "
+                  f"directory_refreshes={cl['directory_refreshes']} "
+                  f"redirects={cl['redirects']} retries={cl['retries']} "
+                  f"lost_requests={tk['lost_requests']}")
+            for i, s in enumerate(result["survivors"]):
+                print(f"  survivor{i}  unanswered={s['unanswered']} "
+                      f"takeovers={s['takeovers']} "
+                      f"takeover_tenants={len(s['takeover_tenants'])}")
+            print(f"  invariants {result['invariants']}")
+        return result
     if args.frontends > 1:
         result = asyncio.run(_run_multi_frontend(args))
         if verbose:
@@ -446,6 +773,8 @@ def run_benchmark(args, verbose: bool = True) -> Dict[str, object]:
 
 
 def _trajectory_key(result: Dict[str, object], as_baseline: bool) -> str:
+    if result.get("kill_after_seconds") is not None:
+        return "takeover"
     if result.get("frontends", 1) > 1:
         return "multi_frontend"
     if as_baseline:
@@ -492,6 +821,18 @@ def main(argv=None) -> int:
     parser.add_argument("--frontends", type=int, default=1,
                         help="serve the shared store from N frontends and "
                              "compare probe-first vs directory routing")
+    parser.add_argument("--kill-after", type=float, default=None,
+                        help="kill mode: SIGKILL one frontend this many "
+                             "seconds into the load and measure takeover "
+                             "latency (requires --frontends >= 2; "
+                             "frontends run as real subprocesses)")
+    parser.add_argument("--kill-index", type=int, default=1,
+                        help="which frontend the kill hits (default 1, so "
+                             "probe order still finds frontend 0 alive)")
+    parser.add_argument("--lease-ttl", type=float, default=2.0,
+                        help="kill mode: per-tenant lease TTL seconds for "
+                             "the subprocess frontends (short, so a dead "
+                             "frontend's leases lapse quickly; default 2)")
     parser.add_argument("--ramp-window", type=float, default=5.0,
                         help="spread stream starts over this many seconds "
                              "(default 5; latency then measures service "
@@ -509,6 +850,9 @@ def main(argv=None) -> int:
     args = parser.parse_args(argv)
     if args.smoke and args.burst:
         parser.error("--smoke uses the ramped arrival shape")
+    if args.kill_after is not None and args.frontends < 2:
+        parser.error("--kill-after needs --frontends >= 2 (someone must "
+                     "survive to take the orphans over)")
 
     result = run_benchmark(args)
     if args.smoke:

@@ -54,6 +54,7 @@ from .client import (
     DirectoryCache,
     FailoverExhaustedError,
     FailoverPolicy,
+    FrontendUnavailableError,
     OverloadedError,
     ServiceClient,
 )
@@ -91,6 +92,7 @@ __all__ = [
     "ServiceClient",
     "FailoverExhaustedError",
     "FailoverPolicy",
+    "FrontendUnavailableError",
     "OverloadedError",
     "StepCall",
     "StepOutcome",

@@ -119,10 +119,23 @@ def serve_main(argv=None) -> int:
                         help="run a background janitor (compaction + "
                              "pruning) every N seconds on this frontend's "
                              "shard; 0 disables it (default)")
+    parser.add_argument("--lease-ttl", type=float, default=None,
+                        help="per-tenant lease TTL in seconds (default: "
+                             "the library default, 30); short TTLs make "
+                             "crashed-frontend takeover fast — kill-mode "
+                             "benchmarks use ~1-2s")
     args = parser.parse_args(argv)
 
     import asyncio
+    import logging
     import signal
+
+    # takeover events are INFO logs from repro.service.service; the
+    # fleet smoke/kill harnesses grep the serve log for them
+    logging.basicConfig(
+        level=logging.INFO,
+        format="%(asctime)s %(name)s %(levelname)s %(message)s",
+        stream=sys.stdout)
 
     from .janitor import Janitor
     from .service import TuningService
@@ -134,16 +147,23 @@ def serve_main(argv=None) -> int:
         tmp = tempfile.TemporaryDirectory(prefix="repro-serve-")
         args.store_root = Path(tmp.name)
 
+    from .lease import DEFAULT_TTL
+    lease_ttl = args.lease_ttl if args.lease_ttl is not None else DEFAULT_TTL
+
     janitor: Optional[Janitor] = None
     if args.janitor_interval > 0:
         janitor = Janitor(args.store_root, interval=args.janitor_interval,
+                          lease_ttl=lease_ttl,
                           shard_index=args.shard_index,
                           shard_count=args.shard_count)
+
+    takeover_counters: Dict[str, int] = {}
 
     async def run() -> Dict[str, int]:
         service = TuningService(args.store_root,
                                 max_live_sessions=args.max_live,
-                                durability=args.durability)
+                                durability=args.durability,
+                                lease_ttl=lease_ttl)
         server = TuningServer(service, host=args.host, port=args.port,
                               queue_depth=args.queue_depth,
                               max_inflight=args.max_inflight,
@@ -175,6 +195,7 @@ def serve_main(argv=None) -> int:
         if janitor is not None:
             janitor.stop()
         await server.stop()
+        takeover_counters.update(service.counters)
         return server.stats()
 
     try:
@@ -189,7 +210,10 @@ def serve_main(argv=None) -> int:
           f"unanswered={stats['unanswered']} "
           f"aborted_connections={stats['aborted_connections']} "
           f"rounds={stats['rounds']} max_round={stats['max_round']} "
-          f"fused_rows={stats['fused_rows']}", flush=True)
+          f"fused_rows={stats['fused_rows']} "
+          f"takeovers={takeover_counters.get('takeovers', 0)} "
+          f"prehydrate_hits={takeover_counters.get('prehydrate_hits', 0)}",
+          flush=True)
     if janitor is not None:
         # the smoke job greps cross_shard=0: N sharded janitors must
         # never have touched each other's tenants
@@ -197,7 +221,8 @@ def serve_main(argv=None) -> int:
               f"compacted={janitor.total_compacted} "
               f"pruned={janitor.total_pruned} "
               f"out_of_shard_skips={janitor.total_skipped_out_of_shard} "
-              f"cross_shard={janitor.total_cross_shard}", flush=True)
+              f"cross_shard={janitor.total_cross_shard} "
+              f"republished={janitor.total_republished}", flush=True)
     if unaccounted:
         print(f"ERROR: {unaccounted} request(s) dropped without a response",
               file=sys.stderr, flush=True)

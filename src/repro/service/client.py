@@ -26,6 +26,17 @@ lease at a time.  A client that addresses the wrong frontend gets a
   honors the hint inside the same jittered-backoff budget, so a
   saturated frontend sees bounded, spread-out retries rather than an
   immediate re-send.
+* **Frontend death** — a connection refused/reset/EOF surfaces as the
+  typed :class:`FrontendUnavailableError` (never a raw
+  ``ConnectionError``).  The failing frontend is marked dead in the
+  :class:`DirectoryCache`, the directory is re-fetched from a
+  *surviving* frontend, and the call re-routes — to the refreshed
+  owner hint when ``use_directory`` is on, otherwise to the next
+  surviving frontend in probe order — all inside the same bounded
+  budget.  A ``lease_held`` redirect that names a *dead* holder is a
+  wait, not a redirect: the client stays put and rides out the corpse's
+  lease TTL (the ``retry_after`` hint, capped) until a survivor takes
+  the tenant over.
 
 The routing/backoff decisions live in :class:`FailoverPolicy`, a pure
 (sans-I/O) state machine shared by this in-process client and the wire
@@ -58,7 +69,8 @@ from .lease import LeaseError, LeaseHeldError, LeaseLostError
 from .service import TuningService
 
 __all__ = ["DirectoryCache", "FailoverDecision", "FailoverExhaustedError",
-           "FailoverPolicy", "OverloadedError", "ServiceClient"]
+           "FailoverPolicy", "FrontendUnavailableError", "OverloadedError",
+           "RETRYABLE_CALL_ERRORS", "ServiceClient"]
 
 #: per-call redirect/retry budget
 DEFAULT_FAILOVER_BUDGET = 4
@@ -97,6 +109,27 @@ class OverloadedError(RuntimeError):
         self.retry_after = retry_after
 
 
+class FrontendUnavailableError(RuntimeError):
+    """A frontend is unreachable: connection refused, reset, or EOF.
+
+    Raised by the wire stubs (and any in-process wrapper simulating a
+    crash) instead of leaking the raw socket exception.  ``owner`` is
+    the dead frontend's lease-owner identity when known — the failover
+    path uses it to mark the frontend dead in the
+    :class:`DirectoryCache` so no further call routes there.
+    """
+
+    def __init__(self, message: str, owner: Optional[str] = None) -> None:
+        super().__init__(message)
+        self.owner = owner
+
+
+#: every typed error a client call absorbs into the failover loop — the
+#: wire transport re-exports this so both client flavors stay in sync
+RETRYABLE_CALL_ERRORS = (LeaseHeldError, LeaseLostError, OverloadedError,
+                         FrontendUnavailableError)
+
+
 class DirectoryCache:
     """Client-side tenant→owner hint map (sans-I/O).
 
@@ -108,13 +141,24 @@ class DirectoryCache:
     refreshes), :meth:`record` (holders learned from ``LeaseHeldError``
     redirects and from successful calls), and pruned by
     :meth:`invalidate`.
+
+    The cache also tracks *dead* owners: a frontend that answered a
+    call with connection refused/reset/EOF is marked with
+    :meth:`mark_dead` and :meth:`lookup` stops returning hints naming
+    it — routing to a corpse is the one hint that cannot self-correct
+    via a redirect.  A later successful call to that owner identity
+    (:meth:`mark_alive`) lifts the mark.
     """
 
     def __init__(self) -> None:
         self._owners: Dict[str, str] = {}
+        self._dead: set = set()
 
     def lookup(self, tenant_id: str) -> Optional[str]:
-        return self._owners.get(tenant_id)
+        owner = self._owners.get(tenant_id)
+        if owner is None or owner in self._dead:
+            return None
+        return owner
 
     def record(self, tenant_id: str, owner: Optional[str]) -> None:
         """Learn one tenant's owner; ``None`` clears the entry."""
@@ -132,6 +176,21 @@ class DirectoryCache:
             self.record(tenant_id, owner)
         return len(self._owners)
 
+    # -- frontend liveness ---------------------------------------------------
+    def mark_dead(self, owner: str) -> None:
+        """Stop returning hints that name this owner (its frontend is
+        unreachable); entries are kept so a revival restores them."""
+        self._dead.add(owner)
+
+    def mark_alive(self, owner: str) -> None:
+        self._dead.discard(owner)
+
+    def is_dead(self, owner: Optional[str]) -> bool:
+        return owner is not None and owner in self._dead
+
+    def dead_owners(self) -> set:
+        return set(self._dead)
+
     def __len__(self) -> int:
         return len(self._owners)
 
@@ -142,11 +201,14 @@ class FailoverDecision:
 
     ``holder`` is the owner identity to redirect to (None = no redirect
     information; stay on the current frontend), ``delay`` the seconds to
-    back off before the next attempt.
+    back off before the next attempt.  ``refresh`` is True when the
+    frontend just died: the caller should re-fetch the directory from a
+    surviving frontend and re-route before retrying.
     """
 
     holder: Optional[str]
     delay: float
+    refresh: bool = False
 
 
 class FailoverPolicy:
@@ -208,15 +270,35 @@ class FailoverState:
         self._budget -= 1
         delay = self._policy._backoff(self.attempt)
         hint = getattr(exc, "retry_after", None)
-        if isinstance(exc, OverloadedError) and hint is not None:
+        directory = self._policy.directory
+        holder: Optional[str] = None
+        refresh = False
+        if isinstance(exc, FrontendUnavailableError):
+            # the frontend died under us: never route there again, and
+            # tell the caller to re-learn the directory from a survivor
+            if exc.owner is not None:
+                directory.mark_dead(exc.owner)
+            directory.invalidate(self._tenant_id)
+            refresh = True
+        elif isinstance(exc, OverloadedError) and hint is not None:
             delay = max(delay, min(float(hint), self._policy.backoff_cap))
-        holder = exc.holder if isinstance(exc, LeaseHeldError) else None
-        if holder is not None:
-            # a lease_held redirect names the true holder — fold it into
-            # the directory cache so the *next* call pre-routes
-            self._policy.directory.record(self._tenant_id, holder)
+        elif isinstance(exc, LeaseHeldError):
+            holder = exc.holder
+            if holder is not None:
+                # a lease_held redirect names the true holder — fold it
+                # into the directory cache so the *next* call pre-routes
+                directory.record(self._tenant_id, holder)
+                if directory.is_dead(holder):
+                    # the lease belongs to a corpse: redirecting is
+                    # pointless — stay put and ride out the remaining
+                    # TTL (the hint, capped) until a survivor takes over
+                    holder = None
+                    if hint is not None:
+                        delay = max(delay,
+                                    min(float(hint),
+                                        self._policy.backoff_cap))
         self.attempt += 1
-        return FailoverDecision(holder=holder, delay=delay)
+        return FailoverDecision(holder=holder, delay=delay, refresh=refresh)
 
 
 class ServiceClient:
@@ -271,6 +353,8 @@ class ServiceClient:
         self.retries = 0
         self.first_hop_hits = 0      # calls whose first attempt landed
         self.first_hop_misses = 0    # calls that needed >= 1 more hop
+        self.frontend_deaths = 0     # FrontendUnavailableError absorbed
+        self.directory_refreshes = 0  # death-triggered directory re-fetches
 
     @property
     def max_failovers(self) -> int:
@@ -279,28 +363,55 @@ class ServiceClient:
     # -- routing -------------------------------------------------------------
     def _route(self, tenant_id: str) -> TuningService:
         """Affinity, else the directory's owner hint, else the first
-        frontend (the PR 7 probe-first cold path)."""
+        surviving frontend (the PR 7 probe-first cold path).  Hints and
+        affinity naming a dead frontend are skipped — routing to a
+        corpse is the one mistake a redirect cannot fix."""
+        directory = self.policy.directory
         frontend = self._affinity.get(tenant_id)
         if frontend is not None:
-            return frontend
+            if not directory.is_dead(frontend.leases.owner):
+                return frontend
+            del self._affinity[tenant_id]
         if self.use_directory:
-            hinted = self._frontend_for_owner(
-                self.policy.directory.lookup(tenant_id))
+            hinted = self._frontend_for_owner(directory.lookup(tenant_id))
             if hinted is not None:
                 return hinted
-        return self._frontends[0]
+        return self._next_surviving()
 
     def _frontend_for_owner(self,
                             owner: Optional[str]) -> Optional[TuningService]:
-        if owner is None:
+        if owner is None or self.policy.directory.is_dead(owner):
             return None
         return self._by_owner.get(owner)
+
+    def _next_surviving(self,
+                        exclude: Optional[str] = None) -> TuningService:
+        """First frontend in probe order not marked dead (and not
+        ``exclude``); falls back to the very first frontend when the
+        whole fleet looks dead — the retry loop sorts out the rest."""
+        directory = self.policy.directory
+        for fe in self._frontends:
+            owner = fe.leases.owner
+            if owner != exclude and not directory.is_dead(owner):
+                return fe
+        return self._frontends[0]
 
     def refresh_directory(self) -> int:
         """Bulk-refresh the tenant→owner cache from the store-published
         directory (served by any frontend — they share the store).
-        Returns the number of entries now cached."""
-        return self.policy.directory.update(self._frontends[0].directory())
+        Tries surviving frontends in probe order, marking each one that
+        fails to answer dead.  Returns the number of entries now cached;
+        0 if no frontend answered."""
+        directory = self.policy.directory
+        for fe in self._frontends:
+            owner = fe.leases.owner
+            if directory.is_dead(owner):
+                continue
+            try:
+                return directory.update(fe.directory())
+            except FrontendUnavailableError:
+                directory.mark_dead(owner)
+        return 0
 
     def _call(self, tenant_id: str, method: str, *args, **kwargs):
         frontend = self._route(tenant_id)
@@ -309,11 +420,29 @@ class ServiceClient:
         while True:
             try:
                 result = getattr(frontend, method)(tenant_id, *args, **kwargs)
-            except (LeaseHeldError, LeaseLostError, OverloadedError) as exc:
+            except RETRYABLE_CALL_ERRORS as exc:
                 if first_hop:
                     self.first_hop_misses += 1
                     first_hop = False
                 decision = state.on_error(exc)
+                if decision.refresh:
+                    # the frontend died under us: re-learn the directory
+                    # from a survivor, then re-route — to the refreshed
+                    # owner hint, else the next surviving frontend
+                    self.frontend_deaths += 1
+                    dead_owner = frontend.leases.owner
+                    self._affinity.pop(tenant_id, None)
+                    if self.use_directory:
+                        self.refresh_directory()
+                        self.directory_refreshes += 1
+                        frontend = (self._frontend_for_owner(
+                            self.policy.directory.lookup(tenant_id))
+                            or self._next_surviving(exclude=dead_owner))
+                    else:
+                        frontend = self._next_surviving(exclude=dead_owner)
+                    self.redirects += 1
+                    self._sleep(decision.delay)
+                    continue
                 target = self._frontend_for_owner(decision.holder)
                 if target is not None and target is not frontend:
                     # the lease names the holding frontend: go there
@@ -321,15 +450,17 @@ class ServiceClient:
                     self.redirects += 1
                 else:
                     # holder unknown to this fleet (a janitor, a foreign
-                    # writer), already the one we asked, or a lost-lease/
-                    # overload retry: stay put and wait it out
+                    # writer), dead, already the one we asked, or a
+                    # lost-lease/overload retry: stay put and wait it out
                     self.retries += 1
                 self._sleep(decision.delay)
                 continue
             if first_hop:
                 self.first_hop_hits += 1
+            owner = frontend.leases.owner
             self._affinity[tenant_id] = frontend
-            self.policy.directory.record(tenant_id, frontend.leases.owner)
+            self.policy.directory.record(tenant_id, owner)
+            self.policy.directory.mark_alive(owner)
             return result
 
     # -- tenant API (mirrors TuningService) ----------------------------------

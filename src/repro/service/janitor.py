@@ -61,6 +61,8 @@ class JanitorReport:
     skipped_leased: List[str] = field(default_factory=list)
     skipped_errors: Dict[str, str] = field(default_factory=dict)
     skipped_out_of_shard: int = 0   # another janitor's territory: no probe
+    republished: Dict[str, Optional[str]] = field(default_factory=dict)
+    # tenant -> corrected directory owner (None = tombstoned dead entry)
 
     def touched(self) -> int:
         return len(self.compacted) + len(self.pruned)
@@ -119,6 +121,7 @@ class Janitor:
         self.total_pruned = 0
         self.total_skipped_out_of_shard = 0
         self.total_cross_shard = 0
+        self.total_republished = 0
 
     # -- one sweep -----------------------------------------------------------
     def run_once(self) -> JanitorReport:
@@ -147,6 +150,7 @@ class Janitor:
                 # a corrupt tenant is an operator problem, not a janitor
                 # crash: record it and keep sweeping the fleet
                 report.skipped_errors[tenant_id] = str(exc)
+        self._reconcile_directory(assigned, report)
         self.sweeps += 1
         self.total_compacted += len(report.compacted)
         self.total_pruned += len(report.pruned)
@@ -155,7 +159,39 @@ class Janitor:
         # slice means the sharding broke (CI greps cross_shard=0)
         touched = set(report.compacted) | set(report.pruned)
         self.total_cross_shard += len(touched - set(assigned))
+        self.total_republished += len(report.republished)
         return report
+
+    def _reconcile_directory(self, assigned: List[str],
+                             report: JanitorReport) -> None:
+        """Re-align published directory hints with lease-file truth.
+
+        A crashed frontend leaves its directory entries pointing at a
+        corpse until its tenants are next touched.  Each sweep compares
+        this shard's published hints against the authoritative lease
+        files: a live lease held by someone else gets its real owner
+        republished, and an expired/vanished lease gets a tombstone — so
+        a client's post-death ``refresh_directory()`` converges even for
+        tenants nobody has re-acquired yet.  Best-effort, hint-only:
+        ``publish_owner`` already swallows OS errors, and a hint that
+        goes stale again a moment later just costs one redirect.
+        """
+        published = self.store.read_owners()
+        for tenant_id in assigned:
+            hinted = published.get(tenant_id)
+            if hinted is None:
+                continue                   # no hint to correct
+            record = self.leases.holder(tenant_id)
+            if record is not None and record.get("live"):
+                actual = record.get("owner")
+                if actual != hinted:
+                    self.store.publish_owner(tenant_id, actual)
+                    report.republished[tenant_id] = actual
+            else:
+                # lease expired or vanished: the hinted owner is dead
+                # (or released uncleanly) — tombstone the stale hint
+                self.store.publish_owner(tenant_id, None)
+                report.republished[tenant_id] = None
 
     def _sweep_tenant(self, tenant_id: str, report: JanitorReport) -> None:
         due_compact = (self.store.chain_length(tenant_id)

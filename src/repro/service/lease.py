@@ -84,6 +84,7 @@ class Lease:
     ttl: float
     expires_at: float
     token: int                  # fencing token: increments per takeover
+    taken_over: bool = False    # True when acquired via stale takeover
 
     def remaining(self, now: Optional[float] = None) -> float:
         return self.expires_at - (time.time() if now is None else now)
@@ -255,6 +256,9 @@ class LeaseManager:
                 os.unlink(aside)
             except OSError:
                 pass
+            # flag the stale-takeover path so the service layer can
+            # republish ownership promptly and count real takeovers
+            lease.taken_over = True
             return lease
         raise LeaseHeldError(
             f"tenant {tenant!r}: lease contention did not settle")

@@ -30,6 +30,7 @@
 
 from __future__ import annotations
 
+import logging
 from collections import OrderedDict
 from dataclasses import dataclass, field
 from pathlib import Path
@@ -47,11 +48,17 @@ from ..harness.runner import (
 from ..workloads.base import WorkloadSnapshot
 from .checkpoint import CheckpointError
 from .knowledge import KnowledgeBase
-from .lease import DEFAULT_TTL, Lease, LeaseLostError, LeaseManager
+from .lease import DEFAULT_TTL, Lease, LeaseHeldError, LeaseLostError, LeaseManager
 from .store import CheckpointStore
 
 __all__ = ["StepCall", "StepOutcome", "TenantSpec", "TuningService",
            "merge_batch_shards"]
+
+log = logging.getLogger(__name__)
+
+#: takeover-warming cache size: tuners speculatively hydrated for
+#: tenants whose lease is about to lapse on a (likely dead) peer
+PREHYDRATE_CAPACITY = 4
 
 #: under ``compaction="janitor"`` the hot path still compacts once a
 #: chain grows past ``snapshot_every * JANITOR_BACKSTOP_FACTOR`` records
@@ -169,6 +176,15 @@ class TuningService:
         self.compaction = compaction
         self.runner = runner or ParallelRunner()
         self._live: "OrderedDict[str, _LiveSession]" = OrderedDict()
+        # takeover-warming: tenant -> (chain fingerprint, tuner, n_records)
+        self._prefetched: "OrderedDict[str, Tuple[tuple, OnlineTune, int]]" = (
+            OrderedDict())
+        self.counters: Dict[str, int] = {
+            "takeovers": 0,          # leases won via stale takeover
+            "prehydrated": 0,        # speculative chain loads performed
+            "prehydrate_hits": 0,    # takeovers served from the warm cache
+            "prehydrate_misses": 0,  # warm cache present but stale
+        }
 
     # -- bookkeeping -------------------------------------------------------
     def live_tenants(self) -> List[str]:
@@ -193,8 +209,15 @@ class TuningService:
 
     def _acquire_lease(self, tenant_id: str) -> Lease:
         """Acquire + publish: every lease this frontend wins is announced
-        in the directory so clients can pre-route to it."""
+        in the directory so clients can pre-route to it.  A stale
+        takeover (previous owner crashed or stalled past its TTL) is
+        counted and logged — the prompt republish is what lets a
+        client's post-death directory refresh converge in one hop."""
         lease = self.leases.acquire(tenant_id)
+        if lease.taken_over:
+            self.counters["takeovers"] += 1
+            log.info("lease takeover: tenant=%s token=%d owner=%s",
+                     tenant_id, lease.token, self.leases.owner)
         self._publish_owner(tenant_id, self.leases.owner)
         return lease
 
@@ -270,6 +293,62 @@ class TuningService:
         session.pending_suggests = 0
         return path
 
+    # -- takeover warming ----------------------------------------------------
+    def _chain_fingerprint(self, tenant_id: str) -> tuple:
+        """Cheap identity of the tenant's durable chain: every artifact's
+        (seq, kind, size, mtime_ns), oldest first.  Artifacts only ever
+        grow in seq/size, so *any* interleaved write — a new delta, a
+        compaction snapshot — changes the fingerprint and safely degrades
+        a warm-cache lookup to a miss."""
+        parts = []
+        for seq, kind, path in self.store.artifacts(tenant_id):
+            try:
+                st = path.stat()
+            except OSError:
+                continue
+            parts.append((seq, kind, st.st_size, st.st_mtime_ns))
+        return tuple(parts)
+
+    def _load_chain(self, tenant_id: str) -> Tuple[OnlineTune, int]:
+        """Hydrate a tuner from snapshot + delta chain (replayed)."""
+        tuner, _meta, records = self.store.load_latest_chain(tenant_id)
+        if not isinstance(tuner, OnlineTune):
+            raise CheckpointError(
+                f"tenant {tenant_id!r} checkpoint does not hold a tuner")
+        if records:
+            tuner.replay(records)
+        return tuner, len(records)
+
+    def _prehydrate(self, tenant_id: str, retry_after: Optional[float]) -> None:
+        """Speculatively hydrate a tenant another frontend still leases.
+
+        Called when this frontend is bounced with ``lease_held``: if the
+        holder's lease is into its back half (``retry_after`` small), a
+        crashed holder is plausible and *this* frontend may be about to
+        take the tenant over — loading the checkpoint chain now moves
+        the ~10 ms rehydration off the post-takeover critical path.  The
+        cache entry is fingerprinted against the chain's on-disk state
+        and discarded on any mismatch, so a holder that was merely slow
+        (and kept writing) costs a miss, never staleness.  Best-effort
+        throughout: failures here must not mask the LeaseHeldError the
+        caller is about to surface.
+        """
+        if retry_after is None or retry_after > 0.5 * self.leases.ttl:
+            return                       # holder heartbeating normally
+        if tenant_id in self._prefetched:
+            return
+        try:
+            fingerprint = self._chain_fingerprint(tenant_id)
+            if not fingerprint:
+                return
+            tuner, n_records = self._load_chain(tenant_id)
+        except Exception:
+            return
+        while len(self._prefetched) >= PREHYDRATE_CAPACITY:
+            self._prefetched.popitem(last=False)
+        self._prefetched[tenant_id] = (fingerprint, tuner, n_records)
+        self.counters["prehydrated"] += 1
+
     def _session(self, tenant_id: str) -> _LiveSession:
         """The tenant's hydrated session, rehydrating from the store on a
         miss (the LRU may have evicted it)."""
@@ -280,19 +359,28 @@ class TuningService:
             return session
         if self.store.latest_path(tenant_id) is None:
             raise KeyError(f"unknown tenant {tenant_id!r}: call create() first")
-        lease = self._acquire_lease(tenant_id)
         try:
-            tuner, _meta, records = self.store.load_latest_chain(tenant_id)
-            if not isinstance(tuner, OnlineTune):
-                raise CheckpointError(
-                    f"tenant {tenant_id!r} checkpoint does not hold a tuner")
-            if records:
-                tuner.replay(records)
+            lease = self._acquire_lease(tenant_id)
+        except LeaseHeldError as exc:
+            # bounced — but if the holder looks dead (lease near lapse),
+            # warm this tenant's chain for the takeover we may win next
+            self._prehydrate(tenant_id, exc.retry_after)
+            raise
+        try:
+            cached = self._prefetched.pop(tenant_id, None)
+            if (cached is not None
+                    and cached[0] == self._chain_fingerprint(tenant_id)):
+                tuner, n_records = cached[1], cached[2]
+                self.counters["prehydrate_hits"] += 1
+            else:
+                if cached is not None:
+                    self.counters["prehydrate_misses"] += 1
+                tuner, n_records = self._load_chain(tenant_id)
         except BaseException:
             self.leases.release(lease)
             raise
         session = _LiveSession(tuner=tuner, lease=lease,
-                               delta_records=len(records))
+                               delta_records=n_records)
         self._admit(tenant_id, session)
         return session
 

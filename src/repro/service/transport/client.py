@@ -21,6 +21,14 @@ protocol`, sharing one failover brain:
   overload hints, and raises
   :class:`~repro.service.client.FailoverExhaustedError` when the
   budget is spent.
+
+Both stubs translate *every* transport-level socket failure —
+connection refused/reset, EOF mid-response, a peer that vanished
+between frames — into the typed
+:class:`~repro.service.client.FrontendUnavailableError` carrying the
+dead frontend's owner identity.  Raw ``ConnectionError``/``OSError``
+never escape a stub: the failover policy needs the typed error to mark
+the frontend dead, refresh the directory from a survivor, and re-route.
 """
 
 from __future__ import annotations
@@ -37,6 +45,7 @@ from ..client import (
     DEFAULT_BACKOFF_CAP,
     DEFAULT_FAILOVER_BUDGET,
     FailoverPolicy,
+    FrontendUnavailableError,
 )
 from ..service import TenantSpec
 from . import protocol
@@ -83,11 +92,23 @@ class RemoteFrontend:
     def __init__(self, host: str, port: int, timeout: float = 30.0) -> None:
         self.host = host
         self.port = int(port)
-        self._sock = socket.create_connection((host, self.port),
-                                              timeout=timeout)
+        self.leases: Optional[_OwnerShim] = None
+        try:
+            self._sock = socket.create_connection((host, self.port),
+                                                  timeout=timeout)
+        except (ConnectionError, OSError) as exc:
+            raise self._unavailable(exc) from exc
         self._lock = threading.Lock()
         self._ids = itertools.count(1)
         self.leases = _OwnerShim(self.status()["owner"])
+
+    def _unavailable(
+            self,
+            exc: Optional[BaseException] = None) -> FrontendUnavailableError:
+        detail = f": {exc}" if exc is not None else ""
+        return FrontendUnavailableError(
+            f"frontend {self.host}:{self.port} unreachable{detail}",
+            owner=self.leases.owner if self.leases is not None else None)
 
     @property
     def owner(self) -> str:
@@ -110,12 +131,18 @@ class RemoteFrontend:
         request_id = next(self._ids)
         frame = {"id": request_id, "op": op, "tenant": tenant,
                  "payload": payload or {}}
-        with self._lock:
-            protocol.send_frame(self._sock, frame)
-            response = protocol.recv_frame(self._sock)
+        try:
+            with self._lock:
+                protocol.send_frame(self._sock, frame)
+                response = protocol.recv_frame(self._sock)
+        except (ConnectionError, OSError, EOFError) as exc:
+            # covers refused/reset sends, peer death mid-response
+            # (protocol.ConnectionClosedError is a ConnectionError), and
+            # every other socket-level failure: the stub never leaks a
+            # raw socket exception to the failover loop
+            raise self._unavailable(exc) from exc
         if response is None:
-            raise ConnectionError(f"frontend {self.host}:{self.port} closed "
-                                  f"the connection")
+            raise self._unavailable()        # clean EOF instead of a reply
         if response.get("id") != request_id:
             raise protocol.FrameError(
                 f"response id {response.get('id')!r} does not match request "
@@ -160,7 +187,14 @@ class RemoteFrontend:
 
 
 class _AsyncConnection:
-    """One multiplexed asyncio connection to a frontend."""
+    """One multiplexed asyncio connection to a frontend.
+
+    A dead peer poisons the connection: the read loop records the typed
+    :class:`FrontendUnavailableError` in ``_dead_error``, fails every
+    in-flight future with it, and all later :meth:`request` calls
+    fast-fail with the same error instead of hanging on a future no
+    read loop will ever resolve.
+    """
 
     def __init__(self, host: str, port: int) -> None:
         self.host = host
@@ -172,13 +206,27 @@ class _AsyncConnection:
         self._ids = itertools.count(1)
         self._pending: Dict[int, asyncio.Future] = {}
         self._reader_task: Optional[asyncio.Task] = None
+        self._dead_error: Optional[Exception] = None
 
     async def connect(self) -> None:
-        self._reader, self._writer = await asyncio.open_connection(
-            self.host, self.port)
+        try:
+            self._reader, self._writer = await asyncio.open_connection(
+                self.host, self.port)
+        except (ConnectionError, OSError) as exc:
+            raise self._unavailable(exc) from exc
         self._reader_task = asyncio.ensure_future(self._read_loop())
         status = await self.request("status", None)
         self.owner = status["owner"]
+
+    def _unavailable(
+            self,
+            exc: Optional[BaseException] = None) -> FrontendUnavailableError:
+        detail = f": {exc}" if exc is not None else ""
+        error = FrontendUnavailableError(
+            f"frontend {self.host}:{self.port} unreachable{detail}",
+            owner=self.owner)
+        error.__cause__ = exc
+        return error
 
     async def _read_loop(self) -> None:
         error: Exception
@@ -186,15 +234,17 @@ class _AsyncConnection:
             while True:
                 response = await protocol.read_frame(self._reader)
                 if response is None:
-                    error = ConnectionError(
-                        f"frontend {self.host}:{self.port} closed the "
-                        f"connection")
+                    error = self._unavailable()  # peer closed cleanly
                     break
                 future = self._pending.pop(response.get("id"), None)
                 if future is not None and not future.done():
                     future.set_result(response)
+        except (ConnectionError, OSError, EOFError) as exc:
+            # reset mid-read, or EOF mid-frame (ConnectionClosedError)
+            error = self._unavailable(exc)
         except Exception as exc:
-            error = exc
+            error = exc                      # protocol corruption: as-is
+        self._dead_error = error
         for future in self._pending.values():
             if not future.done():
                 future.set_exception(error)
@@ -203,13 +253,19 @@ class _AsyncConnection:
     async def request(self, op: str, tenant: Optional[str],
                       payload: Optional[Dict[str, Any]] = None) -> Any:
         """One pipelined round-trip; raises the typed error on non-ok."""
+        if self._dead_error is not None:
+            raise self._dead_error           # fast-fail: peer already gone
         request_id = next(self._ids)
         future: asyncio.Future = asyncio.get_event_loop().create_future()
         self._pending[request_id] = future
         frame = {"id": request_id, "op": op, "tenant": tenant,
                  "payload": payload or {}}
-        async with self._write_lock:
-            await protocol.write_frame(self._writer, frame)
+        try:
+            async with self._write_lock:
+                await protocol.write_frame(self._writer, frame)
+        except (ConnectionError, OSError) as exc:
+            self._pending.pop(request_id, None)
+            raise self._unavailable(exc) from exc
         response = await future
         if response.get("status") != "ok":
             raise protocol.response_to_error(response)
@@ -271,6 +327,8 @@ class AsyncServiceClient:
         self.retries = 0
         self.first_hop_hits = 0      # calls whose first attempt landed
         self.first_hop_misses = 0    # calls that needed >= 1 more hop
+        self.frontend_deaths = 0     # FrontendUnavailableError absorbed
+        self.directory_refreshes = 0  # death-triggered directory re-fetches
 
     async def connect(self) -> None:
         for host, port in self._addresses:
@@ -288,16 +346,34 @@ class AsyncServiceClient:
 
     # -- routing (mirrors ServiceClient._call, awaitably) --------------------
     def _route(self, tenant_id: str) -> _AsyncConnection:
-        """Affinity, else the directory's owner hint, else frontend 0."""
+        """Affinity, else the directory's owner hint, else the first
+        surviving frontend — dead frontends are never routed to."""
+        directory = self.policy.directory
         conn = self._affinity.get(tenant_id)
         if conn is not None:
-            return conn
+            if not directory.is_dead(conn.owner):
+                return conn
+            del self._affinity[tenant_id]
         if self.use_directory:
-            owner = self.policy.directory.lookup(tenant_id)
-            if owner is not None:
-                hinted = self._by_owner.get(owner)
-                if hinted is not None:
-                    return hinted
+            hinted = self._conn_for_owner(directory.lookup(tenant_id))
+            if hinted is not None:
+                return hinted
+        return self._next_surviving()
+
+    def _conn_for_owner(
+            self, owner: Optional[str]) -> Optional[_AsyncConnection]:
+        if owner is None or self.policy.directory.is_dead(owner):
+            return None
+        return self._by_owner.get(owner)
+
+    def _next_surviving(
+            self, exclude: Optional[str] = None) -> _AsyncConnection:
+        """First connection in probe order whose owner is not marked
+        dead (and not ``exclude``); degrades to the very first one."""
+        directory = self.policy.directory
+        for conn in self._connections:
+            if conn.owner != exclude and not directory.is_dead(conn.owner):
+                return conn
         return self._connections[0]
 
     def route_to(self, tenant_id: str, owner: str) -> None:
@@ -310,11 +386,22 @@ class AsyncServiceClient:
         self._affinity[tenant_id] = conn
 
     async def refresh_directory(self) -> int:
-        """Bulk-refresh the tenant→owner cache via the ``directory`` op
-        (any frontend answers — they share the store).  Returns the
-        number of entries now cached."""
-        result = await self._connections[0].request("directory", None)
-        return self.policy.directory.update(result["owners"])
+        """Bulk-refresh the tenant→owner cache via the ``directory`` op,
+        trying surviving frontends in probe order (any one answers —
+        they share the store) and marking each that fails dead.
+        Returns the number of entries now cached; 0 if none answered."""
+        directory = self.policy.directory
+        for conn in self._connections:
+            if directory.is_dead(conn.owner):
+                continue
+            try:
+                result = await conn.request("directory", None)
+            except FrontendUnavailableError:
+                if conn.owner is not None:
+                    directory.mark_dead(conn.owner)
+                continue
+            return directory.update(result["owners"])
+        return 0
 
     async def _call(self, tenant_id: str, op: str,
                     payload: Optional[Dict[str, Any]] = None) -> Any:
@@ -329,7 +416,25 @@ class AsyncServiceClient:
                     self.first_hop_misses += 1
                     first_hop = False
                 decision = state.on_error(exc)
-                target = self._by_owner.get(decision.holder)
+                if decision.refresh:
+                    # frontend death: re-learn the directory from a
+                    # survivor, then re-route — refreshed hint first,
+                    # else next surviving frontend in probe order
+                    self.frontend_deaths += 1
+                    dead_owner = conn.owner
+                    self._affinity.pop(tenant_id, None)
+                    if self.use_directory:
+                        await self.refresh_directory()
+                        self.directory_refreshes += 1
+                        conn = (self._conn_for_owner(
+                            self.policy.directory.lookup(tenant_id))
+                            or self._next_surviving(exclude=dead_owner))
+                    else:
+                        conn = self._next_surviving(exclude=dead_owner)
+                    self.redirects += 1
+                    await asyncio.sleep(decision.delay)
+                    continue
+                target = self._conn_for_owner(decision.holder)
                 if target is not None and target is not conn:
                     conn = target
                     self.redirects += 1
@@ -341,6 +446,8 @@ class AsyncServiceClient:
                 self.first_hop_hits += 1
             self._affinity[tenant_id] = conn
             self.policy.directory.record(tenant_id, conn.owner)
+            if conn.owner is not None:
+                self.policy.directory.mark_alive(conn.owner)
             return result
 
     # -- tenant API ----------------------------------------------------------

@@ -111,11 +111,12 @@ from typing import Any, Dict, Optional
 from ...baselines.base import Feedback, SuggestInput
 from ...workloads.base import WorkloadSnapshot
 from ..lease import LeaseHeldError, LeaseLostError
-from ..client import OverloadedError
+from ..client import RETRYABLE_CALL_ERRORS, OverloadedError
 
 __all__ = [
     "MAX_FRAME_BYTES",
     "RETRYABLE_ERRORS",
+    "ConnectionClosedError",
     "FrameError",
     "RemoteCallError",
     "encode_frame",
@@ -143,11 +144,24 @@ _LEN = struct.Struct("!I")
 
 
 #: the typed errors a client may retry under its failover budget
-RETRYABLE_ERRORS = (LeaseHeldError, LeaseLostError, OverloadedError)
+#: (re-exported from the sans-I/O client module so both stay in sync:
+#: lease_held/lease_lost/retry_after responses plus frontend death)
+RETRYABLE_ERRORS = RETRYABLE_CALL_ERRORS
 
 
 class FrameError(RuntimeError):
     """Malformed wire data: oversized frame, truncated body, non-JSON."""
+
+
+class ConnectionClosedError(FrameError, ConnectionError):
+    """The peer vanished mid-frame: EOF inside a header or body.
+
+    A :class:`FrameError` (torn wire data) that is *also* a
+    ``ConnectionError`` — the wire clients catch the latter and wrap it
+    into :class:`~repro.service.client.FrontendUnavailableError`, while
+    protocol-level tests asserting on torn frames keep matching
+    :class:`FrameError`.
+    """
 
 
 class RemoteCallError(RuntimeError):
@@ -180,7 +194,7 @@ async def read_frame(reader) -> Optional[Any]:
     except asyncio.IncompleteReadError as exc:
         if not exc.partial:
             return None                      # clean EOF between frames
-        raise FrameError("connection closed mid-header") from exc
+        raise ConnectionClosedError("connection closed mid-header") from exc
     (length,) = _LEN.unpack(header)
     if length > MAX_FRAME_BYTES:
         raise FrameError(f"announced frame of {length} bytes exceeds "
@@ -188,7 +202,7 @@ async def read_frame(reader) -> Optional[Any]:
     try:
         body = await reader.readexactly(length)
     except asyncio.IncompleteReadError as exc:
-        raise FrameError("connection closed mid-frame") from exc
+        raise ConnectionClosedError("connection closed mid-frame") from exc
     return _decode_body(body)
 
 
@@ -225,7 +239,7 @@ def _recv_exact(sock: socket.socket, n: int,
         if not chunk:
             if eof_ok and remaining == n:
                 return None                  # clean EOF between frames
-            raise FrameError("connection closed mid-frame")
+            raise ConnectionClosedError("connection closed mid-frame")
         chunks.append(chunk)
         remaining -= len(chunk)
     return b"".join(chunks)

@@ -211,6 +211,13 @@ class TuningServer:
             while True:
                 try:
                     request = await protocol.read_frame(reader)
+                except protocol.ConnectionClosedError as exc:
+                    # the peer died mid-frame — a crashed client, not a
+                    # protocol violation: count it with the other torn
+                    # sockets instead of warning about bad wire data
+                    log.info("peer vanished mid-frame: %s", exc)
+                    self._stats["aborted_connections"] += 1
+                    break
                 except protocol.FrameError as exc:
                     log.warning("dropping connection: %s", exc)
                     break

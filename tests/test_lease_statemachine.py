@@ -1,0 +1,193 @@
+"""Stateful property test: the lease/fence/directory triple vs a
+single-writer oracle.
+
+A :class:`hypothesis.stateful.RuleBasedStateMachine` drives three
+:class:`LeaseManager` identities (``A``/``B``/``C``) against one shared
+lease directory plus the store-published owner directory, interleaving
+acquire / renew / release / crash (forced expiry) / reconcile in every
+order Hypothesis can invent.  The oracle is the single-writer model the
+whole service stack leans on:
+
+* **Mutual exclusion** — an acquire succeeds iff the oracle says the
+  tenant is free, expired, or already ours (reentrant); a live foreign
+  lease raises :class:`LeaseHeldError` naming the oracle's holder.
+* **Monotone fencing** — every ownership *change* issues a token
+  strictly greater than any token ever seen (the ``.token`` sidecar
+  floor), and a reentrant renewal never changes the token.  The store's
+  zombie-fencing check is only sound under exactly this property.
+* **Takeover provenance** — ``Lease.taken_over`` is True precisely when
+  the acquire went through the stale rename-aside path (an expired
+  lease file existed), which is what the service layer counts and logs.
+* **Directory convergence** — after a janitor-style reconcile pass
+  (republish the live holder, tombstone an expired hint — the logic of
+  :meth:`Janitor._reconcile_directory`), the published directory names
+  exactly the oracle's live holder.
+
+Crashes are simulated the only honest way for a wall-clock TTL lease:
+rewind the lease *file's* mtime AND the held object's in-memory
+``expires_at`` — rewinding just one would let the two liveness views
+disagree in ways a real crash never produces.
+"""
+
+from __future__ import annotations
+
+import os
+import shutil
+import tempfile
+import time
+from pathlib import Path
+
+from hypothesis import strategies as st
+from hypothesis.stateful import RuleBasedStateMachine, invariant, rule
+
+from repro.service.lease import LeaseHeldError, LeaseLostError, LeaseManager
+from repro.service.store import CheckpointStore
+
+from strategies import STATE_MACHINE_SETTINGS
+
+OWNERS = ["A", "B", "C"]
+TENANT = "t"
+#: long enough that leases only ever expire via the explicit crash rule
+TTL = 600.0
+
+owner_ids = st.sampled_from(OWNERS)
+
+
+class LeaseDirectoryMachine(RuleBasedStateMachine):
+    def __init__(self) -> None:
+        super().__init__()
+        self.root = Path(tempfile.mkdtemp(prefix="lease-sm-"))
+        self.managers = {
+            owner: LeaseManager(self.root / "leases", ttl=TTL, owner=owner)
+            for owner in OWNERS}
+        self.store = CheckpointStore(self.root / "store")
+        # oracle state
+        self.live_holder = None        # owner with a live lease, or None
+        self.held = {}                 # owner -> Lease object they believe in
+        self.max_token = 0             # highest fencing token ever issued
+        self.stale_on_disk = False     # an expired lease file awaits takeover
+
+    def teardown(self) -> None:
+        shutil.rmtree(self.root, ignore_errors=True)
+
+    # -- rules ---------------------------------------------------------------
+    @rule(owner=owner_ids)
+    def acquire(self, owner) -> None:
+        try:
+            lease = self.managers[owner].acquire(TENANT)
+        except LeaseHeldError as exc:
+            # must be a live foreign lease, and the error names it
+            assert self.live_holder not in (None, owner)
+            assert exc.holder == self.live_holder
+            assert exc.retry_after is not None and exc.retry_after > 0
+            return
+        if self.live_holder == owner:
+            # reentrant heartbeat: same lease, same fencing token
+            assert lease.token == self.held[owner].token
+            assert not lease.taken_over
+        else:
+            assert self.live_holder is None     # mutual exclusion held
+            assert lease.token > self.max_token  # fence strictly advances
+            # rename-aside provenance: exactly when a corpse was on disk
+            assert lease.taken_over == self.stale_on_disk
+        self.max_token = max(self.max_token, lease.token)
+        self.held[owner] = lease
+        self.live_holder = owner
+        self.stale_on_disk = False
+        self.store.publish_owner(TENANT, owner)
+
+    @rule(owner=owner_ids)
+    def renew(self, owner) -> None:
+        lease = self.held.get(owner)
+        if lease is None:
+            return
+        if self.live_holder == owner:
+            renewed = self.managers[owner].renew(lease)
+            assert renewed.token == lease.token
+            assert renewed.remaining() > 0
+        else:
+            # expired or taken over: renewing must fail loudly, never
+            # silently revive a corpse
+            try:
+                self.managers[owner].renew(lease)
+            except LeaseLostError:
+                return
+            raise AssertionError("renew succeeded on a lost lease")
+
+    @rule(owner=owner_ids)
+    def release(self, owner) -> None:
+        lease = self.held.pop(owner, None)
+        if lease is None:
+            return
+        if self.live_holder == owner:
+            self.managers[owner].release(lease)
+            self.live_holder = None
+            self.store.publish_owner(TENANT, None)
+        else:
+            # lost lease: release either reports the loss or no-ops on
+            # an already-expired/vanished file — it must never unlink a
+            # successor's live lease
+            try:
+                self.managers[owner].release(lease)
+            except LeaseLostError:
+                pass
+
+    @rule()
+    def crash_holder(self) -> None:
+        """The live holder stops heartbeating and its TTL elapses —
+        simulated by rewinding both liveness views (file mtime and the
+        in-memory expiry) past the TTL horizon."""
+        if self.live_holder is None:
+            return
+        lease = self.held[self.live_holder]
+        past = time.time() - TTL - 5.0
+        os.utime(lease.path, (past, past))
+        lease.expires_at = past + TTL
+        self.live_holder = None
+        self.stale_on_disk = True
+        # note: the directory still hints the corpse until a reconcile
+
+    @rule()
+    def reconcile(self) -> None:
+        """Janitor sweep: republish lease-file truth into the directory."""
+        hinted = self.store.read_owners().get(TENANT)
+        if hinted is None:
+            return
+        record = self.managers[OWNERS[0]].holder(TENANT)
+        if record is not None and record.get("live"):
+            actual = record.get("owner")
+            if actual != hinted:
+                self.store.publish_owner(TENANT, actual)
+        else:
+            self.store.publish_owner(TENANT, None)
+        # convergence: the directory now names exactly the live holder
+        assert self.store.read_owners().get(TENANT) == self.live_holder
+
+    # -- invariants ----------------------------------------------------------
+    @invariant()
+    def at_most_one_live_lease(self) -> None:
+        record = self.managers[OWNERS[0]].holder(TENANT)
+        if self.live_holder is None:
+            assert record is None or not record["live"]
+        else:
+            assert record is not None and record["live"]
+            assert record["owner"] == self.live_holder
+
+    @invariant()
+    def token_floor_never_regresses(self) -> None:
+        floor = self.managers[OWNERS[0]]._token_floor(TENANT)
+        assert floor == self.max_token
+
+    @invariant()
+    def directory_never_names_a_non_holder_while_live(self) -> None:
+        # the directory is a hint, so it may lag (a corpse, a released
+        # owner) — but while a live lease exists, a reconciled-or-fresh
+        # hint pointing somewhere *else* may only be the lag of a
+        # publish we oracle-tracked; it must never invent an owner that
+        # never held the tenant
+        hinted = self.store.read_owners().get(TENANT)
+        assert hinted is None or hinted in OWNERS
+
+
+TestLeaseDirectoryStateMachine = LeaseDirectoryMachine.TestCase
+TestLeaseDirectoryStateMachine.settings = STATE_MACHINE_SETTINGS
